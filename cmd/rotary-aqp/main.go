@@ -1,0 +1,148 @@
+// Command rotary-aqp runs a Table I TPC-H AQP workload under Rotary-AQP
+// or one of the paper's baselines and prints the attainment report.
+//
+// Usage:
+//
+//	rotary-aqp [-policy rotary|relaqs|edf|laf|rr] [-jobs 30] [-sf 0.02] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rotary"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rotary-aqp: ")
+	var (
+		policy = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
+		jobs   = flag.Int("jobs", 30, "workload size")
+		sf     = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		mean   = flag.Float64("arrival", 160, "mean Poisson inter-arrival time (seconds)")
+		trace  = flag.Int("trace", 0, "print the last N arbitration trace events")
+		save   = flag.String("save-workload", "", "write the generated workload to this JSON file")
+		load   = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
+		desc   = flag.String("describe", "", "describe a query's plan shape (e.g. q5) and exit")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H at SF=%g (seed %d)…\n", *sf, *seed)
+	ds := rotary.GenerateTPCH(*sf, *seed)
+	cat := rotary.NewCatalog(ds, *seed)
+
+	if *desc != "" {
+		out, err := cat.Describe(*desc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	var specs []rotary.AQPSpec
+	if *load != "" {
+		var err error
+		specs, err = rotary.LoadAQPSpecs(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		wcfg := rotary.DefaultAQPWorkload(*jobs, *seed)
+		wcfg.MeanArrivalSecs = *mean
+		wcfg.BatchRows = rotary.RecommendedBatchRows(cat)
+		specs = rotary.GenerateAQPWorkload(wcfg)
+	}
+	if *save != "" {
+		if err := rotary.SaveAQPSpecs(*save, specs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved workload to %s\n", *save)
+	}
+
+	repo := rotary.NewRepository()
+	var sched rotary.AQPScheduler
+	switch *policy {
+	case "rotary":
+		if err := rotary.SeedAQPHistory(repo, cat, rotary.RecommendedBatchRows(cat)); err != nil {
+			log.Fatal(err)
+		}
+		sched = rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3))
+	case "relaqs":
+		sched = rotary.ReLAQS{}
+	case "edf":
+		sched = rotary.EDFAQP{}
+	case "laf":
+		sched = rotary.LAFAQP{}
+	case "rr":
+		sched = rotary.RoundRobinAQP{}
+	default:
+		log.Printf("unknown policy %q", *policy)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	execCfg := rotary.DefaultAQPExecConfig(rotary.DefaultAQPMemoryMB(cat))
+	var tracer *rotary.Tracer
+	if *trace > 0 {
+		tracer = &rotary.Tracer{}
+		execCfg.Tracer = tracer
+	}
+	exec := rotary.NewAQPExecutor(execCfg, sched, repo)
+	for _, spec := range specs {
+		j, err := rotary.BuildAQPJob(cat, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exec.Submit(j, rotary.Time(spec.ArrivalSecs))
+	}
+	fmt.Printf("running %d jobs under %s…\n\n", len(specs), sched.Name())
+	if err := exec.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := rotary.AnalyzeAQP(sched.Name(), exec.Jobs(), nil)
+	rep.SortOutcomesByID()
+	fmt.Printf("%-18s %-7s %-7s %9s %9s %9s %-10s %s\n",
+		"job", "query", "class", "threshold", "deadline", "runtime", "status", "attained")
+	for _, o := range rep.Outcomes {
+		att := ""
+		if o.Attained {
+			att = "✓"
+		}
+		fmt.Printf("%-18s %-7s %-7s %8.0f%% %8.0fs %8.0fs %-10s %s\n",
+			o.ID, o.Query, o.Class, findThreshold(specs, o.ID)*100, findDeadline(specs, o.ID),
+			o.RuntimeSecs, o.Status, att)
+	}
+	att := rep.AttainedByClass()
+	tot := rep.TotalByClass()
+	fmt.Printf("\nattained: light %d/%d, medium %d/%d, heavy %d/%d, total %d/%d; false attainment %d\n",
+		att["light"], tot["light"], att["medium"], tot["medium"],
+		att["heavy"], tot["heavy"], att["total"], tot["total"], rep.FalseAttained())
+	fmt.Printf("virtual makespan: %s\n", exec.Engine().Now())
+	if tracer != nil {
+		fmt.Printf("\nlast %d arbitration events:\n%s", *trace, tracer.Render(*trace))
+	}
+}
+
+func findThreshold(specs []rotary.AQPSpec, id string) float64 {
+	for _, s := range specs {
+		if s.ID == id {
+			return s.Accuracy
+		}
+	}
+	return 0
+}
+
+func findDeadline(specs []rotary.AQPSpec, id string) float64 {
+	for _, s := range specs {
+		if s.ID == id {
+			return s.DeadlineSecs
+		}
+	}
+	return 0
+}

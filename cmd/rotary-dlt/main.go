@@ -1,0 +1,125 @@
+// Command rotary-dlt runs a Table II survey-based DLT workload under a
+// Rotary-DLT variant or one of the paper's baselines on a simulated GPU
+// cluster and prints per-job outcomes plus progress snapshots.
+//
+// Usage:
+//
+//	rotary-dlt [-policy adaptive|fairness|efficiency|srf|bcf|laf] [-jobs 30] [-gpus 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rotary"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rotary-dlt: ")
+	var (
+		policy  = flag.String("policy", "adaptive", "policy: adaptive, fairness, efficiency, srf, bcf, laf")
+		jobs    = flag.Int("jobs", 30, "workload size")
+		gpus    = flag.Int("gpus", 4, "GPU count")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		history = flag.Int("history", 40, "historical jobs to seed the repository with")
+		trace   = flag.Int("trace", 0, "print the last N arbitration trace events")
+		save    = flag.String("save-workload", "", "write the generated workload to this JSON file")
+		load    = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
+	)
+	flag.Parse()
+
+	var specs []rotary.DLTSpec
+	if *load != "" {
+		var err error
+		specs, err = rotary.LoadDLTSpecs(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		specs = rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(*jobs, *seed))
+	}
+	if *save != "" {
+		if err := rotary.SaveDLTSpecs(*save, specs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved workload to %s\n", *save)
+	}
+	repo := rotary.NewRepository()
+	if err := rotary.SeedDLTHistory(repo, *history, 30, *seed); err != nil {
+		log.Fatal(err)
+	}
+	tee := rotary.NewTEE(repo, 3)
+	tme := rotary.NewTME(repo, 3)
+
+	var sched rotary.DLTScheduler
+	switch *policy {
+	case "adaptive":
+		sched = rotary.NewRotaryDLT(0.5, tee, tme)
+	case "fairness":
+		sched = rotary.NewRotaryDLT(1.0, tee, tme)
+	case "efficiency":
+		sched = rotary.NewRotaryDLT(0.0, tee, tme)
+	case "srf":
+		sched = rotary.SRF{}
+	case "bcf":
+		sched = rotary.BCF{}
+	case "laf":
+		sched = rotary.LAFDLT{}
+	default:
+		log.Printf("unknown policy %q", *policy)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := rotary.DefaultDLTExecConfig()
+	cfg.GPUs = *gpus
+	var tracer *rotary.Tracer
+	if *trace > 0 {
+		tracer = &rotary.Tracer{}
+		cfg.Tracer = tracer
+	}
+	exec := rotary.NewDLTExecutor(cfg, sched, repo)
+	built := make([]*rotary.DLTJob, 0, len(specs))
+	for _, spec := range specs {
+		j, err := rotary.BuildDLTJob(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		built = append(built, j)
+		exec.Submit(j, 0)
+	}
+	fmt.Printf("running %d DLT jobs on %d GPUs under %s…\n\n", len(specs), *gpus, sched.Name())
+	if err := exec.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %-12s %-12s %7s %8s %9s %-10s\n",
+		"job", "kind", "criteria", "epochs", "accuracy", "end(min)", "status")
+	for _, j := range built {
+		fmt.Printf("%-28s %-12s %-12v %7d %7.1f%% %9.0f %-10s\n",
+			j.ID(), j.Criteria().Kind, j.Criteria(), j.Epochs(),
+			j.Accuracy()*100, j.EndTime().Minutes(), j.Status())
+	}
+
+	// Progress snapshots every 60 virtual minutes, Fig. 10-style.
+	var times []rotary.Time
+	for t := rotary.Time(3600); t <= exec.Engine().Now(); t += 3600 {
+		times = append(times, t)
+	}
+	times = append(times, exec.Engine().Now())
+	fmt.Printf("\n%10s %8s %6s %6s %6s %6s %6s %6s\n",
+		"t(min)", "attained", "min", "p25", "p50", "p75", "max", "mean")
+	for _, s := range rotary.SnapshotDLT(built, times) {
+		v := s.Progress
+		fmt.Printf("%10.0f %8d %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			s.At.Minutes(), s.Attained, v.Min, v.P25, v.P50, v.P75, v.Max, v.Mean)
+	}
+	fmt.Printf("\nvirtual makespan: %.0f minutes; TTR overhead: %v\n",
+		exec.Engine().Now().Minutes(), exec.TTR().Overhead())
+	if tracer != nil {
+		fmt.Printf("\nlast %d arbitration events:\n%s", *trace, tracer.Render(*trace))
+	}
+}

@@ -1,0 +1,126 @@
+// hyperparam-search reproduces the introduction's hyperparameter-
+// optimization scenario: "resource arbitration could stop the trials that
+// contain unpromising hyperparameter configurations prematurely and
+// allocate more resources to the promising ones so that the best-
+// performing hyperparameters can be discovered sooner."
+//
+// Sixteen trials of the same architecture — a grid over optimizer and
+// learning rate — run under efficiency Rotary-DLT with accuracy-oriented
+// criteria. The arbiter's estimates starve the hopeless trials; the run
+// reports when the first trial reached the target and how many epochs the
+// losing trials consumed, against a round-robin (SRF-tail) baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rotary"
+)
+
+const targetAcc = 0.88
+
+func buildTrials() []rotary.DLTSpec {
+	crit, err := rotary.NewAccuracyCriteria("ACC", targetAcc,
+		rotary.Deadline{Value: 25, Unit: rotary.Epochs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []rotary.DLTSpec
+	i := 0
+	for _, opt := range []string{"sgd", "momentum", "adam", "adagrad"} {
+		for _, lr := range []float64{0.1, 0.01, 0.001, 0.0001} {
+			specs = append(specs, rotary.DLTSpec{
+				ID: fmt.Sprintf("trial-%02d-%s-lr%g", i, opt, lr),
+				Config: rotary.DLTConfig{
+					Model: "resnet-18", Dataset: "cifar10", BatchSize: 32,
+					Optimizer: opt, LR: lr, Seed: uint64(100 + i),
+				},
+				Criteria: crit,
+			})
+			i++
+		}
+	}
+	return specs
+}
+
+func run(label string, sched rotary.DLTScheduler, repo *rotary.Repository, specs []rotary.DLTSpec) {
+	exec := rotary.NewDLTExecutor(rotary.DefaultDLTExecConfig(), sched, repo)
+	for _, spec := range specs {
+		j, err := rotary.BuildDLTJob(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exec.Submit(j, 0)
+	}
+	if err := exec.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	firstWin := rotary.Time(0)
+	winners := 0
+	totalEpochs := 0
+	wastedEpochs := 0
+	var best *rotary.DLTJob
+	for _, j := range exec.Jobs() {
+		totalEpochs += j.Epochs()
+		if j.Status() == rotary.StatusAttainedStop {
+			winners++
+			if firstWin == 0 || j.EndTime() < firstWin {
+				firstWin = j.EndTime()
+			}
+		} else {
+			wastedEpochs += j.Epochs()
+		}
+		if best == nil || j.Accuracy() > best.Accuracy() {
+			best = j
+		}
+	}
+	fmt.Printf("\n%s\n", label)
+	fmt.Printf("  first trial at %.0f%% accuracy after %.0f virtual minutes\n", targetAcc*100, firstWin.Minutes())
+	fmt.Printf("  %d/%d trials reached the target; best config: %s (%.1f%%)\n",
+		winners, len(specs), best.ID(), best.Accuracy()*100)
+	fmt.Printf("  epochs spent: %d total, %d on losing trials\n", totalEpochs, wastedEpochs)
+	fmt.Printf("  makespan: %.0f minutes\n", exec.Engine().Now().Minutes())
+}
+
+func main() {
+	log.SetFlags(0)
+	specs := buildTrials()
+	fmt.Printf("hyperparameter search: %d trials of resnet-18, target %.0f%% accuracy\n",
+		len(specs), targetAcc*100)
+
+	repo := rotary.NewRepository()
+	if err := rotary.SeedDLTHistory(repo, 40, 30, 5); err != nil {
+		log.Fatal(err)
+	}
+	run("efficiency Rotary-DLT (prunes unpromising trials)",
+		rotary.NewRotaryDLT(0, rotary.NewTEE(repo, 3), rotary.NewTME(repo, 3)), repo, specs)
+
+	repo2 := rotary.NewRepository()
+	run("round-robin baseline (every trial gets equal turns)",
+		rotary.SRF{}, repo2, specs)
+
+	successiveHalving(specs)
+}
+
+// successiveHalving runs the same grid through the hpo package's
+// Hyperband-style controller, which formalizes the pruning the arbiter
+// does organically above.
+func successiveHalving(specs []rotary.DLTSpec) {
+	configs := make([]rotary.DLTConfig, len(specs))
+	for i, s := range specs {
+		configs[i] = s.Config
+	}
+	res, err := rotary.HPOSearch(rotary.DefaultHPOConfig(), configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsuccessive-halving controller (hpo package)")
+	for _, r := range res.Rungs {
+		fmt.Printf("  rung %d: %2d trials × %2d epochs, best accuracy %.1f%%\n",
+			r.Rung, r.Trials, r.EpochsPer, r.BestAcc*100)
+	}
+	fmt.Printf("  winner: %s (%.1f%%) using %d total epochs in %.0f virtual minutes\n",
+		res.Best.ID, res.Best.Accuracy()*100, res.TotalEpochs, res.VirtualSecs/60)
+}

@@ -1,0 +1,82 @@
+// unified-cluster demonstrates the paper's §VI vision: "a unified
+// resource arbitration system on a cluster to handle AQP and DLT jobs
+// together. Such a system can serve more users and enormously improve
+// resource utilization."
+//
+// A mixed workload — TPC-H reporting queries on the CPU pool and training
+// jobs on the GPUs — runs on one virtual clock under one cluster-wide
+// fairness threshold: while any job of either kind lags below T, both
+// sides serve their laggards first; once the whole cluster clears T, both
+// switch to efficiency. The run prints the cluster-wide minimum progress
+// over time for T = 100% and T = 0%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rotary"
+)
+
+func run(threshold float64) {
+	ds := rotary.GenerateTPCH(0.01, 21)
+	cat := rotary.NewCatalog(ds, 21)
+	repo := rotary.NewRepository()
+	if err := rotary.SeedAQPHistory(repo, cat, rotary.RecommendedBatchRows(cat)); err != nil {
+		log.Fatal(err)
+	}
+	if err := rotary.SeedDLTHistory(repo, 30, 30, 21); err != nil {
+		log.Fatal(err)
+	}
+	u := rotary.NewUnifiedExecutor(rotary.UnifiedExecConfig{
+		AQP:       rotary.DefaultAQPExecConfig(rotary.DefaultAQPMemoryMB(cat)),
+		DLT:       rotary.DefaultDLTExecConfig(),
+		Threshold: threshold,
+	}, repo)
+
+	for _, spec := range rotary.GenerateAQPWorkload(rotary.DefaultAQPWorkload(8, 21)) {
+		spec.BatchRows = rotary.RecommendedBatchRows(cat)
+		j, err := rotary.BuildAQPJob(cat, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u.SubmitAQP(j, rotary.Time(spec.ArrivalSecs))
+	}
+	for _, spec := range rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(8, 21)) {
+		j, err := rotary.BuildDLTJob(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u.SubmitDLT(j, 0)
+	}
+
+	fmt.Printf("\ncluster-wide threshold T = %.0f%%\n", threshold*100)
+	fmt.Printf("%10s %22s\n", "t(min)", "cluster min progress")
+	for tick := rotary.Time(600); ; tick += 600 {
+		u.Engine().RunUntil(tick)
+		fmt.Printf("%10.0f %22.2f\n", tick.Minutes(), u.MinProgress())
+		if u.Engine().Pending() == 0 {
+			break
+		}
+	}
+	aqpDone, dltDone := 0, 0
+	for _, j := range u.AQPJobs() {
+		if j.Status() == rotary.StatusAttainedStop {
+			aqpDone++
+		}
+	}
+	for _, j := range u.DLTJobs() {
+		if j.Status() == rotary.StatusAttainedStop {
+			dltDone++
+		}
+	}
+	fmt.Printf("attained: %d/%d AQP jobs, %d/%d DLT jobs; makespan %.0f min\n",
+		aqpDone, len(u.AQPJobs()), dltDone, len(u.DLTJobs()), u.Engine().Now().Minutes())
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("unified AQP + DLT arbitration on one cluster (§VI)")
+	run(1.0) // cluster-wide fairness
+	run(0.0) // cluster-wide efficiency
+}

@@ -1,0 +1,3 @@
+module rotary
+
+go 1.23

@@ -1,0 +1,121 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+
+	"rotary/internal/sim"
+	"rotary/internal/stream"
+)
+
+func TestConfidenceIntervalAvgCoversTrueMean(t *testing.T) {
+	r := sim.NewRand(5)
+	gt := NewGroupTable([]AggSpec{{Name: "avg", Kind: Avg}})
+	const trueMean = 50.0
+	for i := 0; i < 5000; i++ {
+		gt.Update("g", r.Norm(trueMean, 10))
+	}
+	lo, hi, ok := gt.ConfidenceInterval("g", 0, 1.96, 0.5)
+	if !ok {
+		t.Fatal("no CI for AVG")
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if trueMean < lo || trueMean > hi {
+		t.Errorf("95%% CI [%v, %v] misses true mean %v", lo, hi, trueMean)
+	}
+	if hi-lo > 2 {
+		t.Errorf("CI width %v too wide for n=5000, σ=10", hi-lo)
+	}
+}
+
+func TestConfidenceIntervalSumScalesUp(t *testing.T) {
+	gt := NewGroupTable([]AggSpec{{Name: "sum", Kind: Sum}})
+	for i := 0; i < 1000; i++ {
+		gt.Update("g", 2.0)
+	}
+	// Half the data seen: the scale-up point estimate is 2×current.
+	lo, hi, ok := gt.ConfidenceInterval("g", 0, 1.96, 0.5)
+	if !ok {
+		t.Fatal("no CI for SUM")
+	}
+	mid := (lo + hi) / 2
+	if math.Abs(mid-4000) > 1 {
+		t.Errorf("scale-up estimate %v, want 4000", mid)
+	}
+	// Constant values → zero variance → tight interval.
+	if hi-lo > 1e-6 {
+		t.Errorf("constant-value CI width %v, want ~0", hi-lo)
+	}
+}
+
+func TestConfidenceIntervalShrinksWithData(t *testing.T) {
+	r := sim.NewRand(6)
+	gt := NewGroupTable([]AggSpec{{Name: "avg", Kind: Avg}})
+	var prevWidth float64 = math.Inf(1)
+	for _, n := range []int{100, 1000, 10000} {
+		for i := 0; i < n; i++ {
+			gt.Update("g", r.Range(0, 100))
+		}
+		lo, hi, ok := gt.ConfidenceInterval("g", 0, 1.96, 0.5)
+		if !ok {
+			t.Fatal("no CI")
+		}
+		width := hi - lo
+		if width >= prevWidth {
+			t.Errorf("CI width %v did not shrink (was %v)", width, prevWidth)
+		}
+		prevWidth = width
+	}
+}
+
+func TestConfidenceIntervalUnavailableCases(t *testing.T) {
+	gt := NewGroupTable([]AggSpec{{Name: "min", Kind: Min}, {Name: "sum", Kind: Sum}})
+	gt.Update("g", 1, 1)
+	gt.Update("g", 2, 2)
+	if _, _, ok := gt.ConfidenceInterval("g", 0, 1.96, 0.5); ok {
+		t.Error("MIN reported a CI")
+	}
+	if _, _, ok := gt.ConfidenceInterval("missing", 1, 1.96, 0.5); ok {
+		t.Error("missing group reported a CI")
+	}
+	if _, _, ok := gt.ConfidenceInterval("g", 9, 1.96, 0.5); ok {
+		t.Error("out-of-range column reported a CI")
+	}
+	if _, _, ok := gt.ConfidenceInterval("g", 1, 1.96, 0); ok {
+		t.Error("SUM CI with zero fraction")
+	}
+	single := NewGroupTable([]AggSpec{{Name: "avg", Kind: Avg}})
+	single.Update("g", 1)
+	if _, _, ok := single.ConfidenceInterval("g", 0, 1.96, 0.5); ok {
+		t.Error("single observation reported a CI")
+	}
+}
+
+func TestConfidenceIntervalOnRunningQuery(t *testing.T) {
+	records := make([]float64, 400)
+	r := sim.NewRand(7)
+	var total float64
+	for i := range records {
+		records[i] = r.Range(0, 10)
+		total += records[i]
+	}
+	topic := stream.NewTopic("t", records, 2)
+	q := NewRunning("ci", stream.NewConsumer(topic),
+		[]AggSpec{{Name: "sum", Kind: Sum}},
+		Processor[float64]{Process: func(rows []float64, gt *GroupTable) {
+			for _, v := range rows {
+				gt.Update("all", v)
+			}
+		}},
+		CostModel{SecsPerRow: 0.001})
+	q.ProcessBatch(200, 1) // half the data
+	lo, hi, ok := q.ConfidenceInterval("all", 0, 1.96)
+	if !ok {
+		t.Fatal("no CI mid-stream")
+	}
+	if total < lo || total > hi {
+		t.Errorf("CI [%v, %v] misses the true final sum %v", lo, hi, total)
+	}
+}

@@ -1,0 +1,36 @@
+package aqp_test
+
+import (
+	"fmt"
+
+	"rotary/internal/aqp"
+)
+
+// A GroupTable folds rows into running grouped aggregates; the accuracy
+// αc/αf compares an intermediate snapshot against the final answer.
+func ExampleAccuracy() {
+	specs := []aqp.AggSpec{{Name: "revenue", Kind: aqp.Sum}}
+	run := func(values []float64) aqp.Snapshot {
+		gt := aqp.NewGroupTable(specs)
+		for _, v := range values {
+			gt.Update("asia", v)
+		}
+		return gt.Snapshot()
+	}
+	final := run([]float64{10, 20, 30, 40})
+	half := run([]float64{10, 20})
+	fmt.Printf("%.2f %.2f\n", aqp.Accuracy(half, final), aqp.Accuracy(final, final))
+	// Output: 0.30 1.00
+}
+
+// Confidence intervals are the §III-B optional error bounds: for SUM the
+// Horvitz-Thompson scale-up given the processed fraction.
+func ExampleGroupTable_ConfidenceInterval() {
+	gt := aqp.NewGroupTable([]aqp.AggSpec{{Name: "sum", Kind: aqp.Sum}})
+	for i := 0; i < 100; i++ {
+		gt.Update("all", 2)
+	}
+	lo, hi, ok := gt.ConfidenceInterval("all", 0, 1.96, 0.25) // 25% of data seen
+	fmt.Printf("%v estimate=%.0f width=%.0f\n", ok, (lo+hi)/2, hi-lo)
+	// Output: true estimate=800 width=0
+}

@@ -1,0 +1,36 @@
+package aqp
+
+// This file implements the CBO-style memory-consumption estimate from
+// §IV-A: "It predicts the memory consumption of the AQP jobs based on each
+// batch's table and column statistics and query plans". The paper uses
+// Apache Spark's cost-based optimizer; here the same inputs — resident
+// table cardinalities and widths from internal/tpch's statistics, plus the
+// query plan's projected group and per-key-state cardinalities — feed a
+// plain footprint formula.
+
+// MemoryProfile describes a query plan's memory-relevant shape, derived
+// from table/column statistics by the query catalog.
+type MemoryProfile struct {
+	// ResidentRows and ResidentRowBytes describe the hash indexes the plan
+	// builds over dimension/build-side tables before streaming starts.
+	ResidentRows     int64
+	ResidentRowBytes float64
+	// ProjectedGroups and GroupBytes describe the grouped-aggregate state
+	// at full cardinality.
+	ProjectedGroups int64
+	GroupBytes      float64
+	// ProjectedAuxKeys and AuxKeyBytes describe per-key auxiliary state
+	// (Q17's per-part running averages, Q18/Q21's per-order state).
+	ProjectedAuxKeys int64
+	AuxKeyBytes      float64
+}
+
+// EstimateMB is the CBO-style estimate of the plan's peak footprint in MB,
+// including a 25% working-space allowance (batch buffers, merge space)
+// analogous to the padding Rotary applies to minimize OOM risk.
+func (p MemoryProfile) EstimateMB() float64 {
+	bytes := float64(p.ResidentRows)*p.ResidentRowBytes +
+		float64(p.ProjectedGroups)*p.GroupBytes +
+		float64(p.ProjectedAuxKeys)*p.AuxKeyBytes
+	return bytes * 1.25 / (1 << 20)
+}

@@ -1,0 +1,218 @@
+package aqp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"rotary/internal/stream"
+)
+
+// Speedup models the sublinear scaling of a query over hardware threads.
+// Batch cost at t threads is the single-thread cost divided by Speedup(t);
+// the exponent reflects the diminishing parallel efficiency the paper's
+// testbed exhibits (shared scans, aggregation merge).
+func Speedup(threads int) float64 {
+	if threads <= 1 {
+		return 1
+	}
+	return math.Pow(float64(threads), 0.85)
+}
+
+// CostModel charges virtual seconds for batch processing. Heavier TPC-H
+// queries (more joins, more per-row state) carry larger SecsPerRow, which
+// is what makes the light/medium/heavy classes of Table I differ in
+// runtime as well as memory.
+type CostModel struct {
+	// SecsPerRow is the single-thread virtual processing cost per fact row.
+	SecsPerRow float64
+	// FixedPerBatch is a per-batch overhead (scheduling, result merge).
+	FixedPerBatch float64
+}
+
+// BatchCost reports the virtual seconds to process rows fact rows with the
+// given thread allocation.
+func (c CostModel) BatchCost(rows, threads int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return (float64(rows)*c.SecsPerRow + c.FixedPerBatch) / Speedup(threads)
+}
+
+// Processor is the per-query streaming program: a fold over fact-row
+// batches into a GroupTable, plus optional hooks to persist auxiliary
+// per-key state (the Q17/Q18/Q21-style maps) across checkpoints.
+type Processor[T any] struct {
+	// Process folds a batch into the running aggregates.
+	Process func(rows []T, gt *GroupTable)
+	// SaveAux/LoadAux serialize auxiliary state. Nil means stateless.
+	SaveAux func() (json.RawMessage, error)
+	LoadAux func(json.RawMessage) error
+	// AuxBytes reports the auxiliary state's current footprint. Nil means
+	// zero.
+	AuxBytes func() int64
+}
+
+// OnlineQuery is the engine's view of one progressive query, independent
+// of its fact-row type. Rotary-AQP jobs wrap this interface.
+type OnlineQuery interface {
+	// Name is the query identifier (e.g. "q5").
+	Name() string
+	// ProcessBatch pulls up to batchRows fact rows, folds them into the
+	// running aggregates, and returns the rows consumed plus the virtual-
+	// second cost under the given thread allocation. rows == 0 means the
+	// stream is exhausted.
+	ProcessBatch(batchRows, threads int) (rows int, cost float64)
+	// Exhausted reports whether the whole dataset has been processed.
+	Exhausted() bool
+	// Snapshot returns the current intermediate aggregates.
+	Snapshot() Snapshot
+	// Accuracy returns the paper's αc/αf accuracy against the final
+	// answer, or 0 if no ground truth is attached.
+	Accuracy() float64
+	// DataProgress reports the fraction of the dataset consumed.
+	DataProgress() float64
+	// RowsProcessed reports the total fact rows consumed.
+	RowsProcessed() int64
+	// StateMemMB reports the current footprint of the running state
+	// (aggregates + auxiliary maps) in MB.
+	StateMemMB() float64
+	// ConfidenceInterval reports the §III-B optional error bound of one
+	// aggregate cell at confidence z given the current progressive sample.
+	ConfidenceInterval(group string, col int, z float64) (lo, hi float64, ok bool)
+	// Checkpoint serializes the complete job state (stream position,
+	// aggregates, auxiliary state).
+	Checkpoint() ([]byte, error)
+	// Restore replaces the job state with a checkpoint taken from an
+	// identically-constructed query.
+	Restore([]byte) error
+}
+
+// Running is the concrete OnlineQuery over fact-row type T.
+type Running[T any] struct {
+	name     string
+	consumer *stream.Consumer[T]
+	gt       *GroupTable
+	proc     Processor[T]
+	cost     CostModel
+	final    *Snapshot
+	rows     int64
+}
+
+// NewRunning assembles an online query from its parts. The consumer must
+// be exclusive to this query.
+func NewRunning[T any](name string, consumer *stream.Consumer[T], specs []AggSpec, proc Processor[T], cost CostModel) *Running[T] {
+	if proc.Process == nil {
+		panic("aqp: Processor.Process must be set")
+	}
+	return &Running[T]{
+		name:     name,
+		consumer: consumer,
+		gt:       NewGroupTable(specs),
+		proc:     proc,
+		cost:     cost,
+	}
+}
+
+// SetFinal attaches the ground-truth final answer used by Accuracy.
+func (r *Running[T]) SetFinal(final Snapshot) { r.final = &final }
+
+// Name implements OnlineQuery.
+func (r *Running[T]) Name() string { return r.name }
+
+// ProcessBatch implements OnlineQuery.
+func (r *Running[T]) ProcessBatch(batchRows, threads int) (int, float64) {
+	batch, ok := r.consumer.NextBatch(batchRows)
+	if !ok {
+		return 0, 0
+	}
+	r.proc.Process(batch, r.gt)
+	r.rows += int64(len(batch))
+	return len(batch), r.cost.BatchCost(len(batch), threads)
+}
+
+// Exhausted implements OnlineQuery.
+func (r *Running[T]) Exhausted() bool { return r.consumer.Remaining() == 0 }
+
+// Snapshot implements OnlineQuery.
+func (r *Running[T]) Snapshot() Snapshot { return r.gt.Snapshot() }
+
+// Accuracy implements OnlineQuery.
+func (r *Running[T]) Accuracy() float64 {
+	if r.final == nil {
+		return 0
+	}
+	return Accuracy(r.gt.Snapshot(), *r.final)
+}
+
+// DataProgress implements OnlineQuery.
+func (r *Running[T]) DataProgress() float64 { return r.consumer.Progress() }
+
+// RowsProcessed implements OnlineQuery.
+func (r *Running[T]) RowsProcessed() int64 { return r.rows }
+
+// ConfidenceInterval implements OnlineQuery.
+func (r *Running[T]) ConfidenceInterval(group string, col int, z float64) (lo, hi float64, ok bool) {
+	return r.gt.ConfidenceInterval(group, col, z, r.consumer.Progress())
+}
+
+// StateMemMB implements OnlineQuery.
+func (r *Running[T]) StateMemMB() float64 {
+	b := r.gt.StateBytes()
+	if r.proc.AuxBytes != nil {
+		b += r.proc.AuxBytes()
+	}
+	return float64(b) / (1 << 20)
+}
+
+// checkpoint is the serialized form of a Running query.
+type checkpoint struct {
+	Name     string               `json:"name"`
+	Consumer stream.ConsumerState `json:"consumer"`
+	Table    json.RawMessage      `json:"table"`
+	Aux      json.RawMessage      `json:"aux,omitempty"`
+	Rows     int64                `json:"rows"`
+}
+
+// Checkpoint implements OnlineQuery.
+func (r *Running[T]) Checkpoint() ([]byte, error) {
+	tbl, err := json.Marshal(r.gt)
+	if err != nil {
+		return nil, fmt.Errorf("aqp: checkpoint %s: %w", r.name, err)
+	}
+	cp := checkpoint{Name: r.name, Consumer: r.consumer.Offsets(), Table: tbl, Rows: r.rows}
+	if r.proc.SaveAux != nil {
+		aux, err := r.proc.SaveAux()
+		if err != nil {
+			return nil, fmt.Errorf("aqp: checkpoint %s aux: %w", r.name, err)
+		}
+		cp.Aux = aux
+	}
+	return json.Marshal(cp)
+}
+
+// Restore implements OnlineQuery.
+func (r *Running[T]) Restore(data []byte) error {
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("aqp: restore: %w", err)
+	}
+	if cp.Name != r.name {
+		return fmt.Errorf("aqp: restore: checkpoint is for %q, query is %q", cp.Name, r.name)
+	}
+	if err := r.consumer.Seek(cp.Consumer); err != nil {
+		return fmt.Errorf("aqp: restore %s: %w", r.name, err)
+	}
+	gt := &GroupTable{}
+	if err := json.Unmarshal(cp.Table, gt); err != nil {
+		return fmt.Errorf("aqp: restore %s table: %w", r.name, err)
+	}
+	r.gt = gt
+	if cp.Aux != nil && r.proc.LoadAux != nil {
+		if err := r.proc.LoadAux(cp.Aux); err != nil {
+			return fmt.Errorf("aqp: restore %s aux: %w", r.name, err)
+		}
+	}
+	r.rows = cp.Rows
+	return nil
+}

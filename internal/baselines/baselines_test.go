@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"testing"
+
+	"rotary/internal/cluster"
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/dlt"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// buildAQPJobs makes three pending jobs with distinct deadlines and
+// classes via the workload builder.
+func buildAQPJobs(t *testing.T) (*core.AQPContext, map[string]*core.AQPJob) {
+	t.Helper()
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	mk := func(id, query string, cls tpch.Class, acc, deadline float64) *core.AQPJob {
+		j, err := workload.BuildAQPJob(cat, workload.AQPSpec{
+			ID: id, Query: query, Class: cls, Accuracy: acc,
+			DeadlineSecs: deadline, BatchRows: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	jobs := map[string]*core.AQPJob{
+		"late":  mk("late", "q7", tpch.Heavy, 0.8, 3000),
+		"soon":  mk("soon", "q6", tpch.Light, 0.8, 400),
+		"mid":   mk("mid", "q3", tpch.Medium, 0.8, 1500),
+		"heavy": mk("heavy", "q9", tpch.Heavy, 0.9, 2500),
+	}
+	ctx := &core.AQPContext{
+		Now:          0,
+		Pending:      []*core.AQPJob{jobs["late"], jobs["soon"], jobs["mid"], jobs["heavy"]},
+		FreeThreads:  6,
+		TotalThreads: 6,
+		FreeMemMB:    1e6,
+		TotalMemMB:   1e6,
+	}
+	return ctx, jobs
+}
+
+func TestEDFRanksByDeadline(t *testing.T) {
+	ctx, _ := buildAQPJobs(t)
+	grants := EDFAQP{}.Assign(ctx)
+	if len(grants) == 0 {
+		t.Fatal("no grants")
+	}
+	if grants[0].Job.ID() != "soon" {
+		t.Errorf("EDF granted %s first, want soon", grants[0].Job.ID())
+	}
+	// Extras are greedy: the earliest deadline is filled toward the cap.
+	if grants[0].Threads < grants[len(grants)-1].Threads {
+		t.Errorf("EDF extras not concentrated on the top job: %d vs %d",
+			grants[0].Threads, grants[len(grants)-1].Threads)
+	}
+}
+
+func TestRoundRobinOneThreadEach(t *testing.T) {
+	ctx, _ := buildAQPJobs(t)
+	grants := RoundRobinAQP{}.Assign(ctx)
+	if len(grants) != 4 {
+		t.Fatalf("%d grants, want 4", len(grants))
+	}
+	for _, g := range grants {
+		if g.Threads != 1 {
+			t.Errorf("round-robin granted %d threads to %s", g.Threads, g.Job.ID())
+		}
+	}
+}
+
+func TestReLAQSIgnoresMemory(t *testing.T) {
+	ctx, _ := buildAQPJobs(t)
+	ctx.FreeMemMB = 0 // no memory left at all
+	grants := ReLAQS{}.Assign(ctx)
+	if len(grants) == 0 {
+		t.Fatal("ReLAQS must not be blocked by memory — it only schedules cores")
+	}
+	for _, g := range grants {
+		if g.ReserveMemMB != 0 {
+			t.Errorf("ReLAQS reserved %v MB", g.ReserveMemMB)
+		}
+	}
+}
+
+func TestGrantsNeverExceedFreeThreads(t *testing.T) {
+	ctx, _ := buildAQPJobs(t)
+	for _, sched := range []core.AQPScheduler{EDFAQP{}, LAFAQP{}, ReLAQS{}, RoundRobinAQP{}} {
+		total := 0
+		for _, g := range sched.Assign(ctx) {
+			total += g.Threads
+		}
+		if total > ctx.FreeThreads {
+			t.Errorf("%s granted %d threads of %d free", sched.Name(), total, ctx.FreeThreads)
+		}
+	}
+}
+
+func buildDLTJobs(t *testing.T) *core.DLTContext {
+	t.Helper()
+	mk := func(id string, crit criteria.Criteria) *core.DLTJob {
+		trainer, err := dlt.NewJob(dlt.Config{
+			Model: "mobilenet", Dataset: "cifar10", BatchSize: 16,
+			Optimizer: "sgd", LR: 0.01, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := core.NewDLTJob(id, trainer, crit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	run5, _ := criteria.NewRuntime(criteria.Deadline{Value: 5, Unit: criteria.Epochs})
+	run50, _ := criteria.NewRuntime(criteria.Deadline{Value: 50, Unit: criteria.Epochs})
+	convBig, _ := criteria.NewConvergence("ACC", 0.05, criteria.Deadline{Value: 30, Unit: criteria.Epochs})
+	convSmall, _ := criteria.NewConvergence("ACC", 0.0001, criteria.Deadline{Value: 30, Unit: criteria.Epochs})
+	accLow, _ := criteria.NewAccuracy("ACC", 0.70, criteria.Deadline{Value: 30, Unit: criteria.Epochs})
+	accHigh, _ := criteria.NewAccuracy("ACC", 0.92, criteria.Deadline{Value: 30, Unit: criteria.Epochs})
+	return &core.DLTContext{
+		Now: 0,
+		Pending: []*core.DLTJob{
+			mk("run50", run50), mk("run5", run5),
+			mk("convSmall", convSmall), mk("convBig", convBig),
+			mk("accHigh", accHigh), mk("accLow", accLow),
+		},
+		FreeGPUs: []cluster.GPU{{ID: 0, MemMB: 8192}},
+	}
+}
+
+func TestSRFPlacesShortestRuntimeFirst(t *testing.T) {
+	ctx := buildDLTJobs(t)
+	p := SRF{}.Place(ctx)
+	if len(p) != 1 || p[0].Job.ID() != "run5" {
+		t.Fatalf("SRF placed %v, want run5", idsOf(p))
+	}
+}
+
+func TestBCFPlacesBiggestConvergenceFirst(t *testing.T) {
+	ctx := buildDLTJobs(t)
+	p := BCF{}.Place(ctx)
+	if len(p) != 1 || p[0].Job.ID() != "convBig" {
+		t.Fatalf("BCF placed %v, want convBig", idsOf(p))
+	}
+}
+
+func TestLAFDLTPlacesLowestAccuracyFirst(t *testing.T) {
+	ctx := buildDLTJobs(t)
+	p := LAFDLT{}.Place(ctx)
+	if len(p) != 1 || p[0].Job.ID() != "accLow" {
+		t.Fatalf("LAF placed %v, want accLow", idsOf(p))
+	}
+}
+
+func TestDLTBaselinesRespectDeviceMemory(t *testing.T) {
+	ctx := buildDLTJobs(t)
+	ctx.FreeGPUs = []cluster.GPU{{ID: 0, MemMB: 1}} // nothing fits
+	for _, sched := range []core.DLTScheduler{SRF{}, BCF{}, LAFDLT{}} {
+		if p := sched.Place(ctx); len(p) != 0 {
+			t.Errorf("%s placed %v on a 1 MB device", sched.Name(), idsOf(p))
+		}
+	}
+}
+
+func idsOf(ps []core.DLTPlacement) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Job.ID()
+	}
+	return out
+}
+
+func TestRandomRotaryUsesRandomEstimates(t *testing.T) {
+	sched := RandomRotaryAQP(sim.NewRand(3))
+	ctx, _ := buildAQPJobs(t)
+	if grants := sched.Assign(ctx); len(grants) == 0 {
+		t.Fatal("random-estimator Rotary produced no grants")
+	}
+}

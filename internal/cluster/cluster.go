@@ -1,0 +1,160 @@
+// Package cluster models the computing resources Rotary arbitrates.
+//
+// The paper's problem statement (§III-D) models resources as M possibly
+// heterogeneous units that "can only process one job at a time and are not
+// sub-dividable"; a job "holds on to a particular resource for at least an
+// epoch". Rotary-AQP arbitrates CPU hardware threads under a shared memory
+// budget (Algorithm 2); Rotary-DLT arbitrates whole GPUs, each with its own
+// memory (Algorithm 3). Both substrates are modeled here, with an
+// assignment ledger whose conservation invariants are property-tested.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInsufficient is returned when an allocation request cannot be
+// satisfied by the remaining resources.
+var ErrInsufficient = errors.New("cluster: insufficient resources")
+
+// CPUPool models the Rotary-AQP resource substrate: D interchangeable
+// hardware threads plus a shared memory budget in megabytes. The paper's
+// testbed exposed 20 physical cores and 192 GB to the AQP system.
+type CPUPool struct {
+	totalThreads int
+	totalMemMB   float64
+	freeThreads  int
+	freeMemMB    float64
+	held         map[string]cpuGrant
+}
+
+type cpuGrant struct {
+	threads int
+	memMB   float64
+}
+
+// NewCPUPool returns a pool with the given thread count and memory budget.
+func NewCPUPool(threads int, memMB float64) *CPUPool {
+	if threads < 0 || memMB < 0 {
+		panic("cluster: negative pool size")
+	}
+	return &CPUPool{
+		totalThreads: threads,
+		totalMemMB:   memMB,
+		freeThreads:  threads,
+		freeMemMB:    memMB,
+		held:         make(map[string]cpuGrant),
+	}
+}
+
+// TotalThreads reports the pool's thread capacity.
+func (p *CPUPool) TotalThreads() int { return p.totalThreads }
+
+// TotalMemMB reports the pool's memory capacity in MB.
+func (p *CPUPool) TotalMemMB() float64 { return p.totalMemMB }
+
+// FreeThreads reports the currently unallocated thread count.
+func (p *CPUPool) FreeThreads() int { return p.freeThreads }
+
+// FreeMemMB reports the currently unallocated memory in MB.
+func (p *CPUPool) FreeMemMB() float64 { return p.freeMemMB }
+
+// Holding reports the threads and memory currently granted to jobID.
+func (p *CPUPool) Holding(jobID string) (threads int, memMB float64) {
+	g := p.held[jobID]
+	return g.threads, g.memMB
+}
+
+// Allocate grants threads and memMB to jobID. A job may hold at most one
+// grant; allocating for a job that already holds resources is an error
+// (grow with Grow instead, matching Algorithm 2's "allocate extra 1
+// hardware thread" step).
+func (p *CPUPool) Allocate(jobID string, threads int, memMB float64) error {
+	if threads <= 0 {
+		return fmt.Errorf("cluster: allocate %d threads for %s: thread count must be positive", threads, jobID)
+	}
+	if memMB < 0 {
+		return fmt.Errorf("cluster: allocate negative memory for %s", jobID)
+	}
+	if _, ok := p.held[jobID]; ok {
+		return fmt.Errorf("cluster: job %s already holds resources", jobID)
+	}
+	if threads > p.freeThreads || memMB > p.freeMemMB {
+		return ErrInsufficient
+	}
+	p.freeThreads -= threads
+	p.freeMemMB -= memMB
+	p.held[jobID] = cpuGrant{threads: threads, memMB: memMB}
+	return nil
+}
+
+// Grow adds extra threads to an existing grant, implementing the second
+// phase of Algorithm 2 where the highest-priority jobs receive additional
+// hardware threads while D ≠ 0.
+func (p *CPUPool) Grow(jobID string, extraThreads int) error {
+	g, ok := p.held[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %s holds no resources to grow", jobID)
+	}
+	if extraThreads <= 0 {
+		return fmt.Errorf("cluster: grow by %d threads", extraThreads)
+	}
+	if extraThreads > p.freeThreads {
+		return ErrInsufficient
+	}
+	p.freeThreads -= extraThreads
+	g.threads += extraThreads
+	p.held[jobID] = g
+	return nil
+}
+
+// Release returns all resources held by jobID to the pool. Releasing a job
+// that holds nothing is a no-op, so epoch-completion handlers can release
+// unconditionally.
+func (p *CPUPool) Release(jobID string) {
+	g, ok := p.held[jobID]
+	if !ok {
+		return
+	}
+	p.freeThreads += g.threads
+	p.freeMemMB += g.memMB
+	delete(p.held, jobID)
+}
+
+// HeldJobs returns the IDs of jobs currently holding resources, sorted for
+// deterministic iteration.
+func (p *CPUPool) HeldJobs() []string {
+	ids := make([]string, 0, len(p.held))
+	for id := range p.held {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Check verifies the ledger's conservation invariants, returning an error
+// describing the first violation. Tests call Check after every mutation
+// sequence.
+func (p *CPUPool) Check() error {
+	threads := p.freeThreads
+	mem := p.freeMemMB
+	for id, g := range p.held {
+		if g.threads <= 0 {
+			return fmt.Errorf("cluster: job %s holds %d threads", id, g.threads)
+		}
+		if g.memMB < 0 {
+			return fmt.Errorf("cluster: job %s holds negative memory", id)
+		}
+		threads += g.threads
+		mem += g.memMB
+	}
+	if threads != p.totalThreads {
+		return fmt.Errorf("cluster: thread leak: %d accounted, %d total", threads, p.totalThreads)
+	}
+	if diff := mem - p.totalMemMB; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("cluster: memory leak: %.3f accounted, %.3f total", mem, p.totalMemMB)
+	}
+	return nil
+}

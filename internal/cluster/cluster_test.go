@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rotary/internal/sim"
+)
+
+func TestCPUPoolAllocateReleaseConservation(t *testing.T) {
+	p := NewCPUPool(8, 1000)
+	if err := p.Allocate("a", 3, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate("b", 5, 600); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeThreads() != 0 || p.FreeMemMB() != 0 {
+		t.Fatalf("free=%d/%v, want 0/0", p.FreeThreads(), p.FreeMemMB())
+	}
+	if err := p.Allocate("c", 1, 0); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("overallocation error = %v, want ErrInsufficient", err)
+	}
+	p.Release("a")
+	if p.FreeThreads() != 3 || p.FreeMemMB() != 400 {
+		t.Fatalf("free=%d/%v after release, want 3/400", p.FreeThreads(), p.FreeMemMB())
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUPoolGrow(t *testing.T) {
+	p := NewCPUPool(4, 100)
+	if err := p.Grow("ghost", 1); err == nil {
+		t.Error("grow on unknown job succeeded")
+	}
+	if err := p.Allocate("a", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Grow("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	th, mem := p.Holding("a")
+	if th != 3 || mem != 10 {
+		t.Fatalf("holding %d/%v, want 3/10", th, mem)
+	}
+	if err := p.Grow("a", 5); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("grow past capacity = %v, want ErrInsufficient", err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUPoolRejectsDoubleAllocateAndBadArgs(t *testing.T) {
+	p := NewCPUPool(4, 100)
+	if err := p.Allocate("a", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate("a", 1, 10); err == nil {
+		t.Error("double allocate succeeded")
+	}
+	if err := p.Allocate("b", 0, 10); err == nil {
+		t.Error("zero-thread allocate succeeded")
+	}
+	if err := p.Allocate("b", 1, -5); err == nil {
+		t.Error("negative-memory allocate succeeded")
+	}
+	p.Release("nobody") // must be a no-op
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any random sequence of allocate/grow/release operations
+// preserves the ledger's conservation invariant.
+func TestCPUPoolPropertyConservation(t *testing.T) {
+	check := func(seed uint64, steps uint8) bool {
+		r := sim.NewRand(seed)
+		p := NewCPUPool(10, 500)
+		ids := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < int(steps); i++ {
+			id := ids[r.IntN(len(ids))]
+			switch r.IntN(3) {
+			case 0:
+				_ = p.Allocate(id, 1+r.IntN(4), float64(r.IntN(200)))
+			case 1:
+				_ = p.Grow(id, 1+r.IntN(3))
+			case 2:
+				p.Release(id)
+			}
+			if err := p.Check(); err != nil {
+				return false
+			}
+		}
+		for _, id := range ids {
+			p.Release(id)
+		}
+		return p.FreeThreads() == 10 && p.FreeMemMB() == 500 && p.Check() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPUClusterAssignReleaseInvariants(t *testing.T) {
+	c := NewUniformGPUCluster(2, 8192)
+	if c.Size() != 2 || len(c.FreeDevices()) != 2 {
+		t.Fatal("fresh cluster not fully free")
+	}
+	if err := c.Assign("j1", 0, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign("j2", 0, 4000); err == nil {
+		t.Error("double-booked device")
+	}
+	if err := c.Assign("j1", 1, 4000); err == nil {
+		t.Error("job placed twice")
+	}
+	if err := c.Assign("j3", 1, 9000); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("oversized placement error = %v, want ErrInsufficient", err)
+	}
+	if err := c.Assign("j3", 7, 10); err == nil {
+		t.Error("assigned to unknown device")
+	}
+	if dev, ok := c.DeviceOf("j1"); !ok || dev != 0 {
+		t.Errorf("DeviceOf(j1) = %d,%v", dev, ok)
+	}
+	c.Release("j1")
+	if _, ok := c.DeviceOf("j1"); ok {
+		t.Error("job still placed after release")
+	}
+	if len(c.FreeDevices()) != 2 {
+		t.Error("device not freed")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPUClusterPropertyLedger(t *testing.T) {
+	check := func(seed uint64, steps uint8) bool {
+		r := sim.NewRand(seed)
+		c := NewUniformGPUCluster(3, 1000)
+		ids := []string{"a", "b", "c", "d"}
+		for i := 0; i < int(steps); i++ {
+			id := ids[r.IntN(len(ids))]
+			if r.IntN(2) == 0 {
+				_ = c.Assign(id, r.IntN(3), float64(r.IntN(1200)))
+			} else {
+				c.Release(id)
+			}
+			if err := c.Check(); err != nil {
+				return false
+			}
+			if len(c.FreeDevices()) > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPUClusterDuplicateIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate GPU IDs did not panic")
+		}
+	}()
+	NewGPUCluster([]GPU{{ID: 1, MemMB: 1}, {ID: 1, MemMB: 2}})
+}
+
+func TestHeldJobsSorted(t *testing.T) {
+	p := NewCPUPool(10, 1000)
+	for _, id := range []string{"z", "m", "a"} {
+		if err := p.Allocate(id, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.HeldJobs()
+	want := []string{"a", "m", "z"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("HeldJobs() = %v, want %v", got, want)
+	}
+}

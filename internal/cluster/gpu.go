@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GPU is a single accelerator device. The paper's DLT testbed has 4× RTX
+// 2080 with 8 GB of graphics memory each; Algorithm 3 takes "Total GPU D,
+// GPU memory {M_1, …, M_D}" and admits heterogeneous devices.
+type GPU struct {
+	ID    int
+	MemMB float64
+}
+
+// GPUCluster models the Rotary-DLT resource substrate: whole devices that
+// run one job at a time (the paper fits shrunk model variants on a single
+// GPU, so there is no multi-GPU job in the evaluation).
+type GPUCluster struct {
+	devices []GPU
+	busy    map[int]string // device ID -> job ID
+	placed  map[string]int // job ID -> device ID
+}
+
+// NewGPUCluster returns a cluster with the given devices.
+func NewGPUCluster(devices []GPU) *GPUCluster {
+	ds := make([]GPU, len(devices))
+	copy(ds, devices)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].ID < ds[j].ID })
+	for i := 1; i < len(ds); i++ {
+		if ds[i].ID == ds[i-1].ID {
+			panic(fmt.Sprintf("cluster: duplicate GPU ID %d", ds[i].ID))
+		}
+	}
+	return &GPUCluster{
+		devices: ds,
+		busy:    make(map[int]string),
+		placed:  make(map[string]int),
+	}
+}
+
+// NewUniformGPUCluster returns n identical devices with memMB each,
+// matching the paper's 4× 8 GB testbed when called as (4, 8192).
+func NewUniformGPUCluster(n int, memMB float64) *GPUCluster {
+	devices := make([]GPU, n)
+	for i := range devices {
+		devices[i] = GPU{ID: i, MemMB: memMB}
+	}
+	return NewGPUCluster(devices)
+}
+
+// Devices returns a copy of the device list in ID order.
+func (c *GPUCluster) Devices() []GPU {
+	out := make([]GPU, len(c.devices))
+	copy(out, c.devices)
+	return out
+}
+
+// Size reports the number of devices.
+func (c *GPUCluster) Size() int { return len(c.devices) }
+
+// FreeDevices returns the idle devices in ID order.
+func (c *GPUCluster) FreeDevices() []GPU {
+	var out []GPU
+	for _, d := range c.devices {
+		if _, taken := c.busy[d.ID]; !taken {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Assign places jobID on the device. It fails if the device is unknown or
+// busy, if the job is already placed, or if memMB exceeds the device
+// memory — the check TME exists to make pass ("launched on a target GPU
+// with sufficient memory").
+func (c *GPUCluster) Assign(jobID string, deviceID int, memMB float64) error {
+	var dev *GPU
+	for i := range c.devices {
+		if c.devices[i].ID == deviceID {
+			dev = &c.devices[i]
+			break
+		}
+	}
+	if dev == nil {
+		return fmt.Errorf("cluster: unknown GPU %d", deviceID)
+	}
+	if holder, taken := c.busy[deviceID]; taken {
+		return fmt.Errorf("cluster: GPU %d busy with job %s", deviceID, holder)
+	}
+	if _, placed := c.placed[jobID]; placed {
+		return fmt.Errorf("cluster: job %s already placed", jobID)
+	}
+	if memMB > dev.MemMB {
+		return fmt.Errorf("cluster: job %s needs %.0f MB but GPU %d has %.0f MB: %w",
+			jobID, memMB, deviceID, dev.MemMB, ErrInsufficient)
+	}
+	c.busy[deviceID] = jobID
+	c.placed[jobID] = deviceID
+	return nil
+}
+
+// Release frees the device held by jobID, if any.
+func (c *GPUCluster) Release(jobID string) {
+	dev, ok := c.placed[jobID]
+	if !ok {
+		return
+	}
+	delete(c.placed, jobID)
+	delete(c.busy, dev)
+}
+
+// DeviceOf reports the device jobID is placed on.
+func (c *GPUCluster) DeviceOf(jobID string) (int, bool) {
+	d, ok := c.placed[jobID]
+	return d, ok
+}
+
+// Check verifies the placement ledger's invariants.
+func (c *GPUCluster) Check() error {
+	if len(c.busy) != len(c.placed) {
+		return fmt.Errorf("cluster: busy/placed size mismatch %d vs %d", len(c.busy), len(c.placed))
+	}
+	for dev, job := range c.busy {
+		if got, ok := c.placed[job]; !ok || got != dev {
+			return fmt.Errorf("cluster: GPU %d claims job %s but job maps to %d (ok=%v)", dev, job, got, ok)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CheckpointStore persists the state of paused (deferred) jobs, realizing
+// §VI's implementation choice: "When a job is paused, its intermediate
+// states and results should be persisted either in memory or disk so that
+// it can be resumed. Persisting AQP jobs in memory is more efficient …
+// but may quickly saturate the memory … Therefore, we checkpoint the AQP
+// jobs in disks."
+//
+// The store implements both sides of that trade-off as a two-tier
+// materialization policy: up to MemorySlots recently paused jobs stay
+// resident (resuming them is nearly free), older checkpoints spill to
+// disk (resuming replays the file and pays the I/O cost the executor
+// charges in virtual time). MemorySlots = 0 is the paper's disk-only
+// configuration.
+type CheckpointStore struct {
+	mu  sync.Mutex
+	dir string
+
+	memorySlots int
+	memory      map[string][]byte
+	lru         *list.List               // front = most recent
+	lruIdx      map[string]*list.Element // id -> element (value: id)
+
+	memHits, diskHits, writes int
+	diskBytes                 int64
+}
+
+// NewCheckpointStore creates a store spilling to dir, keeping up to
+// memorySlots checkpoints resident. The directory is created if missing.
+func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	if memorySlots < 0 {
+		memorySlots = 0
+	}
+	return &CheckpointStore{
+		dir:         dir,
+		memorySlots: memorySlots,
+		memory:      make(map[string][]byte),
+		lru:         list.New(),
+		lruIdx:      make(map[string]*list.Element),
+	}, nil
+}
+
+func (s *CheckpointStore) path(id string) string {
+	return filepath.Join(s.dir, id+".ckpt")
+}
+
+// Save persists a job's checkpoint. The newest checkpoints stay in the
+// memory tier; the eviction spills to disk.
+func (s *CheckpointStore) Save(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	if s.memorySlots > 0 {
+		if el, ok := s.lruIdx[id]; ok {
+			s.lru.MoveToFront(el)
+			s.memory[id] = data
+			return nil
+		}
+		s.lruIdx[id] = s.lru.PushFront(id)
+		s.memory[id] = data
+		if s.lru.Len() > s.memorySlots {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			evicted := oldest.Value.(string)
+			delete(s.lruIdx, evicted)
+			spill := s.memory[evicted]
+			delete(s.memory, evicted)
+			if err := s.writeFile(evicted, spill); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.writeFile(id, data)
+}
+
+func (s *CheckpointStore) writeFile(id string, data []byte) error {
+	s.diskBytes += int64(len(data))
+	if err := os.WriteFile(s.path(id), data, 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
+	}
+	return nil
+}
+
+// Load retrieves a checkpoint, reporting whether it was served from the
+// memory tier (fromMemory), which the executor translates into a cheap
+// resume instead of a disk replay.
+func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.memory[id]; ok {
+		s.memHits++
+		s.lru.MoveToFront(s.lruIdx[id])
+		return d, true, nil
+	}
+	d, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, err)
+	}
+	s.diskHits++
+	return d, false, nil
+}
+
+// Remove deletes a terminal job's checkpoint from both tiers.
+func (s *CheckpointStore) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.lruIdx[id]; ok {
+		s.lru.Remove(el)
+		delete(s.lruIdx, id)
+		delete(s.memory, id)
+	}
+	_ = os.Remove(s.path(id))
+}
+
+// Stats reports the store's activity: checkpoint writes, memory-tier and
+// disk-tier resumes, and total bytes spilled to disk.
+func (s *CheckpointStore) Stats() (writes, memHits, diskHits int, diskBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes, s.memHits, s.diskHits, s.diskBytes
+}

@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rotary/internal/core"
+	"rotary/internal/tpch"
+)
+
+func TestCheckpointStoreTiers(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} { // "a" spills to disk
+		if err := store.Save(id, []byte("state-"+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, fromMem, err := store.Load("c"); err != nil || !fromMem || string(data) != "state-c" {
+		t.Fatalf("load c: %q mem=%v err=%v", data, fromMem, err)
+	}
+	if data, fromMem, err := store.Load("a"); err != nil || fromMem || string(data) != "state-a" {
+		t.Fatalf("load a: %q mem=%v err=%v (want disk tier)", data, fromMem, err)
+	}
+	writes, memHits, diskHits, diskBytes := store.Stats()
+	if writes != 3 || memHits != 1 || diskHits != 1 || diskBytes == 0 {
+		t.Fatalf("stats = %d %d %d %d", writes, memHits, diskHits, diskBytes)
+	}
+	store.Remove("a")
+	if _, _, err := store.Load("a"); err == nil {
+		t.Error("loaded a removed checkpoint")
+	}
+}
+
+func TestCheckpointStoreDiskOnly(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, fromMem, err := store.Load("x"); err != nil || fromMem {
+		t.Fatalf("disk-only store served from memory (err=%v)", err)
+	}
+}
+
+func TestCheckpointStoreUpdateSameID(t *testing.T) {
+	store, err := core.NewCheckpointStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("j", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("j", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := store.Load("j")
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("load = %q, %v", data, err)
+	}
+}
+
+// A contended workload with real persistence: deferred jobs' states are
+// actually serialized, dropped, and restored, and the run must produce
+// the same outcomes as an identical run without persistence — proving the
+// checkpoint round trip is lossless under arbitration.
+func TestExecutorWithRealCheckpointsMatchesInMemory(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	run := func(store *core.CheckpointStore) []*core.AQPJob {
+		cfg := core.DefaultAQPExecConfig(1e6)
+		cfg.Threads = 1 // force constant deferral between two jobs
+		cfg.Store = store
+		// Zero the virtual resume cost so both runs share identical
+		// timing and differ only in whether state is really persisted.
+		cfg.CheckpointBaseSecs = 0
+		cfg.CheckpointSecsPerMB = 0
+		exec := core.NewAQPExecutor(cfg, fifoAQP{reserve: true}, nil)
+		a := buildJob(t, cat, "a", "q1", 0.9, 1e6)
+		b := buildJob(t, cat, "b", "q12", 0.9, 1e6)
+		exec.Submit(a, 0)
+		exec.Submit(b, 0)
+		if err := exec.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return exec.Jobs()
+	}
+	store, err := core.NewCheckpointStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore := run(store)
+	inMemory := run(nil)
+	writes, memHits, diskHits, _ := store.Stats()
+	if writes == 0 || memHits+diskHits == 0 {
+		t.Fatalf("store unused: writes=%d resumes=%d", writes, memHits+diskHits)
+	}
+	for i := range withStore {
+		a, b := withStore[i], inMemory[i]
+		if a.Status() != b.Status() || a.Epochs() != b.Epochs() ||
+			a.StopAccuracy() != b.StopAccuracy() || a.EndTime() != b.EndTime() {
+			t.Errorf("job %s diverged with persistence: %v/%d/%v/%v vs %v/%d/%v/%v",
+				a.ID(), a.Status(), a.Epochs(), a.StopAccuracy(), a.EndTime(),
+				b.Status(), b.Epochs(), b.StopAccuracy(), b.EndTime())
+		}
+	}
+}
+
+// Memory-tier resumes must be cheaper in virtual time than disk replays.
+func TestMemoryTierResumesAreCheaper(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	run := func(slots int) float64 {
+		store, err := core.NewCheckpointStore(t.TempDir(), slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultAQPExecConfig(1e6)
+		cfg.Threads = 1
+		cfg.Store = store
+		cfg.CheckpointBaseSecs = 10 // make replay cost visible
+		exec := core.NewAQPExecutor(cfg, fifoAQP{reserve: true}, nil)
+		exec.Submit(buildJob(t, cat, "a", "q1", 0.9, 1e6), 0)
+		exec.Submit(buildJob(t, cat, "b", "q12", 0.9, 1e6), 0)
+		if err := exec.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return exec.Engine().Now().Seconds()
+	}
+	memTier := run(4) // both jobs stay resident
+	diskOnly := run(0)
+	if memTier >= diskOnly {
+		t.Errorf("memory-tier makespan %.0fs not below disk-only %.0fs", memTier, diskOnly)
+	}
+}
+
+// A corrupted persisted checkpoint must surface as a run error, not as
+// silently wrong results.
+func TestCorruptCheckpointSurfacesError(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	dir := t.TempDir()
+	store, err := core.NewCheckpointStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultAQPExecConfig(1e6)
+	cfg.Threads = 1
+	cfg.Store = store
+	exec := core.NewAQPExecutor(cfg, corruptingFifo{dir: dir}, nil)
+	exec.Submit(buildJob(t, cat, "a", "q1", 0.9, 1e6), 0)
+	exec.Submit(buildJob(t, cat, "b", "q12", 0.9, 1e6), 0)
+	if err := exec.Run(); err == nil {
+		t.Fatal("corrupted checkpoint went unnoticed")
+	}
+}
+
+// corruptingFifo behaves like fifoAQP but trashes every persisted
+// checkpoint before it can be resumed.
+type corruptingFifo struct{ dir string }
+
+func (c corruptingFifo) Name() string { return "corruptor" }
+
+func (c corruptingFifo) Assign(ctx *core.AQPContext) []core.AQPGrant {
+	entries, _ := os.ReadDir(c.dir)
+	for _, e := range entries {
+		_ = os.WriteFile(filepath.Join(c.dir, e.Name()), []byte("{broken"), 0o644)
+	}
+	return fifoAQP{reserve: true}.Assign(ctx)
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rotary/internal/aqp"
+	"rotary/internal/cluster"
+	"rotary/internal/estimate"
+	"rotary/internal/sim"
+)
+
+// AQPExecConfig sizes the multi-tenant AQP system. The paper's testbed
+// exposes 20 physical cores and 192 GB to Spark.
+type AQPExecConfig struct {
+	Threads int
+	MemMB   float64
+	// CheckpointSecsPerMB is the disk checkpoint+restore cost per MB of
+	// job state; deferring a job to disk and resuming it later pays
+	// 2 × (CheckpointBaseSecs + state·CheckpointSecsPerMB).
+	CheckpointSecsPerMB float64
+	// CheckpointBaseSecs is the fixed checkpoint/restore latency.
+	CheckpointBaseSecs float64
+	// RecordHistory appends completed jobs to the repository so later
+	// workloads estimate from them.
+	RecordHistory bool
+	// Store, when set, actually persists deferred jobs' state (stream
+	// offsets + aggregate tables) and restores it on resume — §VI's disk
+	// checkpointing with an optional memory materialization tier. Resumes
+	// served from the memory tier skip the virtual disk-replay cost.
+	Store *CheckpointStore
+	// Tracer, when set, records the arbitration timeline.
+	Tracer *Tracer
+}
+
+// DefaultAQPExecConfig mirrors the paper's 20-thread server, scaled to a
+// memory budget appropriate for the chosen dataset scale factor.
+func DefaultAQPExecConfig(memMB float64) AQPExecConfig {
+	return AQPExecConfig{
+		Threads:             20,
+		MemMB:               memMB,
+		CheckpointSecsPerMB: 0.02,
+		CheckpointBaseSecs:  1.0,
+		RecordHistory:       true,
+	}
+}
+
+// AQPExecutor drives a workload of AQP jobs through a scheduling policy
+// over virtual time: Algorithm 1's loop realized as a discrete-event
+// program. It owns the thread/memory pool, applies grants, charges epoch
+// costs (including checkpoint overheads and memory-oversubscription
+// pressure), observes per-epoch state, and stops jobs per the shared
+// multi-tenant system rules (estimated attainment, envelope convergence,
+// deadline expiry, data exhaustion).
+type AQPExecutor struct {
+	eng   *sim.Engine
+	pool  *cluster.CPUPool
+	sched AQPScheduler
+	repo  *estimate.Repository
+	cfg   AQPExecConfig
+
+	jobs    []*AQPJob
+	pending []*AQPJob
+	running map[string]*AQPJob
+
+	runningEstMem float64
+	arbPending    bool
+	terminalCount int
+	storeErr      error
+
+	// ownsEngine marks an executor with a private engine (it may Stop the
+	// engine when its workload completes); onDone notifies a composing
+	// driver (the unified executor) instead.
+	ownsEngine bool
+	onDone     func()
+}
+
+// NewAQPExecutor builds an executor over a fresh engine and pool.
+func NewAQPExecutor(cfg AQPExecConfig, sched AQPScheduler, repo *estimate.Repository) *AQPExecutor {
+	e := NewAQPExecutorOn(sim.New(), cfg, sched, repo)
+	e.ownsEngine = true
+	return e
+}
+
+// NewAQPExecutorOn builds an executor over an existing engine, so that
+// multiple executors (the unified AQP+DLT system of §VI) share one
+// virtual clock.
+func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, repo *estimate.Repository) *AQPExecutor {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 20
+	}
+	if cfg.MemMB <= 0 {
+		cfg.MemMB = 8192
+	}
+	if repo == nil {
+		repo = estimate.NewRepository()
+	}
+	return &AQPExecutor{
+		eng:     eng,
+		pool:    cluster.NewCPUPool(cfg.Threads, cfg.MemMB),
+		sched:   sched,
+		repo:    repo,
+		cfg:     cfg,
+		running: make(map[string]*AQPJob),
+	}
+}
+
+// Engine exposes the virtual clock (tests and metric snapshots use it).
+func (e *AQPExecutor) Engine() *sim.Engine { return e.eng }
+
+// Jobs returns every submitted job.
+func (e *AQPExecutor) Jobs() []*AQPJob { return e.jobs }
+
+// Submit schedules a job's arrival at the given virtual time.
+func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
+	e.jobs = append(e.jobs, j)
+	e.eng.ScheduleAt(at, func() {
+		j.arrival = e.eng.Now()
+		j.arrived = true
+		j.status = StatusPending
+		e.pending = append(e.pending, j)
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
+		// Deadline watchdog: a job still waiting in the queue when its
+		// deadline passes is terminated right there, not at some later
+		// epoch boundary.
+		e.eng.Schedule(j.DeadlineSecs(), func() {
+			if j.status == StatusPending {
+				e.removePending(j)
+				e.finishJob(j, StatusExpired)
+				e.scheduleArbitrate()
+			}
+		})
+		e.scheduleArbitrate()
+	})
+}
+
+// Run drives the simulation until every submitted job is terminal (or no
+// events remain, which means the workload deadlocked — reported as an
+// error).
+func (e *AQPExecutor) Run() error {
+	e.eng.Run()
+	if e.storeErr != nil {
+		return e.storeErr
+	}
+	if e.terminalCount != len(e.jobs) {
+		return fmt.Errorf("core: %d of %d AQP jobs did not terminate", len(e.jobs)-e.terminalCount, len(e.jobs))
+	}
+	return nil
+}
+
+// scheduleArbitrate coalesces all same-instant events (arrivals, epoch
+// completions) into one arbitration decision, so the policy sees the
+// complete queue state of the instant.
+func (e *AQPExecutor) scheduleArbitrate() {
+	if e.arbPending {
+		return
+	}
+	e.arbPending = true
+	e.eng.Schedule(0, func() {
+		e.arbPending = false
+		e.arbitrate()
+	})
+}
+
+// arbitrate invokes the policy over the current queue state and applies
+// its grants.
+func (e *AQPExecutor) arbitrate() {
+	if len(e.pending) == 0 || e.pool.FreeThreads() == 0 {
+		return
+	}
+	ctx := &AQPContext{
+		Now:          e.eng.Now(),
+		Pending:      append([]*AQPJob(nil), e.pending...),
+		Running:      e.runningJobs(),
+		FreeThreads:  e.pool.FreeThreads(),
+		TotalThreads: e.pool.TotalThreads(),
+		FreeMemMB:    e.pool.FreeMemMB(),
+		TotalMemMB:   e.pool.TotalMemMB(),
+	}
+	for _, g := range e.sched.Assign(ctx) {
+		e.startEpoch(g)
+	}
+}
+
+func (e *AQPExecutor) runningJobs() []*AQPJob {
+	out := make([]*AQPJob, 0, len(e.running))
+	for _, j := range e.running {
+		out = append(out, j)
+	}
+	return out
+}
+
+// startEpoch applies one grant: books resources, charges resume overhead
+// if the job was checkpointed, processes the running epoch's batches, and
+// schedules the epoch-completion event.
+func (e *AQPExecutor) startEpoch(g AQPGrant) {
+	j := g.Job
+	if j.status.Terminal() || e.running[j.ID()] != nil {
+		return
+	}
+	if err := e.pool.Allocate(j.ID(), g.Threads, g.ReserveMemMB); err != nil {
+		return // raced against another grant this round; stay pending
+	}
+	e.removePending(j)
+	j.status = StatusRunning
+	e.running[j.ID()] = j
+	e.runningEstMem += j.EstMemMB()
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceGrant, Job: j.ID(), Threads: g.Threads})
+
+	// Memory-oversubscription pressure: if the running jobs' true
+	// footprints exceed the pool, everything pays a thrashing factor.
+	// Memory-aware policies reserve estimates and so self-limit to ≤ 1.
+	// The factor is superlinear (paging thrash does not conserve
+	// throughput), so oversubscribing is strictly worse than serializing.
+	pressure := e.runningEstMem / e.pool.TotalMemMB()
+	if pressure < 1 {
+		pressure = 1
+	} else {
+		pressure = math.Pow(pressure, 1.5)
+	}
+
+	var epochSecs float64
+	// Resuming a job deferred at an earlier instant replays its disk
+	// checkpoint; a job re-granted at the very moment it released keeps
+	// its state hot (§III-C's third advantage). With a CheckpointStore
+	// configured the replay is real: the in-memory state is discarded and
+	// reconstructed from the persisted bytes, and resumes served from the
+	// store's memory tier skip the disk-replay cost.
+	if j.everRan && j.lastRelease != e.eng.Now() {
+		state := j.query.StateMemMB()
+		cost := 2 * (e.cfg.CheckpointBaseSecs + state*e.cfg.CheckpointSecsPerMB)
+		if e.cfg.Store != nil {
+			data, fromMemory, err := e.cfg.Store.Load(j.ID())
+			if err == nil {
+				err = j.query.Restore(data)
+			}
+			if err != nil {
+				e.storeErr = fmt.Errorf("core: resume %s: %w", j.ID(), err)
+			}
+			if fromMemory {
+				cost = 0.1 * e.cfg.CheckpointBaseSecs
+			}
+			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
+				Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
+		} else {
+			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
+		}
+		epochSecs += cost
+	}
+	var workSecs float64
+	for b := 0; b < j.epochBatches; b++ {
+		rows, cost := j.query.ProcessBatch(j.batchRows, g.Threads)
+		workSecs += cost
+		if rows == 0 {
+			break
+		}
+	}
+	epochSecs = (epochSecs + workSecs) * pressure
+	if epochSecs <= 0 {
+		epochSecs = 0.001
+	}
+	// Normalized work: the batch costs re-expressed at one thread, so the
+	// job's progress-runtime curve shares units with the single-threaded
+	// historical curves.
+	normWork := workSecs * aqp.Speedup(g.Threads)
+	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, epochSecs, normWork) })
+}
+
+// finishEpoch observes the completed epoch and applies the shared stop
+// rules.
+func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
+	e.pool.Release(j.ID())
+	delete(e.running, j.ID())
+	e.runningEstMem -= j.EstMemMB()
+	j.everRan = true
+	j.lastRelease = e.eng.Now()
+	j.epochs++
+	j.processingSecs += epochSecs
+	j.normSecs += normWork
+	j.observeEpoch(e.eng.Now())
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceEpochDone, Job: j.ID(),
+		Detail: fmt.Sprintf("epoch=%d est-acc=%.3f", j.epochs, j.EstimatedAccuracy())})
+
+	now := e.eng.Now()
+	elapsed := (now - j.arrival).Seconds()
+	// Stop margin: the estimate is noisy around the threshold, so the
+	// system demands a small cushion before declaring attainment —
+	// otherwise roughly half the stops would land just below the true
+	// threshold and count as false attainment.
+	stopAt := j.crit.Threshold * 1.05
+	if ceil := j.crit.Threshold + 0.03; stopAt > ceil {
+		stopAt = ceil
+	}
+	switch {
+	case j.query.Exhausted():
+		// Processed everything: the answer is exact.
+		e.finishJob(j, StatusAttainedStop)
+	case j.crit.Threshold > 0 && j.EstimatedAccuracy() >= stopAt:
+		e.finishJob(j, StatusAttainedStop)
+	case j.envelopeConverged() && j.query.DataProgress() >= 0.3:
+		// The envelope declares convergence only once a meaningful share
+		// of the stream has passed; early stalls on selective queries are
+		// lulls, not convergence.
+		e.finishJob(j, StatusConvergedStop)
+	case elapsed >= j.DeadlineSecs():
+		e.finishJob(j, StatusExpired)
+	default:
+		j.status = StatusPending
+		e.pending = append(e.pending, j)
+		// Persist the deferred job's state; if it is re-granted this very
+		// instant the checkpoint is simply never replayed.
+		if e.cfg.Store != nil {
+			if data, err := j.query.Checkpoint(); err != nil {
+				e.storeErr = fmt.Errorf("core: checkpoint %s: %w", j.ID(), err)
+			} else if err := e.cfg.Store.Save(j.ID(), data); err != nil {
+				e.storeErr = err
+			} else {
+				e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCheckpoint, Job: j.ID()})
+			}
+		}
+	}
+	e.scheduleArbitrate()
+}
+
+func (e *AQPExecutor) finishJob(j *AQPJob, status JobStatus) {
+	if e.cfg.Store != nil {
+		e.cfg.Store.Remove(j.ID())
+	}
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
+	j.status = status
+	j.endTime = e.eng.Now()
+	j.stopAcc = j.query.Accuracy()
+	e.terminalCount++
+	if e.terminalCount == len(e.jobs) {
+		// Workload complete: drop leftover watchdog timers so the clock
+		// reflects the real makespan (or tell the composing driver).
+		if e.ownsEngine {
+			e.eng.Stop()
+		} else if e.onDone != nil {
+			e.onDone()
+		}
+	}
+	if e.cfg.RecordHistory {
+		e.repo.AddAQP(estimate.AQPRecord{
+			ID:        j.ID(),
+			Query:     j.query.Name(),
+			Class:     j.class,
+			BatchRows: j.batchRows,
+			Curve:     j.RealtimeCurve(),
+		})
+	}
+}
+
+func (e *AQPExecutor) removePending(j *AQPJob) {
+	for i, p := range e.pending {
+		if p == j {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return
+		}
+	}
+}

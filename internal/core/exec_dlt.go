@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"rotary/internal/cluster"
+	"rotary/internal/criteria"
+	"rotary/internal/dlt"
+	"rotary/internal/estimate"
+	"rotary/internal/sim"
+)
+
+// DLTExecConfig sizes the DLT cluster. The paper's testbed has 4 GPUs
+// with 8 GB each.
+type DLTExecConfig struct {
+	GPUs     int
+	GPUMemMB float64
+	// SwapBaseSecs and SwapSecsPerParamM price evicting a job to disk and
+	// reloading it onto a device (checkpoint + restore + context setup).
+	SwapBaseSecs     float64
+	SwapSecsPerParam float64
+	// RecordHistory appends completed jobs to the repository.
+	RecordHistory bool
+	// Tracer, when set, records the arbitration timeline.
+	Tracer *Tracer
+}
+
+// DefaultDLTExecConfig mirrors the paper's 4 × 8 GB testbed.
+func DefaultDLTExecConfig() DLTExecConfig {
+	return DLTExecConfig{
+		GPUs:             4,
+		GPUMemMB:         8192,
+		SwapBaseSecs:     3.0,
+		SwapSecsPerParam: 0.05,
+		RecordHistory:    true,
+	}
+}
+
+// DLTExecutor drives a DLT workload through a scheduling policy over
+// virtual time: one evaluation epoch per placement, TTR recording, the
+// convergence delta check, deadline expiry, swap overheads for evicted
+// jobs, and OOM detection when a placement's actual footprint exceeds the
+// device (the failure mode TME's padding exists to prevent).
+type DLTExecutor struct {
+	eng   *sim.Engine
+	gpus  *cluster.GPUCluster
+	sched DLTScheduler
+	repo  *estimate.Repository
+	ttr   *dlt.TTR
+	cfg   DLTExecConfig
+
+	jobs    []*DLTJob
+	pending []*DLTJob
+	running map[string]*DLTJob
+
+	// roundRunning counts the jobs still mid-epoch in the current
+	// scheduling round. Algorithm 3 is round-based: every round rebuilds
+	// the priority queue over all active jobs and assigns every device;
+	// the next round starts when all placed jobs complete their epoch.
+	roundRunning int
+	// deviceLastJob tracks the last occupant of each device so a job that
+	// is continuously prioritized onto the same device avoids the
+	// checkpoint/restore/warm-up swap cost (§III-C's third advantage).
+	deviceLastJob map[int]string
+
+	arbPending    bool
+	terminalCount int
+	oomEvents     int
+
+	ownsEngine bool
+	onDone     func()
+}
+
+// NewDLTExecutor builds an executor over a fresh engine and GPU cluster.
+func NewDLTExecutor(cfg DLTExecConfig, sched DLTScheduler, repo *estimate.Repository) *DLTExecutor {
+	e := NewDLTExecutorOn(sim.New(), cfg, sched, repo)
+	e.ownsEngine = true
+	return e
+}
+
+// NewDLTExecutorOn builds an executor over an existing engine, so that
+// multiple executors (the unified AQP+DLT system of §VI) share one
+// virtual clock.
+func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, repo *estimate.Repository) *DLTExecutor {
+	if cfg.GPUs <= 0 {
+		cfg.GPUs = 4
+	}
+	if cfg.GPUMemMB <= 0 {
+		cfg.GPUMemMB = 8192
+	}
+	if repo == nil {
+		repo = estimate.NewRepository()
+	}
+	return &DLTExecutor{
+		eng:           eng,
+		gpus:          cluster.NewUniformGPUCluster(cfg.GPUs, cfg.GPUMemMB),
+		sched:         sched,
+		repo:          repo,
+		ttr:           dlt.NewTTR(),
+		cfg:           cfg,
+		running:       make(map[string]*DLTJob),
+		deviceLastJob: make(map[int]string),
+	}
+}
+
+// Engine exposes the virtual clock.
+func (e *DLTExecutor) Engine() *sim.Engine { return e.eng }
+
+// Jobs returns every submitted job.
+func (e *DLTExecutor) Jobs() []*DLTJob { return e.jobs }
+
+// TTR exposes the training-time recorder (Table III reads its overhead).
+func (e *DLTExecutor) TTR() *dlt.TTR { return e.ttr }
+
+// OOMEvents reports placements that exceeded device memory.
+func (e *DLTExecutor) OOMEvents() int { return e.oomEvents }
+
+// Submit schedules a job's arrival.
+func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
+	e.jobs = append(e.jobs, j)
+	e.eng.ScheduleAt(at, func() {
+		j.arrival = e.eng.Now()
+		j.arrived = true
+		j.status = StatusPending
+		e.pending = append(e.pending, j)
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
+		e.scheduleArbitrate()
+	})
+}
+
+// Run drives the simulation until every job is terminal.
+func (e *DLTExecutor) Run() error {
+	e.eng.Run()
+	if e.terminalCount != len(e.jobs) {
+		return fmt.Errorf("core: %d of %d DLT jobs did not terminate", len(e.jobs)-e.terminalCount, len(e.jobs))
+	}
+	return nil
+}
+
+// scheduleArbitrate coalesces all same-instant events (arrivals, epoch
+// completions) into a single arbitration decision, so the policy always
+// sees the complete queue state of the instant — not a prefix of it.
+func (e *DLTExecutor) scheduleArbitrate() {
+	if e.arbPending {
+		return
+	}
+	e.arbPending = true
+	e.eng.Schedule(0, func() {
+		e.arbPending = false
+		e.arbitrate()
+	})
+}
+
+func (e *DLTExecutor) arbitrate() {
+	// Round barrier: decisions are only taken between rounds, when every
+	// previously placed job has finished its epoch.
+	if e.roundRunning > 0 || len(e.pending) == 0 {
+		return
+	}
+	free := e.gpus.FreeDevices()
+	if len(free) == 0 {
+		return
+	}
+	ctx := &DLTContext{
+		Now:      e.eng.Now(),
+		Pending:  append([]*DLTJob(nil), e.pending...),
+		Running:  e.runningJobs(),
+		FreeGPUs: free,
+	}
+	for _, p := range e.sched.Place(ctx) {
+		e.startEpoch(p)
+	}
+}
+
+func (e *DLTExecutor) runningJobs() []*DLTJob {
+	out := make([]*DLTJob, 0, len(e.running))
+	for _, j := range e.running {
+		out = append(out, j)
+	}
+	return out
+}
+
+func (e *DLTExecutor) startEpoch(p DLTPlacement) {
+	j := p.Job
+	if j.status.Terminal() || e.running[j.ID()] != nil {
+		return
+	}
+	// The cluster admits the placement by its declared estimate; the
+	// actual footprint check below models the OOM the estimate may miss.
+	if err := e.gpus.Assign(j.ID(), p.Device, p.EstMemMB); err != nil {
+		return
+	}
+	e.removePending(j)
+	j.status = StatusRunning
+	e.running[j.ID()] = j
+	e.roundRunning++
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TracePlace, Job: j.ID(), Device: p.Device})
+
+	actualMB := j.job.PeakMemoryMB()
+	if dev, ok := e.deviceByID(p.Device); ok && actualMB > dev.MemMB {
+		// Out of memory: the epoch aborts after the allocation failure;
+		// the job pays a fraction of an epoch and returns to the queue.
+		e.oomEvents++
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceOOM, Job: j.ID(), Device: p.Device,
+			Detail: fmt.Sprintf("need=%.0fMB", actualMB)})
+		e.deviceLastJob[p.Device] = j.ID()
+		waste := 0.1*float64(j.job.StepsPerEpoch())*j.job.StepSeconds() + dlt.WarmupSeconds
+		e.eng.Schedule(waste, func() {
+			e.gpus.Release(j.ID())
+			delete(e.running, j.ID())
+			e.roundRunning--
+			j.status = StatusPending
+			j.processingSecs += waste
+			e.pending = append(e.pending, j)
+			e.scheduleArbitrate()
+		})
+		return
+	}
+
+	var epochSecs float64
+	firstPlacement := !j.everRan
+	// A job continuously prioritized onto the device it last occupied
+	// keeps its state hot; anything else replays the checkpoint.
+	resumed := j.everRan && e.deviceLastJob[p.Device] != j.ID()
+	if resumed {
+		epochSecs += e.cfg.SwapBaseSecs + e.cfg.SwapSecsPerParam*j.job.Spec().ParamsM + dlt.WarmupSeconds
+	}
+	e.deviceLastJob[p.Device] = j.ID()
+	_, trainSecs := j.job.TrainEpoch()
+	epochSecs += trainSecs
+	start := e.eng.Now()
+	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, p.Device, start, epochSecs, firstPlacement || resumed) })
+}
+
+func (e *DLTExecutor) deviceByID(id int) (cluster.GPU, bool) {
+	for _, d := range e.gpus.Devices() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return cluster.GPU{}, false
+}
+
+func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSecs float64, firstOnDevice bool) {
+	e.gpus.Release(j.ID())
+	delete(e.running, j.ID())
+	e.roundRunning--
+	now := e.eng.Now()
+	j.everRan = true
+	j.lastRelease = now
+	j.lastDevice = device
+	j.epochs++
+	j.processingSecs += epochSecs
+	e.recordPlacement(j, device, start, now)
+
+	e.ttr.RecordEpoch(j.ID(), device, epochSecs, j.job.StepsPerEpoch(), firstOnDevice)
+
+	if j.crit.Kind == criteria.Convergence && j.convergedAtEpoch == 0 && j.job.Converged(j.crit.Threshold) {
+		j.convergedAtEpoch = j.epochs
+	}
+	j.epochLog = append(j.epochLog, EpochObs{
+		At:      now,
+		Epoch:   j.epochs,
+		TrueAcc: j.job.Accuracy(),
+		EstAcc:  j.job.Accuracy(), // DLT evaluates directly; no proxy needed (§IV-B)
+	})
+	e.cfg.Tracer.Emit(TraceEvent{At: now, Kind: TraceEpochDone, Job: j.ID(),
+		Detail: fmt.Sprintf("epoch=%d acc=%.3f", j.epochs, j.job.Accuracy())})
+
+	switch {
+	case j.CriteriaMet():
+		e.finishJob(j, StatusAttainedStop)
+	case j.DeadlineExpired():
+		e.finishJob(j, StatusExpired)
+	default:
+		j.status = StatusPending
+		e.pending = append(e.pending, j)
+	}
+	e.scheduleArbitrate()
+}
+
+// recordPlacement extends the last Gantt rectangle when the job stayed on
+// the same device with no gap, else opens a new one.
+func (e *DLTExecutor) recordPlacement(j *DLTJob, device int, start, end sim.Time) {
+	n := len(j.placements)
+	if n > 0 && j.placements[n-1].Device == device && j.placements[n-1].End == start {
+		j.placements[n-1].End = end
+		return
+	}
+	j.placements = append(j.placements, Placement{Device: device, Start: start, End: end})
+}
+
+func (e *DLTExecutor) finishJob(j *DLTJob, status JobStatus) {
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
+	j.status = status
+	j.endTime = e.eng.Now()
+	e.terminalCount++
+	if e.terminalCount == len(e.jobs) {
+		// Workload complete: drop leftover watchdog timers so the clock
+		// reflects the real makespan (or tell the composing driver).
+		if e.ownsEngine {
+			e.eng.Stop()
+		} else if e.onDone != nil {
+			e.onDone()
+		}
+	}
+	if e.cfg.RecordHistory {
+		cfg := j.job.Config()
+		spec := j.job.Spec()
+		var epochSecs float64
+		if j.epochs > 0 {
+			epochSecs = j.processingSecs / float64(j.epochs)
+		}
+		e.repo.AddDLT(estimate.DLTRecord{
+			ID:        j.ID(),
+			Model:     cfg.Model,
+			Family:    spec.Family,
+			Dataset:   cfg.Dataset,
+			ParamsM:   spec.ParamsM,
+			BatchSize: cfg.BatchSize,
+			Optimizer: cfg.Optimizer,
+			LR:        cfg.LR,
+			Epochs:    j.epochs,
+			AccCurve:  j.job.AccuracyHistory(),
+			PeakMemMB: j.job.PeakMemoryMB(),
+			EpochSecs: epochSecs,
+		})
+	}
+}
+
+func (e *DLTExecutor) removePending(j *DLTJob) {
+	for i, p := range e.pending {
+		if p == j {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return
+		}
+	}
+}

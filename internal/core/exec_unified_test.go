@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"testing"
+
+	"rotary/internal/core"
+	"rotary/internal/estimate"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+func buildUnified(t *testing.T, threshold float64) (*core.UnifiedExecutor, *tpch.Catalog) {
+	t.Helper()
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	repo := estimate.NewRepository()
+	if err := workload.SeedAQPHistory(repo, cat, workload.RecommendedBatchRows(cat)); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.SeedDLTHistory(repo, 20, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.UnifiedExecConfig{
+		AQP:       core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat)),
+		DLT:       core.DefaultDLTExecConfig(),
+		Threshold: threshold,
+	}
+	return core.NewUnifiedExecutor(cfg, repo), cat
+}
+
+func TestUnifiedExecutorRunsMixedWorkload(t *testing.T) {
+	u, cat := buildUnified(t, 0.5)
+
+	aqpSpecs := workload.GenerateAQP(workload.DefaultAQPWorkload(6, 3))
+	for _, spec := range aqpSpecs {
+		spec.BatchRows = workload.RecommendedBatchRows(cat)
+		j, err := workload.BuildAQPJob(cat, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.SubmitAQP(j, sim.Time(spec.ArrivalSecs))
+	}
+	dltSpecs := workload.GenerateDLT(workload.DefaultDLTWorkload(6, 3))
+	for _, spec := range dltSpecs {
+		j, err := workload.BuildDLTJob(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.SubmitDLT(j, 0)
+	}
+	if err := u.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range u.AQPJobs() {
+		if !j.Status().Terminal() {
+			t.Errorf("AQP job %s not terminal: %v", j.ID(), j.Status())
+		}
+	}
+	for _, j := range u.DLTJobs() {
+		if !j.Status().Terminal() {
+			t.Errorf("DLT job %s not terminal: %v", j.ID(), j.Status())
+		}
+	}
+	if u.MinProgress() != 1 {
+		t.Errorf("completed cluster min progress %v, want 1", u.MinProgress())
+	}
+	// Both sides really shared one clock: makespan covers both workloads.
+	if u.Engine().Now() <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+// The global threshold must couple the two workload types: a straggling
+// DLT job must hold the AQP side in its fairness phase (and vice versa),
+// which shows up as the fairness variant pushing the cluster-wide minimum
+// progress up sooner than the efficiency variant.
+func TestUnifiedGlobalFairnessCouplesWorkloads(t *testing.T) {
+	run := func(threshold float64) (minAt sim.Time, makespan sim.Time) {
+		u, cat := buildUnified(t, threshold)
+		aqpSpecs := workload.GenerateAQP(workload.DefaultAQPWorkload(5, 9))
+		for _, spec := range aqpSpecs {
+			spec.BatchRows = workload.RecommendedBatchRows(cat)
+			j, err := workload.BuildAQPJob(cat, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u.SubmitAQP(j, 0)
+		}
+		for _, spec := range workload.GenerateDLT(workload.DefaultDLTWorkload(5, 9)) {
+			j, err := workload.BuildDLTJob(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u.SubmitDLT(j, 0)
+		}
+		// Sample the cluster-wide min progress every 10 virtual minutes
+		// until it first clears 0.3.
+		var firstCross sim.Time
+		for tick := sim.Time(600); ; tick += 600 {
+			u.Engine().RunUntil(tick)
+			if firstCross == 0 && u.MinProgress() >= 0.3 {
+				firstCross = tick
+			}
+			if u.Engine().Pending() == 0 {
+				break
+			}
+		}
+		return firstCross, u.Engine().Now()
+	}
+	fairCross, _ := run(1.0)
+	effCross, _ := run(0.0)
+	if fairCross == 0 {
+		t.Fatal("fairness run never pushed the minimum progress past 0.3")
+	}
+	if effCross != 0 && fairCross > effCross {
+		t.Errorf("global fairness crossed 0.3 at %v, efficiency at %v — threshold has no coupling effect",
+			fairCross, effCross)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"rotary/internal/cluster"
+	"rotary/internal/sim"
+)
+
+// This file defines the resource-arbitration policy interface of §III-D:
+// π : Q_t → assign(W, M). A policy sees the current queue state (pending
+// and running jobs with their intermediate state) plus the free resources,
+// and produces assignment decisions. The executors apply the decisions,
+// run the selected jobs for an epoch, observe the attainment progress, and
+// invoke the policy again — Algorithm 1's loop.
+
+// AQPContext is the queue state Q_t an AQP policy decides over.
+type AQPContext struct {
+	Now sim.Time
+	// Pending holds active jobs currently without resources; Running holds
+	// jobs mid-epoch (informational — their resources are not preemptible
+	// before the epoch boundary, per §III-D "a job holds on to a
+	// particular resource for at least an epoch").
+	Pending []*AQPJob
+	Running []*AQPJob
+
+	FreeThreads  int
+	TotalThreads int
+	FreeMemMB    float64
+	TotalMemMB   float64
+}
+
+// AQPGrant assigns threads (and a memory reservation) to a pending job
+// for its next running epoch.
+type AQPGrant struct {
+	Job     *AQPJob
+	Threads int
+	// ReserveMemMB is the memory reservation the executor books against
+	// the pool; memory-blind policies (ReLAQS) reserve zero and risk
+	// oversubscription pressure.
+	ReserveMemMB float64
+}
+
+// AQPScheduler is a resource-arbitration policy for the AQP system.
+type AQPScheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Assign produces this round's grants. Jobs not granted stay pending
+	// (deferred, checkpointed). Grants must not exceed the free resources.
+	Assign(ctx *AQPContext) []AQPGrant
+}
+
+// DLTContext is the queue state a DLT policy decides over.
+type DLTContext struct {
+	Now      sim.Time
+	Pending  []*DLTJob
+	Running  []*DLTJob
+	FreeGPUs []cluster.GPU
+}
+
+// DLTPlacement assigns a pending job to a free device for one epoch.
+type DLTPlacement struct {
+	Job    *DLTJob
+	Device int
+	// EstMemMB is the memory estimate used for the placement decision
+	// (recorded for diagnostics; the executor verifies the actual fit).
+	EstMemMB float64
+}
+
+// DLTScheduler is a resource-arbitration policy for the DLT system.
+type DLTScheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Place produces this round's placements onto the free devices.
+	Place(ctx *DLTContext) []DLTPlacement
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rotary/internal/sim"
+)
+
+// TraceKind classifies an arbitration event.
+type TraceKind int
+
+// Arbitration trace events. The sequence for one job is:
+// Arrive → (Grant → EpochDone → [Checkpoint])* → Stop, with Resume before
+// any Grant that replays persisted state, Place/OOM on the DLT side.
+const (
+	TraceArrive TraceKind = iota
+	TraceGrant
+	TracePlace
+	TraceEpochDone
+	TraceCheckpoint
+	TraceResume
+	TraceOOM
+	TraceStop
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrive:
+		return "arrive"
+	case TraceGrant:
+		return "grant"
+	case TracePlace:
+		return "place"
+	case TraceEpochDone:
+		return "epoch-done"
+	case TraceCheckpoint:
+		return "checkpoint"
+	case TraceResume:
+		return "resume"
+	case TraceOOM:
+		return "oom"
+	case TraceStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one timestamped arbitration decision or observation.
+type TraceEvent struct {
+	At   sim.Time
+	Kind TraceKind
+	Job  string
+	// Threads (AQP) or Device (DLT) describe the allocation; Detail adds
+	// free-form context (status, accuracy, epoch).
+	Threads int
+	Device  int
+	Detail  string
+}
+
+// Tracer records the arbitration timeline of an executor run. A nil
+// Tracer is a no-op, so executors emit unconditionally through Emit. The
+// zero value is ready to use. Tracer is not safe for concurrent use —
+// each executor run owns its tracer (executors are single-threaded over
+// the virtual clock).
+type Tracer struct {
+	events []TraceEvent
+}
+
+// Emit appends an event; nil receivers drop it.
+func (t *Tracer) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns the recorded timeline in order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// JobEvents returns the timeline of a single job.
+func (t *Tracer) JobEvents(jobID string) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	var out []TraceEvent
+	for _, ev := range t.events {
+		if ev.Job == jobID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Render formats the last n events (all when n <= 0) as a plain-text log.
+func (t *Tracer) Render(n int) string {
+	events := t.Events()
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%10.1fs %-11s %-24s", ev.At.Seconds(), ev.Kind, ev.Job)
+		if ev.Threads > 0 {
+			fmt.Fprintf(&b, " threads=%d", ev.Threads)
+		}
+		if ev.Kind == TracePlace || ev.Kind == TraceOOM {
+			fmt.Fprintf(&b, " gpu=%d", ev.Device)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " %s", ev.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/dlt"
+	"rotary/internal/estimate"
+	"rotary/internal/tpch"
+)
+
+func TestAQPTraceSequencePerJob(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	tracer := &core.Tracer{}
+	cfg := core.DefaultAQPExecConfig(1e6)
+	cfg.Threads = 1
+	cfg.Tracer = tracer
+	exec := core.NewAQPExecutor(cfg, fifoAQP{reserve: true}, nil)
+	a := buildJob(t, cat, "a", "q6", 0.9, 1e6)
+	b := buildJob(t, cat, "b", "q12", 0.9, 1e6)
+	exec.Submit(a, 0)
+	exec.Submit(b, 0)
+	if err := exec.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"a", "b"} {
+		evs := tracer.JobEvents(id)
+		if len(evs) < 4 {
+			t.Fatalf("%s: only %d events", id, len(evs))
+		}
+		if evs[0].Kind != core.TraceArrive {
+			t.Errorf("%s: first event %v, want arrive", id, evs[0].Kind)
+		}
+		if last := evs[len(evs)-1]; last.Kind != core.TraceStop {
+			t.Errorf("%s: last event %v, want stop", id, last.Kind)
+		}
+		// Grants and epoch completions must strictly alternate, and the
+		// timeline must be monotone.
+		depth := 0
+		prev := evs[0].At
+		for _, ev := range evs {
+			if ev.At < prev {
+				t.Fatalf("%s: time went backwards at %v", id, ev)
+			}
+			prev = ev.At
+			switch ev.Kind {
+			case core.TraceGrant:
+				depth++
+				if depth != 1 {
+					t.Fatalf("%s: nested grant", id)
+				}
+				if ev.Threads != 1 {
+					t.Errorf("%s: grant with %d threads, want 1", id, ev.Threads)
+				}
+			case core.TraceEpochDone:
+				depth--
+				if depth != 0 {
+					t.Fatalf("%s: epoch-done without grant", id)
+				}
+			}
+		}
+	}
+	if out := tracer.Render(10); !strings.Contains(out, "stop") {
+		t.Errorf("rendered trace missing stops:\n%s", out)
+	}
+}
+
+func TestDLTTraceRecordsPlacementsAndStops(t *testing.T) {
+	tracer := &core.Tracer{}
+	cfg := core.DefaultDLTExecConfig()
+	cfg.GPUs = 1
+	cfg.Tracer = tracer
+	repo := estimate.NewRepository()
+	sched := core.NewRotaryDLT(0.5, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
+	exec := core.NewDLTExecutor(cfg, sched, repo)
+	trainer, err := dlt.NewJob(dlt.Config{
+		Model: "lenet", Dataset: "cifar10", BatchSize: 32,
+		Optimizer: "sgd", LR: 0.01, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, _ := criteria.NewRuntime(criteria.Deadline{Value: 3, Unit: criteria.Epochs})
+	j, err := core.NewDLTJob("t", trainer, crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Submit(j, 0)
+	if err := exec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := tracer.JobEvents("t")
+	places, epochs, stops := 0, 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case core.TracePlace:
+			places++
+			if ev.Device != 0 {
+				t.Errorf("placed on device %d of a 1-GPU cluster", ev.Device)
+			}
+		case core.TraceEpochDone:
+			epochs++
+		case core.TraceStop:
+			stops++
+		}
+	}
+	if places != 3 || epochs != 3 || stops != 1 {
+		t.Errorf("places=%d epochs=%d stops=%d, want 3/3/1", places, epochs, stops)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *core.Tracer
+	tr.Emit(core.TraceEvent{Kind: core.TraceArrive, Job: "x"})
+	if tr.Events() != nil || tr.JobEvents("x") != nil {
+		t.Error("nil tracer retained events")
+	}
+}

@@ -1,0 +1,285 @@
+// Package criteria implements Rotary's user-defined completion criteria
+// (§III-B): the three template kinds of Fig. 3 — accuracy-oriented,
+// convergence-oriented, and runtime-oriented — and the parser for the
+// add-on clauses of Fig. 4, e.g.
+//
+//	SELECT AVG(PROFIT) FROM O WHERE CUSTOMERID='CUST1' ACC MIN 95% WITHIN 3600 SECONDS
+//	TRAIN RESNET-50 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS
+//	TRAIN MOBILENET ON CIFAR10 FOR 2 HOURS
+//
+// The criteria are add-ons to the regular query/training command and are
+// orthogonal to its execution: Parse splits the command prefix off
+// unchanged, without needing the original command parser.
+package criteria
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the completion-criteria template.
+type Kind int
+
+// The three template kinds of Fig. 3.
+const (
+	Accuracy Kind = iota
+	Convergence
+	Runtime
+)
+
+// String returns the template name.
+func (k Kind) String() string {
+	switch k {
+	case Accuracy:
+		return "accuracy"
+	case Convergence:
+		return "convergence"
+	case Runtime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Unit is a deadline/runtime unit. The WITHIN and FOR predicates accept
+// wall-time units or epochs.
+type Unit int
+
+// Deadline units.
+const (
+	Seconds Unit = iota
+	Minutes
+	Hours
+	Epochs
+)
+
+// String returns the unit's canonical spelling.
+func (u Unit) String() string {
+	switch u {
+	case Seconds:
+		return "seconds"
+	case Minutes:
+		return "minutes"
+	case Hours:
+		return "hours"
+	case Epochs:
+		return "epochs"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}
+
+// Deadline is a bound expressed in time or epochs.
+type Deadline struct {
+	Value float64 `json:"value"`
+	Unit  Unit    `json:"unit"`
+}
+
+// IsTime reports whether the deadline is a wall-time bound.
+func (d Deadline) IsTime() bool { return d.Unit != Epochs }
+
+// DeadlineSeconds converts a wall-time deadline to seconds; ok is false
+// for epoch deadlines.
+func (d Deadline) DeadlineSeconds() (float64, bool) {
+	switch d.Unit {
+	case Seconds:
+		return d.Value, true
+	case Minutes:
+		return d.Value * 60, true
+	case Hours:
+		return d.Value * 3600, true
+	default:
+		return 0, false
+	}
+}
+
+// DeadlineEpochs converts an epoch deadline to an epoch count; ok is
+// false for wall-time deadlines.
+func (d Deadline) DeadlineEpochs() (int, bool) {
+	if d.Unit != Epochs {
+		return 0, false
+	}
+	return int(d.Value), true
+}
+
+// String formats the deadline for display.
+func (d Deadline) String() string { return fmt.Sprintf("%g %s", d.Value, d.Unit) }
+
+// Criteria is a parsed completion criterion.
+type Criteria struct {
+	Kind Kind `json:"kind"`
+	// Metric is the convergence metric name, e.g. "ACC", "LOSS", "F1",
+	// "PERPLEXITY". Empty for runtime-oriented criteria.
+	Metric string `json:"metric,omitempty"`
+	// Threshold is the accuracy target (accuracy-oriented, in [0, 1]) or
+	// the convergence delta (convergence-oriented).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Deadline bounds accuracy/convergence criteria; for runtime-oriented
+	// criteria it is the runtime itself.
+	Deadline Deadline `json:"deadline"`
+}
+
+// NewAccuracy builds an accuracy-oriented criterion: reach threshold on
+// metric within the deadline.
+func NewAccuracy(metric string, threshold float64, deadline Deadline) (Criteria, error) {
+	if threshold <= 0 || threshold > 1 {
+		return Criteria{}, fmt.Errorf("criteria: accuracy threshold %g must be in (0, 1]", threshold)
+	}
+	if deadline.Value <= 0 {
+		return Criteria{}, fmt.Errorf("criteria: deadline %v must be positive", deadline)
+	}
+	return Criteria{Kind: Accuracy, Metric: canonMetric(metric), Threshold: threshold, Deadline: deadline}, nil
+}
+
+// NewConvergence builds a convergence-oriented criterion: metric changes
+// by less than delta between epochs, bounded by the deadline.
+func NewConvergence(metric string, delta float64, deadline Deadline) (Criteria, error) {
+	if delta <= 0 || delta >= 1 {
+		return Criteria{}, fmt.Errorf("criteria: convergence delta %g must be in (0, 1)", delta)
+	}
+	if deadline.Value <= 0 {
+		return Criteria{}, fmt.Errorf("criteria: deadline %v must be positive", deadline)
+	}
+	return Criteria{Kind: Convergence, Metric: canonMetric(metric), Threshold: delta, Deadline: deadline}, nil
+}
+
+// NewRuntime builds a runtime-oriented criterion: run for the given
+// duration or epoch count and return whatever was achieved.
+func NewRuntime(runtime Deadline) (Criteria, error) {
+	if runtime.Value <= 0 {
+		return Criteria{}, fmt.Errorf("criteria: runtime %v must be positive", runtime)
+	}
+	return Criteria{Kind: Runtime, Deadline: runtime}, nil
+}
+
+func canonMetric(m string) string {
+	m = strings.ToUpper(strings.TrimSpace(m))
+	if m == "" {
+		m = "ACC"
+	}
+	return m
+}
+
+// String renders the criterion in the Fig. 3 template syntax.
+func (c Criteria) String() string {
+	switch c.Kind {
+	case Accuracy:
+		return fmt.Sprintf("%s MIN %g%% WITHIN %v", c.Metric, c.Threshold*100, c.Deadline)
+	case Convergence:
+		return fmt.Sprintf("%s DELTA %g WITHIN %v", c.Metric, c.Threshold, c.Deadline)
+	case Runtime:
+		return fmt.Sprintf("FOR %v", c.Deadline)
+	default:
+		return "invalid criteria"
+	}
+}
+
+// Expired reports whether the criterion's bound has passed given the
+// job's elapsed runtime (seconds) and completed epochs. For runtime-
+// oriented criteria expiry IS completion.
+func (c Criteria) Expired(elapsedSecs float64, epochs int) bool {
+	if secs, ok := c.Deadline.DeadlineSeconds(); ok {
+		return elapsedSecs >= secs
+	}
+	e, _ := c.Deadline.DeadlineEpochs()
+	return epochs >= e
+}
+
+// Parse splits a command with an appended completion-criteria clause into
+// the raw command prefix and the parsed criterion. The clause grammar is
+// case-insensitive:
+//
+//	<cmd> <metric> MIN   <pct|frac> WITHIN <n> <unit>
+//	<cmd> <metric> DELTA <frac>     WITHIN <n> <unit>
+//	<cmd> FOR <n> <unit>
+func Parse(input string) (command string, c Criteria, err error) {
+	tokens := strings.Fields(input)
+	upper := make([]string, len(tokens))
+	for i, t := range tokens {
+		upper[i] = strings.ToUpper(t)
+	}
+
+	// Runtime-oriented: trailing "FOR <n> <unit>".
+	if n := len(tokens); n >= 3 && upper[n-3] == "FOR" {
+		value, verr := strconv.ParseFloat(tokens[n-2], 64)
+		unit, uerr := parseUnit(upper[n-1])
+		if verr == nil && uerr == nil {
+			cr, err := NewRuntime(Deadline{Value: value, Unit: unit})
+			if err != nil {
+				return "", Criteria{}, err
+			}
+			return strings.Join(tokens[:n-3], " "), cr, nil
+		}
+	}
+
+	// Accuracy/convergence: "<metric> MIN|DELTA <x> WITHIN <n> <unit>".
+	for i := len(upper) - 1; i >= 1; i-- {
+		if upper[i] != "MIN" && upper[i] != "DELTA" {
+			continue
+		}
+		if i+4 >= len(tokens) {
+			return "", Criteria{}, fmt.Errorf("criteria: truncated %s clause in %q", upper[i], input)
+		}
+		if upper[i+2] != "WITHIN" {
+			return "", Criteria{}, fmt.Errorf("criteria: expected WITHIN after %s %s", upper[i], tokens[i+1])
+		}
+		metric := tokens[i-1]
+		thr, err := parseThreshold(tokens[i+1])
+		if err != nil {
+			return "", Criteria{}, err
+		}
+		value, err := strconv.ParseFloat(tokens[i+3], 64)
+		if err != nil {
+			return "", Criteria{}, fmt.Errorf("criteria: bad deadline value %q: %v", tokens[i+3], err)
+		}
+		unit, err := parseUnit(upper[i+4])
+		if err != nil {
+			return "", Criteria{}, err
+		}
+		d := Deadline{Value: value, Unit: unit}
+		var cr Criteria
+		if upper[i] == "MIN" {
+			cr, err = NewAccuracy(metric, thr, d)
+		} else {
+			cr, err = NewConvergence(metric, thr, d)
+		}
+		if err != nil {
+			return "", Criteria{}, err
+		}
+		return strings.Join(tokens[:i-1], " "), cr, nil
+	}
+
+	return "", Criteria{}, fmt.Errorf("criteria: no completion-criteria clause in %q", input)
+}
+
+// parseThreshold accepts "95%" or a bare fraction like "0.95".
+func parseThreshold(s string) (float64, error) {
+	if strings.HasSuffix(s, "%") {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("criteria: bad percentage %q: %v", s, err)
+		}
+		return v / 100, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("criteria: bad threshold %q: %v", s, err)
+	}
+	return v, nil
+}
+
+func parseUnit(s string) (Unit, error) {
+	switch strings.TrimSuffix(s, "S") {
+	case "SECOND", "SEC":
+		return Seconds, nil
+	case "MINUTE", "MIN":
+		return Minutes, nil
+	case "HOUR", "HR":
+		return Hours, nil
+	case "EPOCH":
+		return Epochs, nil
+	default:
+		return 0, fmt.Errorf("criteria: unknown unit %q", s)
+	}
+}

@@ -1,0 +1,176 @@
+package criteria
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperExamples(t *testing.T) {
+	cases := []struct {
+		input     string
+		kind      Kind
+		metric    string
+		threshold float64
+		deadline  Deadline
+		cmdPrefix string
+	}{
+		{
+			"SELECT AVG(PROFIT) FROM O WHERE CUSTOMERID='CUST1' ACC MIN 95% WITHIN 3600 SECONDS",
+			Accuracy, "ACC", 0.95, Deadline{3600, Seconds}, "SELECT AVG(PROFIT)",
+		},
+		{
+			"TRAIN RESNET-50 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS",
+			Convergence, "ACC", 0.001, Deadline{30, Epochs}, "TRAIN RESNET-50 ON CIFAR10",
+		},
+		{
+			"TRAIN MOBILENET ON CIFAR10 FOR 2 HOURS",
+			Runtime, "", 0, Deadline{2, Hours}, "TRAIN MOBILENET ON CIFAR10",
+		},
+		{
+			"train x on y loss delta 0.01 within 90 minutes",
+			Convergence, "LOSS", 0.01, Deadline{90, Minutes}, "train x on y",
+		},
+		{
+			"SELECT 1 F1 MIN 0.8 WITHIN 10 EPOCHS",
+			Accuracy, "F1", 0.8, Deadline{10, Epochs}, "SELECT 1",
+		},
+	}
+	for _, c := range cases {
+		cmd, crit, err := Parse(c.input)
+		if err != nil {
+			t.Errorf("%q: %v", c.input, err)
+			continue
+		}
+		if crit.Kind != c.kind {
+			t.Errorf("%q: kind %v, want %v", c.input, crit.Kind, c.kind)
+		}
+		if c.metric != "" && crit.Metric != c.metric {
+			t.Errorf("%q: metric %q, want %q", c.input, crit.Metric, c.metric)
+		}
+		if c.threshold != 0 && crit.Threshold != c.threshold {
+			t.Errorf("%q: threshold %v, want %v", c.input, crit.Threshold, c.threshold)
+		}
+		if crit.Deadline != c.deadline {
+			t.Errorf("%q: deadline %v, want %v", c.input, crit.Deadline, c.deadline)
+		}
+		if !strings.HasPrefix(cmd, c.cmdPrefix) {
+			t.Errorf("%q: command %q lost prefix %q", c.input, cmd, c.cmdPrefix)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT 1",                               // no clause
+		"SELECT 1 ACC MIN 95%",                   // truncated
+		"SELECT 1 ACC MIN 95% WITHIN ten EPOCHS", // bad number
+		"SELECT 1 ACC MIN 95% WITHIN 10 PARSECS", // bad unit
+		"SELECT 1 ACC MIN abc WITHIN 10 EPOCHS",  // bad threshold
+		"SELECT 1 ACC MIN 95% UNTIL 10 EPOCHS",   // wrong keyword
+		"SELECT 1 FOR -2 HOURS",                  // non-positive runtime
+		"SELECT 1 ACC DELTA 2 WITHIN 10 EPOCHS",  // delta out of range
+		"SELECT 1 ACC MIN 150% WITHIN 10 EPOCHS", // accuracy out of range
+	}
+	for _, input := range bad {
+		if _, _, err := Parse(input); err == nil {
+			t.Errorf("%q parsed without error", input)
+		}
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewAccuracy("acc", 0, Deadline{10, Epochs}); err == nil {
+		t.Error("zero accuracy accepted")
+	}
+	if _, err := NewAccuracy("acc", 0.9, Deadline{0, Epochs}); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	if _, err := NewConvergence("acc", 1, Deadline{10, Epochs}); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if _, err := NewRuntime(Deadline{-1, Hours}); err == nil {
+		t.Error("negative runtime accepted")
+	}
+	c, err := NewAccuracy("f1", 0.5, Deadline{5, Minutes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metric != "F1" {
+		t.Errorf("metric not canonicalized: %q", c.Metric)
+	}
+}
+
+func TestDeadlineConversions(t *testing.T) {
+	if s, ok := (Deadline{2, Hours}).DeadlineSeconds(); !ok || s != 7200 {
+		t.Errorf("2 hours = %v, %v", s, ok)
+	}
+	if s, ok := (Deadline{3, Minutes}).DeadlineSeconds(); !ok || s != 180 {
+		t.Errorf("3 minutes = %v, %v", s, ok)
+	}
+	if _, ok := (Deadline{5, Epochs}).DeadlineSeconds(); ok {
+		t.Error("epoch deadline converted to seconds")
+	}
+	if e, ok := (Deadline{5, Epochs}).DeadlineEpochs(); !ok || e != 5 {
+		t.Errorf("5 epochs = %v, %v", e, ok)
+	}
+	if (Deadline{5, Epochs}).IsTime() {
+		t.Error("epoch deadline claims to be wall time")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	timeC, _ := NewAccuracy("acc", 0.9, Deadline{100, Seconds})
+	if timeC.Expired(99, 1000) {
+		t.Error("expired before its wall deadline")
+	}
+	if !timeC.Expired(100, 0) {
+		t.Error("not expired at its wall deadline")
+	}
+	epochC, _ := NewConvergence("acc", 0.01, Deadline{10, Epochs})
+	if epochC.Expired(1e9, 9) {
+		t.Error("epoch criterion expired on wall time")
+	}
+	if !epochC.Expired(0, 10) {
+		t.Error("epoch criterion not expired at its epoch bound")
+	}
+	runC, _ := NewRuntime(Deadline{5, Epochs})
+	if !runC.Expired(0, 5) {
+		t.Error("runtime criterion not complete at target")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a, _ := NewAccuracy("ACC", 0.95, Deadline{3600, Seconds})
+	if got := a.String(); !strings.Contains(got, "MIN") || !strings.Contains(got, "95") {
+		t.Errorf("accuracy render %q", got)
+	}
+	c, _ := NewConvergence("ACC", 0.001, Deadline{30, Epochs})
+	if got := c.String(); !strings.Contains(got, "DELTA") {
+		t.Errorf("convergence render %q", got)
+	}
+	r, _ := NewRuntime(Deadline{2, Hours})
+	if got := r.String(); !strings.Contains(got, "FOR") {
+		t.Errorf("runtime render %q", got)
+	}
+}
+
+// Parsing the rendered form of a criterion appended to a command must
+// reproduce the criterion.
+func TestRenderParseRoundTrip(t *testing.T) {
+	crits := []Criteria{}
+	a, _ := NewAccuracy("ACC", 0.8, Deadline{600, Seconds})
+	c, _ := NewConvergence("LOSS", 0.003, Deadline{25, Epochs})
+	r, _ := NewRuntime(Deadline{90, Minutes})
+	crits = append(crits, a, c, r)
+	for _, want := range crits {
+		input := "RUN SOMETHING " + want.String()
+		_, got, err := Parse(input)
+		if err != nil {
+			t.Errorf("%q: %v", input, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip %q: got %+v want %+v", input, got, want)
+		}
+	}
+}

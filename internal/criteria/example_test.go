@@ -1,0 +1,36 @@
+package criteria_test
+
+import (
+	"fmt"
+
+	"rotary/internal/criteria"
+)
+
+// The three Fig. 4 clause templates parse off the end of any command.
+func ExampleParse() {
+	inputs := []string{
+		"SELECT AVG(PROFIT) FROM O WHERE CUSTOMERID='CUST1' ACC MIN 95% WITHIN 3600 SECONDS",
+		"TRAIN RESNET-50 ON CIFAR10 ACC DELTA 0.001 WITHIN 30 EPOCHS",
+		"TRAIN MOBILENET ON CIFAR10 FOR 2 HOURS",
+	}
+	for _, in := range inputs {
+		cmd, crit, err := criteria.Parse(in)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%-14s %-50s %v\n", crit.Kind, cmd, crit)
+	}
+	// Output:
+	// accuracy       SELECT AVG(PROFIT) FROM O WHERE CUSTOMERID='CUST1' ACC MIN 95% WITHIN 3600 seconds
+	// convergence    TRAIN RESNET-50 ON CIFAR10                         ACC DELTA 0.001 WITHIN 30 epochs
+	// runtime        TRAIN MOBILENET ON CIFAR10                         FOR 2 hours
+}
+
+// Expired checks a criterion's bound against a job's elapsed time and
+// epoch count.
+func ExampleCriteria_Expired() {
+	crit, _ := criteria.NewAccuracy("ACC", 0.9, criteria.Deadline{Value: 10, Unit: criteria.Epochs})
+	fmt.Println(crit.Expired(1e6, 9), crit.Expired(0, 10))
+	// Output: false true
+}

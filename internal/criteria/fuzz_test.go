@@ -1,0 +1,32 @@
+package criteria
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that every successfully
+// parsed criterion re-renders to a clause that parses back to itself.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT 1 ACC MIN 95% WITHIN 3600 SECONDS")
+	f.Add("TRAIN X ON Y ACC DELTA 0.001 WITHIN 30 EPOCHS")
+	f.Add("RUN FOR 2 HOURS")
+	f.Add("FOR")
+	f.Add("MIN WITHIN")
+	f.Add("x acc min -5% within 10 epochs")
+	f.Add("x acc delta 1e309 within 10 epochs")
+	f.Fuzz(func(t *testing.T, input string) {
+		cmd, crit, err := Parse(input)
+		if err != nil {
+			return
+		}
+		round := strings.TrimSpace(cmd + " " + crit.String())
+		_, crit2, err2 := Parse(round)
+		if err2 != nil {
+			t.Fatalf("render of %q did not re-parse: %q: %v", input, round, err2)
+		}
+		if crit2.Kind != crit.Kind {
+			t.Fatalf("kind changed across round trip: %v -> %v", crit.Kind, crit2.Kind)
+		}
+	})
+}

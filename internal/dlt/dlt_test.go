@@ -1,0 +1,275 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rotary/internal/sim"
+)
+
+func goodConfig(model, dataset string) Config {
+	return Config{Model: model, Dataset: dataset, BatchSize: 32, Optimizer: "sgd", LR: 0.01, Seed: 1}
+}
+
+func TestZooConsistency(t *testing.T) {
+	for _, name := range Models() {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.ParamsM <= 0 || spec.BaseAccuracy <= 0 || spec.BaseAccuracy > 1 || spec.BaseRate <= 0 {
+			t.Errorf("%s: implausible spec %+v", name, spec)
+		}
+	}
+	if len(PreTrainedModels()) != 3 {
+		t.Errorf("want 3 pre-trained variants, got %v", PreTrainedModels())
+	}
+	for _, name := range ScratchModels(NLP) {
+		spec, _ := Lookup(name)
+		if spec.Domain != NLP || spec.PreTrained {
+			t.Errorf("%s leaked into NLP scratch list", name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		ok   bool
+		name string
+	}{
+		{goodConfig("resnet-18", "cifar10"), true, "valid"},
+		{goodConfig("nope", "cifar10"), false, "unknown model"},
+		{goodConfig("resnet-18", "nope"), false, "unknown dataset"},
+		{goodConfig("resnet-18", "imdb"), false, "domain mismatch"},
+		{func() Config { c := goodConfig("resnet-18", "cifar10"); c.BatchSize = 0; return c }(), false, "zero batch"},
+		{func() Config { c := goodConfig("resnet-18", "cifar10"); c.LR = 0; return c }(), false, "zero lr"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func TestCurveSaturatesWithDiminishingReturns(t *testing.T) {
+	curve, err := NewCurve(goodConfig("resnet-18", "cifar10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.At(0) > 0.2 {
+		t.Errorf("untrained accuracy %v too high", curve.At(0))
+	}
+	early := curve.At(5) - curve.At(0)
+	late := curve.At(30) - curve.At(25)
+	if early <= late {
+		t.Errorf("no diminishing returns: early %v late %v", early, late)
+	}
+	if c := curve.Ceiling(); curve.At(100) > c+0.01 {
+		t.Errorf("accuracy %v exceeds ceiling %v", curve.At(100), c)
+	}
+}
+
+func TestCurveHyperparameterQuality(t *testing.T) {
+	good, _ := NewCurve(goodConfig("resnet-18", "cifar10"))
+	badCfg := goodConfig("resnet-18", "cifar10")
+	badCfg.LR = 0.00001
+	bad, _ := NewCurve(badCfg)
+	if bad.Ceiling() >= good.Ceiling() {
+		t.Errorf("badly tuned ceiling %v not below well-tuned %v", bad.Ceiling(), good.Ceiling())
+	}
+	if bad.Rate() >= good.Rate() {
+		t.Errorf("badly tuned rate %v not below well-tuned %v", bad.Rate(), good.Rate())
+	}
+}
+
+func TestPreTrainedStartsNearCeiling(t *testing.T) {
+	cfg := goodConfig("resnet-18-pretrained", "cifar10")
+	curve, err := NewCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.At(0) < 0.85*curve.Ceiling() {
+		t.Errorf("pre-trained start %v far below ceiling %v", curve.At(0), curve.Ceiling())
+	}
+	if _, reached := curve.EpochsToAccuracy(curve.Ceiling() * 0.98); !reached {
+		t.Error("pre-trained curve cannot approach its own ceiling")
+	}
+}
+
+func TestEpochsToAccuracyMatchesAt(t *testing.T) {
+	check := func(seed uint64) bool {
+		models := ScratchModels(CV)
+		r := sim.NewRand(seed)
+		cfg := goodConfig(models[r.IntN(len(models))], "cifar10")
+		cfg.Seed = 0 // noiseless check against the mean curve uses seed-0 noise anyway
+		curve, err := NewCurve(cfg)
+		if err != nil {
+			return false
+		}
+		target := curve.Ceiling() * 0.9
+		e, ok := curve.EpochsToAccuracy(target)
+		if !ok {
+			return false
+		}
+		// The noiseless mean at e must be ≥ target - small noise tolerance.
+		return curve.At(e) >= target-0.02
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobTrainingAndWarmup(t *testing.T) {
+	job, err := NewJob(goodConfig("mobilenet", "cifar10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first := job.TrainEpoch()
+	_, second := job.TrainEpoch()
+	if first <= second {
+		t.Errorf("first epoch %v not slower than second %v (CUDA warm-up)", first, second)
+	}
+	if math.Abs(first-second-WarmupSeconds) > 1e-9 {
+		t.Errorf("warm-up difference %v, want %v", first-second, WarmupSeconds)
+	}
+	if job.EpochsTrained() != 2 || len(job.AccuracyHistory()) != 2 {
+		t.Fatal("epoch bookkeeping broken")
+	}
+}
+
+func TestJobCheckpointRestore(t *testing.T) {
+	cfg := goodConfig("vgg-11", "cifar10")
+	a, _ := NewJob(cfg)
+	for i := 0; i < 5; i++ {
+		a.TrainEpoch()
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewJob(cfg)
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if b.EpochsTrained() != 5 || b.Accuracy() != a.Accuracy() {
+		t.Fatal("restore did not reproduce state")
+	}
+	// Restored job pays the warm-up again.
+	_, post := b.TrainEpoch()
+	c, _ := NewJob(cfg)
+	for i := 0; i < 5; i++ {
+		c.TrainEpoch()
+	}
+	_, cont := c.TrainEpoch()
+	if post <= cont {
+		t.Errorf("restored epoch %v not slower than continuous %v", post, cont)
+	}
+	// Wrong-config restores fail.
+	other, _ := NewJob(goodConfig("lenet", "cifar10"))
+	if err := other.Restore(cp); err == nil {
+		t.Error("restored checkpoint into different config")
+	}
+}
+
+func TestConvergedDelta(t *testing.T) {
+	job, _ := NewJob(goodConfig("resnet-18", "cifar10"))
+	if job.Converged(0.5) {
+		t.Error("converged with no epochs")
+	}
+	for i := 0; i < 60; i++ {
+		job.TrainEpoch()
+	}
+	if !job.Converged(0.01) {
+		t.Error("saturated curve not converged at delta 0.01")
+	}
+	fresh, _ := NewJob(goodConfig("resnet-18", "cifar10"))
+	fresh.TrainEpoch()
+	fresh.TrainEpoch()
+	if fresh.Converged(0.001) {
+		t.Error("steeply rising curve declared converged")
+	}
+}
+
+func TestMemoryModelShape(t *testing.T) {
+	spec, _ := Lookup("resnet-18")
+	m8 := PeakMemoryMB(spec, 8, "sgd")
+	m32 := PeakMemoryMB(spec, 32, "sgd")
+	if m32 <= m8 {
+		t.Error("memory not increasing in batch size")
+	}
+	adam := PeakMemoryMB(spec, 32, "adam")
+	if adam <= m32 {
+		t.Error("adam state not heavier than sgd")
+	}
+	// Every Table II configuration must fit the paper's 8 GB devices.
+	for _, name := range Models() {
+		s, _ := Lookup(name)
+		batches := BatchSizesCV
+		if s.Domain == NLP {
+			batches = BatchSizesNLP
+		}
+		for _, b := range batches {
+			if mb := PeakMemoryMB(s, b, "adam"); mb > 8192 {
+				t.Errorf("%s batch %d needs %.0f MB > 8 GB", name, b, mb)
+			}
+		}
+	}
+}
+
+func TestEpochTimesComparableAcrossDomains(t *testing.T) {
+	cv, _ := NewJob(goodConfig("resnet-18", "cifar10"))
+	nlpCfg := Config{Model: "bert-mini", Dataset: "imdb", BatchSize: 128, Optimizer: "adam", LR: 0.001, Seed: 1}
+	nlp, _ := NewJob(nlpCfg)
+	cvSecs := float64(cv.StepsPerEpoch()) * cv.StepSeconds()
+	nlpSecs := float64(nlp.StepsPerEpoch()) * nlp.StepSeconds()
+	ratio := cvSecs / nlpSecs
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("CV epoch %.0fs vs NLP epoch %.0fs: domains not comparable", cvSecs, nlpSecs)
+	}
+}
+
+func TestTTRDiscardsWarmup(t *testing.T) {
+	ttr := NewTTR()
+	// 100 steps, 0.1 s each, plus warm-up on the first epoch.
+	ttr.RecordEpoch("j", 0, 100*0.1+WarmupSeconds, 100, true)
+	s, ok := ttr.StepSeconds("j", 0)
+	if !ok {
+		t.Fatal("no recording")
+	}
+	// Discarding the first step: (12 - 2) / 99 ≈ 0.101.
+	if s < 0.095 || s > 0.11 {
+		t.Errorf("step time %v, want ≈0.1 after warm-up discard", s)
+	}
+	// Fallback to another device's record.
+	if _, ok := ttr.StepSeconds("j", 5); !ok {
+		t.Error("no cross-device fallback")
+	}
+	if secs, ok := ttr.EpochSeconds("j", 0, 200); !ok || secs < 19 || secs > 22 {
+		t.Errorf("EpochSeconds = %v, %v", secs, ok)
+	}
+	if ttr.Overhead() <= 0 {
+		t.Error("overhead accounting inactive")
+	}
+	if ttr.Records() != 1 {
+		t.Errorf("records = %d", ttr.Records())
+	}
+}
+
+func TestDeterministicCurves(t *testing.T) {
+	cfg := goodConfig("densenet-121", "cifar10")
+	a, _ := NewJob(cfg)
+	b, _ := NewJob(cfg)
+	for i := 0; i < 10; i++ {
+		accA, _ := a.TrainEpoch()
+		accB, _ := b.TrainEpoch()
+		if accA != accB {
+			t.Fatalf("same config diverged at epoch %d", i+1)
+		}
+	}
+}

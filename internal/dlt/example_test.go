@@ -1,0 +1,45 @@
+package dlt_test
+
+import (
+	"fmt"
+
+	"rotary/internal/dlt"
+)
+
+// A simulated training job exposes exactly what Rotary-DLT observes: the
+// per-epoch accuracy series, epoch wall time, and peak GPU memory.
+func ExampleJob() {
+	job, err := dlt.NewJob(dlt.Config{
+		Model: "resnet-18", Dataset: "cifar10", BatchSize: 32,
+		Optimizer: "sgd", LR: 0.01, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for e := 0; e < 3; e++ {
+		acc, secs := job.TrainEpoch()
+		fmt.Printf("epoch %d: accuracy %.2f (%.0fs)\n", e+1, acc, secs)
+	}
+	fmt.Printf("peak memory: %.0f MB\n", job.PeakMemoryMB())
+	// Output:
+	// epoch 1: accuracy 0.29 (86s)
+	// epoch 2: accuracy 0.44 (84s)
+	// epoch 3: accuracy 0.56 (84s)
+	// peak memory: 2953 MB
+}
+
+// EpochsToAccuracy reports the oracle epochs-to-target TEE approximates.
+func ExampleCurve_EpochsToAccuracy() {
+	curve, _ := dlt.NewCurve(dlt.Config{
+		Model: "mobilenet", Dataset: "cifar10", BatchSize: 32,
+		Optimizer: "sgd", LR: 0.01, Seed: 0,
+	})
+	e, ok := curve.EpochsToAccuracy(0.85)
+	fmt.Println(e, ok)
+	_, reachable := curve.EpochsToAccuracy(0.999)
+	fmt.Println(reachable)
+	// Output:
+	// 9 true
+	// false
+}

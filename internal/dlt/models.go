@@ -1,0 +1,193 @@
+// Package dlt is the deep-learning-training substrate that stands in for
+// the paper's TensorFlow 1.15 + 4×RTX-2080 testbed.
+//
+// Rotary-DLT observes a training job only through (a) its per-epoch
+// evaluation accuracy series, (b) its per-step/per-epoch wall time, and
+// (c) its peak GPU memory. This package synthesizes all three with the
+// qualitative traits the paper's arbitration exploits: saturating
+// learning curves with diminishing returns (Fig. 1b), epoch times stable
+// across steps but dependent on model size and batch size, a slow first
+// step (the CUDA warm-up TTR discards), and memory linear in batch size
+// with a model-size offset (the curve TME fits). The model zoo covers the
+// 17 surveyed architectures of Table II, including the shrunk variants
+// the paper uses to fit a single GPU, plus the pre-trained BERT/VGG/
+// ResNet variants used for fine-tuning jobs.
+package dlt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Domain separates computer-vision from natural-language models; Table II
+// gives them different batch-size spaces and datasets.
+type Domain int
+
+// Model domains.
+const (
+	CV Domain = iota
+	NLP
+)
+
+// String returns "cv" or "nlp".
+func (d Domain) String() string {
+	if d == NLP {
+		return "nlp"
+	}
+	return "cv"
+}
+
+// ModelSpec describes one architecture in the zoo. Accuracy ceilings and
+// convergence rates are calibrated to the public CIFAR-10 / UD-Treebank /
+// IMDB results of each architecture family; absolute fidelity is not
+// required — Rotary only consumes the curve shapes.
+type ModelSpec struct {
+	Name string
+	// Family groups variants for similarity search (e.g. pre-trained and
+	// scratch ResNet share a family).
+	Family string
+	Domain Domain
+	// ParamsM is the parameter count in millions — the model size the TME
+	// similarity metric compares.
+	ParamsM float64
+	// BaseAccuracy is the well-tuned asymptotic evaluation accuracy.
+	BaseAccuracy float64
+	// BaseRate is the exponential learning-curve rate per epoch under
+	// well-tuned hyperparameters.
+	BaseRate float64
+	// PreTrained marks fine-tuning variants: they start near their ceiling
+	// and converge in a handful of epochs.
+	PreTrained bool
+}
+
+// zoo lists the Table II architectures with shrunk single-GPU variants.
+var zoo = []ModelSpec{
+	{Name: "inception-v3", Family: "inception", Domain: CV, ParamsM: 23.8, BaseAccuracy: 0.935, BaseRate: 0.24},
+	{Name: "mobilenet", Family: "mobilenet", Domain: CV, ParamsM: 4.2, BaseAccuracy: 0.905, BaseRate: 0.30},
+	{Name: "mobilenetv2", Family: "mobilenet", Domain: CV, ParamsM: 3.5, BaseAccuracy: 0.915, BaseRate: 0.30},
+	{Name: "squeezenet", Family: "squeezenet", Domain: CV, ParamsM: 1.2, BaseAccuracy: 0.875, BaseRate: 0.34},
+	{Name: "shufflenet", Family: "shufflenet", Domain: CV, ParamsM: 1.9, BaseAccuracy: 0.895, BaseRate: 0.32},
+	{Name: "shufflenetv2", Family: "shufflenet", Domain: CV, ParamsM: 2.3, BaseAccuracy: 0.905, BaseRate: 0.32},
+	{Name: "resnet-18", Family: "resnet", Domain: CV, ParamsM: 11.7, BaseAccuracy: 0.945, BaseRate: 0.26},
+	{Name: "resnet-34", Family: "resnet", Domain: CV, ParamsM: 21.8, BaseAccuracy: 0.950, BaseRate: 0.24},
+	{Name: "resnext-29", Family: "resnext", Domain: CV, ParamsM: 9.1, BaseAccuracy: 0.945, BaseRate: 0.24},
+	{Name: "efficientnet-b0", Family: "efficientnet", Domain: CV, ParamsM: 5.3, BaseAccuracy: 0.935, BaseRate: 0.26},
+	{Name: "lenet", Family: "lenet", Domain: CV, ParamsM: 0.06, BaseAccuracy: 0.680, BaseRate: 0.42},
+	{Name: "vgg-11", Family: "vgg", Domain: CV, ParamsM: 9.8, BaseAccuracy: 0.920, BaseRate: 0.26},
+	{Name: "alexnet", Family: "alexnet", Domain: CV, ParamsM: 6.1, BaseAccuracy: 0.830, BaseRate: 0.32},
+	{Name: "zfnet", Family: "zfnet", Domain: CV, ParamsM: 6.0, BaseAccuracy: 0.840, BaseRate: 0.32},
+	{Name: "densenet-121", Family: "densenet", Domain: CV, ParamsM: 8.0, BaseAccuracy: 0.945, BaseRate: 0.22},
+	{Name: "lstm", Family: "lstm", Domain: NLP, ParamsM: 2.4, BaseAccuracy: 0.880, BaseRate: 0.38},
+	{Name: "bilstm", Family: "lstm", Domain: NLP, ParamsM: 4.1, BaseAccuracy: 0.895, BaseRate: 0.36},
+	{Name: "bert-mini", Family: "bert", Domain: NLP, ParamsM: 11.3, BaseAccuracy: 0.910, BaseRate: 0.30},
+	{Name: "bert-mini-pretrained", Family: "bert", Domain: NLP, ParamsM: 11.3, BaseAccuracy: 0.925, BaseRate: 1.2, PreTrained: true},
+	{Name: "vgg-11-pretrained", Family: "vgg", Domain: CV, ParamsM: 9.8, BaseAccuracy: 0.930, BaseRate: 1.2, PreTrained: true},
+	{Name: "resnet-18-pretrained", Family: "resnet", Domain: CV, ParamsM: 11.7, BaseAccuracy: 0.950, BaseRate: 1.2, PreTrained: true},
+}
+
+var zooByName = func() map[string]ModelSpec {
+	m := make(map[string]ModelSpec, len(zoo))
+	for _, s := range zoo {
+		m[s.Name] = s
+	}
+	return m
+}()
+
+// Models returns the zoo's model names, sorted.
+func Models() []string {
+	names := make([]string, 0, len(zoo))
+	for _, s := range zoo {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScratchModels returns the non-pre-trained model names, optionally
+// filtered by domain (pass -1 for all domains).
+func ScratchModels(d Domain) []string {
+	var names []string
+	for _, s := range zoo {
+		if s.PreTrained {
+			continue
+		}
+		if d == CV || d == NLP {
+			if s.Domain != d {
+				continue
+			}
+		}
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PreTrainedModels returns the fine-tuning variants.
+func PreTrainedModels() []string {
+	var names []string
+	for _, s := range zoo {
+		if s.PreTrained {
+			names = append(names, s.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the spec of a model by name.
+func Lookup(name string) (ModelSpec, error) {
+	s, ok := zooByName[name]
+	if !ok {
+		return ModelSpec{}, fmt.Errorf("dlt: unknown model %q", name)
+	}
+	return s, nil
+}
+
+// DatasetSpec describes a training dataset.
+type DatasetSpec struct {
+	Name   string
+	Domain Domain
+	// TrainExamples determines steps per epoch (examples / batch size).
+	TrainExamples int
+}
+
+// Datasets from Table II: CIFAR-10 for CV, UD Treebank and the Large
+// Movie Review Dataset (IMDB) for NLP.
+var datasets = map[string]DatasetSpec{
+	"cifar10":    {Name: "cifar10", Domain: CV, TrainExamples: 50000},
+	"udtreebank": {Name: "udtreebank", Domain: NLP, TrainExamples: 12543},
+	"imdb":       {Name: "imdb", Domain: NLP, TrainExamples: 25000},
+}
+
+// LookupDataset returns a dataset spec by name.
+func LookupDataset(name string) (DatasetSpec, error) {
+	d, ok := datasets[name]
+	if !ok {
+		return DatasetSpec{}, fmt.Errorf("dlt: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// DatasetsFor returns the dataset names for a domain, sorted.
+func DatasetsFor(d Domain) []string {
+	var names []string
+	for _, ds := range datasets {
+		if ds.Domain == d {
+			names = append(names, ds.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Hyperparameter spaces from Table II.
+var (
+	// BatchSizesCV follows the small-batch empirical study the paper cites.
+	BatchSizesCV = []int{2, 4, 8, 16, 32}
+	// BatchSizesNLP follows common NLP practice.
+	BatchSizesNLP = []int{32, 64, 128, 256}
+	// Optimizers from Table II.
+	Optimizers = []string{"sgd", "adam", "adagrad", "momentum"}
+	// LearningRates from Table II.
+	LearningRates = []float64{0.1, 0.01, 0.001, 0.0001, 0.00001}
+)

@@ -1,0 +1,105 @@
+package dlt
+
+import (
+	"sync"
+	"time"
+)
+
+// TTR is the training-time recorder of §IV-B: "a side component … to
+// record the training time of a single step or an epoch" per job and
+// device. Because DLT steps are stable (same architecture, same batch
+// size), recording a single steady-state step time per (job, device) pair
+// suffices to predict the whole training runtime; the very first step is
+// always discarded because of the CUDA warm-up issue.
+//
+// TTR instruments itself with real wall-clock accounting so the Table III
+// overhead experiment can report the recorder's true cost.
+type TTR struct {
+	mu       sync.Mutex
+	stepSecs map[ttrKey]float64
+	records  int
+	overhead time.Duration
+}
+
+type ttrKey struct {
+	jobID  string
+	device int
+}
+
+// NewTTR returns an empty recorder.
+func NewTTR() *TTR {
+	return &TTR{stepSecs: make(map[ttrKey]float64)}
+}
+
+// RecordEpoch folds one observed epoch into the recorder. steps is the
+// number of optimization steps the epoch ran; firstEpoch marks the first
+// epoch after a (re)placement, whose first step carries the CUDA warm-up
+// and is discarded before computing the per-step time.
+func (t *TTR) RecordEpoch(jobID string, device int, epochSecs float64, steps int, firstEpoch bool) {
+	start := time.Now()
+	defer func() {
+		t.mu.Lock()
+		t.overhead += time.Since(start)
+		t.mu.Unlock()
+	}()
+	if steps <= 0 {
+		return
+	}
+	if firstEpoch {
+		epochSecs -= WarmupSeconds
+		steps--
+		if steps <= 0 || epochSecs <= 0 {
+			return
+		}
+	}
+	t.mu.Lock()
+	t.stepSecs[ttrKey{jobID, device}] = epochSecs / float64(steps)
+	t.records++
+	t.mu.Unlock()
+}
+
+// StepSeconds reports the recorded steady-state step time of jobID on
+// device, falling back to any device's record for the job, and reports
+// whether a record was found.
+func (t *TTR) StepSeconds(jobID string, device int) (float64, bool) {
+	start := time.Now()
+	t.mu.Lock()
+	defer func() {
+		t.overhead += time.Since(start)
+		t.mu.Unlock()
+	}()
+	if s, ok := t.stepSecs[ttrKey{jobID, device}]; ok {
+		return s, true
+	}
+	for k, s := range t.stepSecs {
+		if k.jobID == jobID {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// EpochSeconds predicts the wall time of one epoch of jobID on device
+// given its step count, and reports whether a recording existed.
+func (t *TTR) EpochSeconds(jobID string, device int, steps int) (float64, bool) {
+	s, ok := t.StepSeconds(jobID, device)
+	if !ok {
+		return 0, false
+	}
+	return s * float64(steps), true
+}
+
+// Records reports how many epoch recordings have been folded in.
+func (t *TTR) Records() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.records
+}
+
+// Overhead reports the cumulative real wall-clock time spent inside the
+// recorder — the quantity Table III measures.
+func (t *TTR) Overhead() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.overhead
+}

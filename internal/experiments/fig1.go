@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rotary/internal/dlt"
+	"rotary/internal/metrics"
+)
+
+// Fig1aResult holds the Fig. 1a progress curves: online-aggregation
+// progress of TPC-H Q5, Q7 and Q19 over time, single-threaded, checked at
+// per-query intervals.
+type Fig1aResult struct {
+	// Series maps query name to (seconds, data-progress, true accuracy)
+	// samples.
+	Series map[string][]ProgressSample
+	Text   string
+}
+
+// ProgressSample is one checkpointed observation of a progressing query.
+type ProgressSample struct {
+	Secs     float64
+	DataFrac float64
+	Accuracy float64
+}
+
+// Fig1a regenerates Fig. 1a: it streams Q5, Q7 and Q19 standalone and
+// samples their progress every 60 seconds, then re-samples Q5 at 120 s
+// and Q7 at 180 s to show the paper's observation that per-query check
+// intervals align the progress patterns.
+func Fig1a(cfg Config) (*Fig1aResult, error) {
+	cat := catalogFor(cfg.SF, cfg.Seed)
+	res := &Fig1aResult{Series: map[string][]ProgressSample{}}
+	curves := []struct {
+		query    string
+		interval float64
+		label    string
+	}{
+		{"q5", 60, "q5@60s"}, {"q7", 60, "q7@60s"}, {"q19", 60, "q19@60s"},
+		{"q5", 120, "q5@120s"}, {"q7", 180, "q7@180s"},
+	}
+	for _, c := range curves {
+		q, err := cat.NewQuery(c.query)
+		if err != nil {
+			return nil, err
+		}
+		var secs float64
+		nextCheck := c.interval
+		var samples []ProgressSample
+		for !q.Exhausted() {
+			rows, cost := q.ProcessBatch(2000, 1)
+			if rows == 0 {
+				break
+			}
+			secs += cost
+			for secs >= nextCheck {
+				samples = append(samples, ProgressSample{Secs: nextCheck, DataFrac: q.DataProgress(), Accuracy: q.Accuracy()})
+				nextCheck += c.interval
+			}
+		}
+		samples = append(samples, ProgressSample{Secs: secs, DataFrac: 1, Accuracy: q.Accuracy()})
+		res.Series[c.label] = samples
+	}
+
+	var b strings.Builder
+	b.WriteString("Fig 1a: online-aggregation progress of TPC-H q5, q7, q19 (single thread)\n")
+	for _, c := range curves {
+		samples := res.Series[c.label]
+		fmt.Fprintf(&b, "%-8s", c.label)
+		for i, s := range samples {
+			if i >= 10 {
+				fmt.Fprintf(&b, " …")
+				break
+			}
+			fmt.Fprintf(&b, " %4.0fs:%3.0f%%", s.Secs, s.DataFrac*100)
+		}
+		b.WriteByte('\n')
+	}
+	var plotted []metrics.Series
+	for _, label := range []string{"q19@60s", "q5@60s", "q7@60s"} {
+		ser := metrics.Series{Name: label}
+		for _, s := range res.Series[label] {
+			ser.Points = append(ser.Points, metrics.XY{X: s.Secs, Y: s.DataFrac})
+		}
+		plotted = append(plotted, ser)
+	}
+	b.WriteByte('\n')
+	b.WriteString(metrics.RenderLineChart("data progress vs seconds (checked every 60 s)", plotted, 64, 14))
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig1bResult holds the Fig. 1b learning curves of five well-tuned
+// convolutional models on CIFAR-10 (batch 128, lr 0.01).
+type Fig1bResult struct {
+	// Curves maps model name to accuracy after each epoch (30 epochs).
+	Curves map[string][]float64
+	Text   string
+}
+
+// Fig1bModels are the five CNNs plotted.
+var Fig1bModels = []string{"resnet-18", "mobilenet", "densenet-121", "vgg-11", "shufflenet"}
+
+// Fig1b regenerates Fig. 1b from the DLT learning-curve substrate.
+func Fig1b(cfg Config) (*Fig1bResult, error) {
+	res := &Fig1bResult{Curves: map[string][]float64{}}
+	const epochs = 30
+	for _, model := range Fig1bModels {
+		curve, err := dlt.NewCurve(dlt.Config{
+			Model: model, Dataset: "cifar10", BatchSize: 128,
+			Optimizer: "sgd", LR: 0.01, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		accs := make([]float64, epochs)
+		for e := 1; e <= epochs; e++ {
+			accs[e-1] = curve.At(e)
+		}
+		res.Curves[model] = accs
+	}
+	var b strings.Builder
+	b.WriteString("Fig 1b: evaluation accuracy on CIFAR-10 (batch 128, lr 0.01)\n")
+	fmt.Fprintf(&b, "%-14s", "epoch")
+	for _, e := range []int{1, 2, 4, 8, 12, 16, 20, 25, 30} {
+		fmt.Fprintf(&b, "%7d", e)
+	}
+	b.WriteByte('\n')
+	for _, model := range Fig1bModels {
+		fmt.Fprintf(&b, "%-14s", model)
+		for _, e := range []int{1, 2, 4, 8, 12, 16, 20, 25, 30} {
+			fmt.Fprintf(&b, "%6.1f%%", res.Curves[model][e-1]*100)
+		}
+		b.WriteByte('\n')
+	}
+	var plotted []metrics.Series
+	for _, model := range Fig1bModels {
+		ser := metrics.Series{Name: model}
+		for e, acc := range res.Curves[model] {
+			ser.Points = append(ser.Points, metrics.XY{X: float64(e + 1), Y: acc})
+		}
+		plotted = append(plotted, ser)
+	}
+	b.WriteByte('\n')
+	b.WriteString(metrics.RenderLineChart("evaluation accuracy vs epoch", plotted, 64, 14))
+	res.Text = b.String()
+	return res, nil
+}

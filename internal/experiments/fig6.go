@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig6Result is the attainment comparison of Rotary-AQP against the four
+// baselines on the Table I workload (Fig. 6), averaged over cfg.Runs.
+type Fig6Result struct {
+	Reports map[aqpPolicyName]*AveragedAQPReport
+	Text    string
+}
+
+// Fig6 regenerates Fig. 6.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	reports, err := runAQPComparison(cfg, fig6Policies, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Reports: reports, Text: renderAveraged("Fig 6: attained AQP jobs (mean of runs)", reports, fig6Policies)}, nil
+}
+
+func renderAveraged(title string, reports map[aqpPolicyName]*AveragedAQPReport, order []aqpPolicyName) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	classes := []string{"light", "medium", "heavy", "total"}
+	fmt.Fprintf(&b, "%-18s", "policy")
+	for _, c := range classes {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, p := range order {
+		r := reports[p]
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s", r.Policy)
+		for _, c := range classes {
+			fmt.Fprintf(&b, "%8.1f/%-5.1f", r.AttainedByClass[c], r.TotalByClass[c])
+		}
+		if r.Runs > 1 {
+			fmt.Fprintf(&b, "  (±%.1f over %d runs)", r.AttainedStddev, r.Runs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7Result is the false-attainment and waiting-time comparison
+// (Fig. 7a/7b), averaged over cfg.Runs.
+type Fig7Result struct {
+	Reports map[aqpPolicyName]*AveragedAQPReport
+	Text    string
+}
+
+// Fig7 regenerates Fig. 7. It also measures the isolated runtime of every
+// job (the waiting-time reference), which makes it the slowest AQP
+// experiment.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	reports, err := runAQPComparison(cfg, fig6Policies, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Fig 7: false attainment and average waiting time (mean of runs)\n")
+	fmt.Fprintf(&b, "%-18s %16s %18s\n", "policy", "false-attainment", "avg-wait-seconds")
+	for _, p := range fig6Policies {
+		r := reports[p]
+		fmt.Fprintf(&b, "%-18s %16.1f %18.1f\n", r.Policy, r.FalseAttainments, r.AvgWaitSecs)
+	}
+	return &Fig7Result{Reports: reports, Text: b.String()}, nil
+}
+
+// Fig8Result is the skewed-workload comparison (Fig. 8): three
+// single-class workloads.
+type Fig8Result struct {
+	// BySkew maps "light"/"medium"/"heavy" to the per-policy averages.
+	BySkew map[string]map[aqpPolicyName]*AveragedAQPReport
+	Text   string
+}
+
+// Fig8 regenerates Fig. 8: the workloads contain only light, only
+// medium, or only heavy jobs.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{BySkew: map[string]map[aqpPolicyName]*AveragedAQPReport{}}
+	var b strings.Builder
+	skews := []struct {
+		name string
+		mix  [3]float64
+	}{
+		{"light", [3]float64{1, 0, 0}},
+		{"medium", [3]float64{0, 1, 0}},
+		{"heavy", [3]float64{0, 0, 1}},
+	}
+	for _, s := range skews {
+		mix := s.mix
+		reports, err := runAQPComparison(cfg, fig6Policies, false, &mix)
+		if err != nil {
+			return nil, err
+		}
+		res.BySkew[s.name] = reports
+		b.WriteString(renderAveraged(fmt.Sprintf("Fig 8 (%s-only workload): attained jobs", s.name), reports, fig6Policies))
+		b.WriteByte('\n')
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig9Result is the progress-estimation sensitivity experiment: Rotary-
+// AQP with the uniform-random estimator against the real one and the
+// simple baselines.
+type Fig9Result struct {
+	Reports map[aqpPolicyName]*AveragedAQPReport
+	Text    string
+}
+
+// Fig9 regenerates Fig. 9.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	policies := []aqpPolicyName{PolicyRotaryAQP, PolicyRandomEst, PolicyEDF, PolicyLAF, PolicyRoundRobin}
+	reports, err := runAQPComparison(cfg, policies, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		Reports: reports,
+		Text:    renderAveraged("Fig 9: impact of progress estimation (mean of runs)", reports, policies),
+	}, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rotary/internal/core"
+	"rotary/internal/estimate"
+	"rotary/internal/workload"
+)
+
+// Table3Row is one workload size's overhead measurement: the virtual
+// makespan of the workload against the real wall-clock time spent inside
+// TTR, TEE and TME — the paper's point being that the recorders and
+// estimators cost an imperceptible fraction of the processing time.
+type Table3Row struct {
+	WorkloadSize    int
+	OverallRunSecs  float64 // virtual seconds of workload processing
+	TTROverhead     time.Duration
+	TEEOverhead     time.Duration
+	TMEOverhead     time.Duration
+	TTRCallsPerHour float64
+}
+
+// Table3Result reproduces Table III.
+type Table3Result struct {
+	Rows []Table3Row
+	Text string
+}
+
+// Table3 regenerates Table III over workload sizes 10, 20, 30 and 40
+// under adaptive Rotary-DLT.
+func Table3(cfg Config) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, size := range []int{10, 20, 30, 40} {
+		specs := workload.GenerateDLT(workload.DefaultDLTWorkload(size, cfg.Seed))
+		repo := estimate.NewRepository()
+		if err := workload.SeedDLTHistory(repo, 40, 30, cfg.Seed); err != nil {
+			return nil, err
+		}
+		tee := estimate.NewTEE(repo, 3)
+		tme := estimate.NewTME(repo, 3)
+		sched := core.NewRotaryDLT(0.5, tee, tme)
+		exec := core.NewDLTExecutor(core.DefaultDLTExecConfig(), sched, repo)
+		for _, spec := range specs {
+			j, err := workload.BuildDLTJob(spec)
+			if err != nil {
+				return nil, err
+			}
+			exec.Submit(j, 0)
+		}
+		if err := exec.Run(); err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			WorkloadSize:   size,
+			OverallRunSecs: exec.Engine().Now().Seconds(),
+			TTROverhead:    exec.TTR().Overhead(),
+			TEEOverhead:    tee.Overhead(),
+			TMEOverhead:    tme.Overhead(),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	var b strings.Builder
+	b.WriteString("Table III: overall processing time and TTR/TEE/TME overhead\n")
+	fmt.Fprintf(&b, "%9s %16s %14s %14s %14s\n", "workload", "overall-run(s)", "TTR", "TEE", "TME")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%9d %16.0f %14s %14s %14s\n",
+			r.WorkloadSize, r.OverallRunSecs, r.TTROverhead, r.TEEOverhead, r.TMEOverhead)
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package hpo
+
+import (
+	"testing"
+
+	"rotary/internal/dlt"
+)
+
+// gridConfigs builds an optimizer × learning-rate grid over one model.
+func gridConfigs() []dlt.Config {
+	var out []dlt.Config
+	i := 0
+	for _, opt := range []string{"sgd", "momentum", "adam", "adagrad"} {
+		for _, lr := range []float64{0.1, 0.01, 0.001, 0.0001} {
+			out = append(out, dlt.Config{
+				Model: "resnet-18", Dataset: "cifar10", BatchSize: 32,
+				Optimizer: opt, LR: lr, Seed: uint64(100 + i),
+			})
+			i++
+		}
+	}
+	return out
+}
+
+func TestSearchEliminatesAndFindsGoodConfig(t *testing.T) {
+	res, err := Search(DefaultConfig(), gridConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best trial")
+	}
+	// The winner must be a well-tuned configuration: its curve ceiling is
+	// near the model's base accuracy only for good (optimizer, lr) pairs.
+	if res.Best.Accuracy() < 0.80 {
+		t.Errorf("best trial accuracy %.3f, want a well-tuned config (> 0.80)", res.Best.Accuracy())
+	}
+	// Successive halving: elimination actually happened, and eliminated
+	// trials spent fewer epochs than survivors.
+	dropped := 0
+	maxDroppedEpochs, minSurvivorEpochs := 0, 1<<30
+	for _, tr := range res.Trials {
+		if tr.RungDropped() >= 0 {
+			dropped++
+			if tr.Epochs() > maxDroppedEpochs {
+				maxDroppedEpochs = tr.Epochs()
+			}
+		} else if tr.Epochs() < minSurvivorEpochs {
+			minSurvivorEpochs = tr.Epochs()
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no trials eliminated")
+	}
+	if maxDroppedEpochs >= minSurvivorEpochs {
+		t.Errorf("a dropped trial trained %d epochs ≥ a survivor's %d", maxDroppedEpochs, minSurvivorEpochs)
+	}
+	// Rung budgets grow by eta and survivor counts shrink.
+	for i := 1; i < len(res.Rungs); i++ {
+		if res.Rungs[i].Trials >= res.Rungs[i-1].Trials {
+			t.Errorf("rung %d has %d trials, previous had %d", i, res.Rungs[i].Trials, res.Rungs[i-1].Trials)
+		}
+	}
+	if res.TotalEpochs <= 0 || res.VirtualSecs <= 0 {
+		t.Error("missing cost accounting")
+	}
+}
+
+func TestSearchBeatsUniformBudget(t *testing.T) {
+	configs := gridConfigs()
+	res, err := Search(DefaultConfig(), configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A uniform allocation spending the same total epoch budget evenly
+	// across all trials must reach a worse (or equal) best accuracy.
+	per := res.TotalEpochs / len(configs)
+	if per < 1 {
+		per = 1
+	}
+	bestUniform := 0.0
+	for _, c := range configs {
+		job, err := dlt.NewJob(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc float64
+		for e := 0; e < per; e++ {
+			acc, _ = job.TrainEpoch()
+		}
+		if acc > bestUniform {
+			bestUniform = acc
+		}
+	}
+	if res.Best.Accuracy() < bestUniform-0.02 {
+		t.Errorf("successive halving best %.3f clearly below uniform-budget best %.3f (budget %d epochs each)",
+			res.Best.Accuracy(), bestUniform, per)
+	}
+	t.Logf("halving best %.3f (total %d epochs) vs uniform best %.3f (%d epochs each)",
+		res.Best.Accuracy(), res.TotalEpochs, bestUniform, per)
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(DefaultConfig(), nil); err == nil {
+		t.Error("empty search accepted")
+	}
+	if _, err := Search(DefaultConfig(), []dlt.Config{{Model: "nope"}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSearchSingleTrial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 4
+	res, err := Search(cfg, gridConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.RungDropped() != -1 {
+		t.Error("sole trial marked dropped")
+	}
+	if res.Best.Epochs() > cfg.MaxEpochs {
+		t.Errorf("trial exceeded MaxEpochs: %d", res.Best.Epochs())
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one point of a plotted series.
+type XY struct {
+	X, Y float64
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Points []XY
+}
+
+// seriesGlyphs mark the lines; a cell holding two series shows '#'.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '@', '%', '&', '$'}
+
+// RenderLineChart plots the series on a shared plain-text grid — the
+// terminal rendering of the paper's figures. Width and height count the
+// plot area's characters; the axes and legend are added around it. Y is
+// auto-scaled to the data (with 0 included when the data is non-negative,
+// so progress curves read naturally).
+func RenderLineChart(title string, series []Series, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			n++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if n == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minY > 0 {
+		minY = 0 // anchor non-negative data at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			if cur := grid[row][col]; cur != ' ' && cur != glyph {
+				grid[row][col] = '#'
+			} else {
+				grid[row][col] = glyph
+			}
+		}
+	}
+
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "        %-*.5g%*.5g\n", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}

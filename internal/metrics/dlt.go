@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/sim"
+)
+
+// DLTProgressAt computes the §V-B attainment-progress metric of one job
+// at virtual time t, per its completion-criteria kind:
+//
+//   - accuracy-oriented: current accuracy / target accuracy;
+//   - convergence-oriented: current epoch / convergence-line when the job
+//     eventually converged, current epoch / max epochs otherwise
+//     (retrospective, exactly as §V-B defines it);
+//   - runtime-oriented: current epoch / target epochs.
+//
+// Progress is clamped to [0, 1]; a job that terminated attained before t
+// reports 1.
+func DLTProgressAt(j *core.DLTJob, t sim.Time) float64 {
+	if j.Status() == core.StatusAttainedStop && j.EndTime() <= t {
+		return 1
+	}
+	// Latest observation at or before t.
+	var epoch int
+	var acc float64
+	seen := false
+	for _, obs := range j.EpochLog() {
+		if obs.At > t {
+			break
+		}
+		epoch = obs.Epoch
+		acc = obs.TrueAcc
+		seen = true
+	}
+	if !seen {
+		return 0
+	}
+	clamp := func(p float64) float64 {
+		if p > 1 {
+			return 1
+		}
+		if p < 0 {
+			return 0
+		}
+		return p
+	}
+	switch j.Criteria().Kind {
+	case criteria.Accuracy:
+		thr := j.Criteria().Threshold
+		if thr <= 0 {
+			return 0
+		}
+		return clamp(acc / thr)
+	case criteria.Convergence:
+		if c := j.ConvergedAtEpoch(); c > 0 {
+			return clamp(float64(epoch) / float64(c))
+		}
+		return clamp(float64(epoch) / float64(j.MaxEpochs()))
+	case criteria.Runtime:
+		return clamp(float64(epoch) / float64(j.MaxEpochs()))
+	default:
+		return 0
+	}
+}
+
+// Violin is the five-number summary (plus mean) behind one violin of
+// Fig. 10.
+type Violin struct {
+	Min, P25, P50, P75, Max, Mean float64
+	N                             int
+}
+
+// Summarize computes a Violin over values.
+func Summarize(values []float64) Violin {
+	if len(values) == 0 {
+		return Violin{}
+	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	sort.Float64s(vs)
+	q := func(p float64) float64 {
+		idx := p * float64(len(vs)-1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(vs) {
+			return vs[lo]
+		}
+		frac := idx - float64(lo)
+		return vs[lo]*(1-frac) + vs[hi]*frac
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return Violin{
+		Min: vs[0], P25: q(0.25), P50: q(0.50), P75: q(0.75), Max: vs[len(vs)-1],
+		Mean: sum / float64(len(vs)), N: len(vs),
+	}
+}
+
+// DLTSnapshot is a workload's progress distribution at one time.
+type DLTSnapshot struct {
+	At       sim.Time
+	Progress Violin
+	Attained int
+}
+
+// SnapshotDLT computes Fig. 10's per-interval snapshots: at each time,
+// the distribution of every job's attainment progress plus the count of
+// jobs that met their completion criteria.
+func SnapshotDLT(jobs []*core.DLTJob, times []sim.Time) []DLTSnapshot {
+	out := make([]DLTSnapshot, 0, len(times))
+	for _, t := range times {
+		vals := make([]float64, 0, len(jobs))
+		attained := 0
+		for _, j := range jobs {
+			vals = append(vals, DLTProgressAt(j, t))
+			if j.Status() == core.StatusAttainedStop && j.EndTime() <= t {
+				attained++
+			}
+		}
+		out = append(out, DLTSnapshot{At: t, Progress: Summarize(vals), Attained: attained})
+	}
+	return out
+}
+
+// RenderDLTSnapshots renders one policy's Fig. 10 series.
+func RenderDLTSnapshots(policy string, snaps []DLTSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s\n", policy)
+	fmt.Fprintf(&b, "%10s %8s %6s %6s %6s %6s %6s %6s\n",
+		"t(min)", "attained", "min", "p25", "p50", "p75", "max", "mean")
+	for _, s := range snaps {
+		v := s.Progress
+		fmt.Fprintf(&b, "%10.0f %8d %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			s.At.Minutes(), s.Attained, v.Min, v.P25, v.P50, v.P75, v.Max, v.Mean)
+	}
+	return b.String()
+}
+
+// RenderGantt renders the Fig. 11 job-placement chart: one row per
+// device, one cell per time slot showing the job occupying it ('.' for
+// idle, '#' suffix marks the slot in which a job met its criteria).
+func RenderGantt(jobs []*core.DLTJob, devices int, horizon sim.Time, slots int) string {
+	if slots <= 0 {
+		slots = 60
+	}
+	slotLen := horizon.Seconds() / float64(slots)
+	grid := make([][]string, devices)
+	for d := range grid {
+		grid[d] = make([]string, slots)
+		for s := range grid[d] {
+			grid[d][s] = " ."
+		}
+	}
+	label := func(j *core.DLTJob, idx int) string { return fmt.Sprintf("%2d", idx) }
+	for idx, j := range jobs {
+		for _, p := range j.Placements() {
+			if p.Device < 0 || p.Device >= devices {
+				continue
+			}
+			s0 := int(p.Start.Seconds() / slotLen)
+			s1 := int(p.End.Seconds() / slotLen)
+			for s := s0; s <= s1 && s < slots; s++ {
+				grid[p.Device][s] = label(j, idx)
+			}
+		}
+	}
+	var b strings.Builder
+	for d := 0; d < devices; d++ {
+		fmt.Fprintf(&b, "gpu%-2d |", d)
+		for s := 0; s < slots; s++ {
+			b.WriteString(grid[d][s])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%6s 0%s%.0fs\n", "", strings.Repeat(" ", 2*slots-6), horizon.Seconds())
+	for idx, j := range jobs {
+		fmt.Fprintf(&b, "  job %2d = %-28s %-10s end=%7.0fs epochs=%d\n",
+			idx, j.ID(), j.Status(), j.EndTime().Seconds(), j.Epochs())
+	}
+	return b.String()
+}

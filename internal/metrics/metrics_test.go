@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rotary/internal/sim"
+)
+
+func TestSummarizeQuantiles(t *testing.T) {
+	v := Summarize([]float64{4, 1, 3, 2, 5})
+	if v.Min != 1 || v.Max != 5 || v.P50 != 3 || v.Mean != 3 || v.N != 5 {
+		t.Fatalf("summary %+v", v)
+	}
+	if v.P25 != 2 || v.P75 != 4 {
+		t.Fatalf("quartiles %+v", v)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.P50 != 7 {
+		t.Fatalf("singleton summary %+v", one)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := sim.NewRand(seed)
+		size := int(n)%60 + 1
+		vals := make([]float64, size)
+		for i := range vals {
+			vals[i] = r.Range(-100, 100)
+		}
+		orig := make([]float64, size)
+		copy(orig, vals)
+		v := Summarize(vals)
+		// Input must not be mutated.
+		for i := range vals {
+			if vals[i] != orig[i] {
+				return false
+			}
+		}
+		sorted := make([]float64, size)
+		copy(sorted, vals)
+		sort.Float64s(sorted)
+		return v.Min == sorted[0] && v.Max == sorted[size-1] &&
+			v.Min <= v.P25 && v.P25 <= v.P50 && v.P50 <= v.P75 && v.P75 <= v.Max &&
+			v.Mean >= v.Min && v.Mean <= v.Max
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); len([]rune(got)) != 5 {
+		t.Errorf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(20, 10, 10); len([]rune(got)) != 10 {
+		t.Errorf("overflow bar %q not clamped", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Error("degenerate bars not empty")
+	}
+}
+
+func TestRenderAQPComparisonFormatting(t *testing.T) {
+	rep := AQPReport{Policy: "test", Outcomes: []AQPJobOutcome{
+		{ID: "a", Class: "light", Attained: true},
+		{ID: "b", Class: "heavy", Attained: false},
+	}}
+	out := RenderAQPComparison([]AQPReport{rep})
+	if !strings.Contains(out, "test") || !strings.Contains(out, "light") {
+		t.Errorf("render missing fields:\n%s", out)
+	}
+	att := rep.AttainedByClass()
+	if att["light"] != 1 || att["total"] != 1 {
+		t.Errorf("attained counts %v", att)
+	}
+	tot := rep.TotalByClass()
+	if tot["heavy"] != 1 || tot["total"] != 2 {
+		t.Errorf("total counts %v", tot)
+	}
+}
+
+func TestAvgWaitOverAttainedOnly(t *testing.T) {
+	rep := AQPReport{Outcomes: []AQPJobOutcome{
+		{Attained: true, WaitSecs: 10},
+		{Attained: true, WaitSecs: 30},
+		{Attained: false, WaitSecs: 1000},
+	}}
+	if got := rep.AvgWaitSecs(); got != 20 {
+		t.Errorf("avg wait %v, want 20 over attained jobs", got)
+	}
+	if (AQPReport{}).AvgWaitSecs() != 0 {
+		t.Error("empty report wait not 0")
+	}
+}
+
+func TestRenderLineChart(t *testing.T) {
+	rising := Series{Name: "rising", Points: []XY{{0, 0}, {50, 0.5}, {100, 1}}}
+	flat := Series{Name: "flat", Points: []XY{{0, 0.2}, {100, 0.2}}}
+	out := RenderLineChart("demo", []Series{rising, flat}, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "rising") || !strings.Contains(out, "flat") {
+		t.Fatalf("chart missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The top-left cell region must hold the max label, the rising series'
+	// last point lands near the top-right.
+	if !strings.Contains(lines[1], "1.00") {
+		t.Errorf("max label missing from top row: %q", lines[1])
+	}
+	topRow := lines[1]
+	if !strings.Contains(topRow, "*") {
+		t.Errorf("rising series missing from top row: %q", topRow)
+	}
+	if empty := RenderLineChart("x", nil, 40, 10); !strings.Contains(empty, "no data") {
+		t.Errorf("empty chart rendered %q", empty)
+	}
+}
+
+func TestRenderLineChartOverlapGlyph(t *testing.T) {
+	a := Series{Name: "a", Points: []XY{{0, 0.5}}}
+	b := Series{Name: "b", Points: []XY{{0, 0.5}}}
+	out := RenderLineChart("", []Series{a, b}, 20, 6)
+	if !strings.Contains(out, "#") {
+		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"rotary/internal/sim"
+)
+
+// The engine fires scheduled events in virtual-time order; same-instant
+// events fire in scheduling order, making runs fully deterministic.
+func ExampleEngine() {
+	eng := sim.New()
+	eng.Schedule(10, func() { fmt.Println("epoch done at", eng.Now()) })
+	eng.Schedule(5, func() {
+		fmt.Println("arrival at", eng.Now())
+		eng.Schedule(2, func() { fmt.Println("follow-up at", eng.Now()) })
+	})
+	eng.Run()
+	// Output:
+	// arrival at 5.000s
+	// follow-up at 7.000s
+	// epoch done at 10.000s
+}

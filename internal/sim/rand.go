@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic pseudo-random source used by every stochastic
+// component in the repository (dbgen, workload sampling, learning-curve
+// noise, Poisson arrivals). All experiments pass explicit seeds so the
+// paper's "averaged over 3 independent runs" protocol replays bit-for-bit.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a deterministic source seeded from seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 { return lo + (hi-lo)*r.src.Float64() }
+
+// Exp returns an exponentially distributed value with the given mean.
+// It is the inter-arrival time of a Poisson process with rate 1/mean,
+// matching Table I's "job arrival is based on a Poisson distribution with
+// a mean arrival time of 160 seconds".
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// Pick returns a uniformly chosen element of choices. It panics if choices
+// is empty, mirroring the workload tables where every parameter space is
+// non-empty.
+func Pick[T any](r *Rand, choices []T) T {
+	return choices[r.IntN(len(choices))]
+}
+
+// PickWeighted returns index i with probability weights[i]/sum(weights).
+// It panics if weights is empty or sums to a non-positive value.
+func (r *Rand) PickWeighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("sim: non-positive weight sum")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes s in place.
+func Shuffle[T any](r *Rand, s []T) {
+	r.src.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method (the means used in this repository are small).
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(5, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var depth int
+	var fire func()
+	fire = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(1, fire)
+		}
+	}
+	e.Schedule(1, fire)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("nested chain fired %d times, want 5", depth)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineNegativeAndNaNDelaysClampToNow(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() {
+		e.Schedule(-5, func() { fired++ })
+		e.Schedule(math.NaN(), func() { fired++ })
+	})
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("clamped events fired %d times, want 2", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %v, want 10s", e.Now())
+	}
+}
+
+func TestRunUntilLeavesFutureEventsPending(t *testing.T) {
+	e := New()
+	fired := []float64{}
+	for _, d := range []float64{1, 2, 3, 10} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want the three events ≤ 5s", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock %v, want 5s after RunUntil", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d pending, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 10 {
+		t.Fatalf("final state fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(100)
+	same := 0
+	d := NewRand(99)
+	for i := 0; i < 1000; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds agree on %d of 1000 draws", same)
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := NewRand(1)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(160)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 150 || mean > 170 {
+		t.Fatalf("exponential mean %.1f, want ≈160", mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Fatal("non-positive mean must return 0")
+	}
+}
+
+func TestPickWeightedRespectsZeroWeights(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 1000; i++ {
+		if got := r.PickWeighted([]float64{0, 1, 0}); got != 1 {
+			t.Fatalf("picked index %d with weight 0", got)
+		}
+	}
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.PickWeighted([]float64{0.4, 0.3, 0.3})]++
+	}
+	if f := float64(counts[0]) / 30000; f < 0.37 || f > 0.43 {
+		t.Fatalf("index 0 frequency %.3f, want ≈0.40", f)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n)%50 + 1
+		orig := make([]int, size)
+		for i := range orig {
+			orig[i] = i
+		}
+		s := make([]int, size)
+		copy(s, orig)
+		Shuffle(NewRand(seed), s)
+		seen := make([]bool, size)
+		for _, v := range s {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeWithinBounds(t *testing.T) {
+	r := NewRand(3)
+	check := func(lo, hi float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if math.IsInf(hi-lo, 0) {
+			return true // span overflows float64; out of the utility's domain
+		}
+		v := r.Range(lo, hi)
+		return (v >= lo && v < hi) || lo == hi && v == lo
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonNonNegativeAndMean(t *testing.T) {
+	r := NewRand(4)
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := r.Poisson(3)
+		if k < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+		sum += k
+	}
+	mean := float64(sum) / n
+	if mean < 2.85 || mean > 3.15 {
+		t.Fatalf("Poisson mean %.2f, want ≈3", mean)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Time(90).Minutes() != 1.5 {
+		t.Fatalf("Minutes: %v", Time(90).Minutes())
+	}
+	if Time(1.5).String() != "1.500s" {
+		t.Fatalf("String: %q", Time(1.5).String())
+	}
+}

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func intRecords(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestConsumerDrainsEverythingOnce(t *testing.T) {
+	topic := NewTopic("t", intRecords(1000), 4)
+	c := NewConsumer(topic)
+	seen := make(map[int]bool)
+	for {
+		batch, ok := c.NextBatch(77)
+		if !ok {
+			break
+		}
+		for _, v := range batch {
+			if seen[v] {
+				t.Fatalf("record %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("delivered %d of 1000 records", len(seen))
+	}
+	if c.Progress() != 1 || c.Remaining() != 0 {
+		t.Fatalf("progress=%v remaining=%d after drain", c.Progress(), c.Remaining())
+	}
+}
+
+// Consumption order must not depend on the batch sizes used — queries
+// with order-sensitive state rely on this to agree with the ground-truth
+// pass.
+func TestOrderIsBatchSizeInvariant(t *testing.T) {
+	topic := NewShuffledTopic("t", intRecords(500), 4, 9)
+	drain := func(sizes []int) []int {
+		c := NewConsumer(topic)
+		var out []int
+		i := 0
+		for {
+			n := sizes[i%len(sizes)]
+			i++
+			batch, ok := c.NextBatch(n)
+			if !ok {
+				break
+			}
+			out = append(out, batch...)
+		}
+		return out
+	}
+	a := drain([]int{1})
+	b := drain([]int{7, 13, 200})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShuffledTopicIsSeededPermutation(t *testing.T) {
+	a := NewShuffledTopic("t", intRecords(200), 3, 5)
+	b := NewShuffledTopic("t", intRecords(200), 3, 5)
+	ca, cb := NewConsumer(a), NewConsumer(b)
+	ba, _ := ca.NextBatch(200)
+	bb, _ := cb.NextBatch(200)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+	c := NewShuffledTopic("t", intRecords(200), 3, 6)
+	cc := NewConsumer(c)
+	bc, _ := cc.NextBatch(200)
+	same := 0
+	for i := range ba {
+		if ba[i] == bc[i] {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+}
+
+func TestOffsetsSeekRoundTrip(t *testing.T) {
+	topic := NewTopic("t", intRecords(300), 4)
+	c1 := NewConsumer(topic)
+	c1.NextBatch(113)
+	state := c1.Offsets()
+
+	c2 := NewConsumer(topic)
+	if err := c2.Seek(state); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Read() != c1.Read() {
+		t.Fatalf("read count %d vs %d after seek", c2.Read(), c1.Read())
+	}
+	r1, _ := c1.NextBatch(300)
+	r2, _ := c2.NextBatch(300)
+	if len(r1) != len(r2) {
+		t.Fatalf("remaining lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("post-seek order diverges at %d", i)
+		}
+	}
+}
+
+func TestSeekRejectsBadState(t *testing.T) {
+	topic := NewTopic("t", intRecords(10), 2)
+	c := NewConsumer(topic)
+	if err := c.Seek(ConsumerState{Offsets: []int{0}}); err == nil {
+		t.Error("seek accepted wrong partition count")
+	}
+	if err := c.Seek(ConsumerState{Offsets: []int{0, 99}}); err == nil {
+		t.Error("seek accepted out-of-range offset")
+	}
+	if err := c.Seek(ConsumerState{Offsets: []int{0, -1}}); err == nil {
+		t.Error("seek accepted negative offset")
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n)%200 + 1
+		topic := NewShuffledTopic("t", intRecords(size), 3, seed)
+		c := NewConsumer(topic)
+		prev := 0.0
+		for {
+			_, ok := c.NextBatch(7)
+			p := c.Progress()
+			if p < prev || p > 1 {
+				return false
+			}
+			prev = p
+			if !ok {
+				break
+			}
+		}
+		return prev == 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndZeroBatch(t *testing.T) {
+	topic := NewTopic[int]("empty", nil, 4)
+	c := NewConsumer(topic)
+	if _, ok := c.NextBatch(10); ok {
+		t.Error("empty topic returned a batch")
+	}
+	if c.Progress() != 1 {
+		t.Error("empty topic progress should be 1")
+	}
+	topic2 := NewTopic("t", intRecords(5), 1)
+	c2 := NewConsumer(topic2)
+	if _, ok := c2.NextBatch(0); ok {
+		t.Error("zero-size batch returned records")
+	}
+}

@@ -1,0 +1,250 @@
+package tpch
+
+import (
+	"testing"
+)
+
+func testCatalog(t *testing.T, sf float64) *Catalog {
+	t.Helper()
+	ds := Generate(sf, 42)
+	return NewCatalog(ds, 42)
+}
+
+func TestAllQueriesProduceGroundTruth(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for _, name := range AllQueries {
+		truth, err := cat.GroundTruth(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(truth.Groups) == 0 {
+			t.Errorf("%s: ground truth has no groups", name)
+		}
+		if len(truth.Specs) == 0 {
+			t.Errorf("%s: ground truth has no aggregate specs", name)
+		}
+	}
+}
+
+func TestAllQueriesConvergeToFullAccuracy(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for _, name := range AllQueries {
+		q, err := cat.NewQuery(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prev := -1.0
+		drops := 0
+		for !q.Exhausted() {
+			rows, cost := q.ProcessBatch(5000, 2)
+			if rows == 0 {
+				break
+			}
+			if cost <= 0 {
+				t.Fatalf("%s: non-positive batch cost %v", name, cost)
+			}
+			acc := q.Accuracy()
+			if acc < 0 || acc > 1 {
+				t.Fatalf("%s: accuracy %v out of range", name, acc)
+			}
+			if acc < prev-0.05 {
+				drops++ // accuracy may wiggle (AVG/MIN) but not collapse often
+			}
+			prev = acc
+		}
+		if got := q.Accuracy(); got < 0.999 {
+			t.Errorf("%s: accuracy at exhaustion = %v, want ≈1", name, got)
+		}
+		if got := q.DataProgress(); got < 0.999 {
+			t.Errorf("%s: data progress at exhaustion = %v, want 1", name, got)
+		}
+		if drops > 5 {
+			t.Errorf("%s: accuracy collapsed %d times while streaming", name, drops)
+		}
+	}
+}
+
+func TestQueryCheckpointRestoreRoundTrip(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for _, name := range []string{"q1", "q4", "q17", "q18", "q21", "q13", "q22", "q11"} {
+		q1, err := cat.NewQuery(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 3; i++ {
+			q1.ProcessBatch(2000, 1)
+		}
+		cp, err := q1.Checkpoint()
+		if err != nil {
+			t.Fatalf("%s: checkpoint: %v", name, err)
+		}
+		q2, err := cat.NewQuery(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := q2.Restore(cp); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		if q1.RowsProcessed() != q2.RowsProcessed() {
+			t.Errorf("%s: rows %d vs %d after restore", name, q1.RowsProcessed(), q2.RowsProcessed())
+		}
+		// Drain both; they must land on identical accuracy.
+		for !q1.Exhausted() {
+			q1.ProcessBatch(5000, 1)
+		}
+		for !q2.Exhausted() {
+			q2.ProcessBatch(5000, 1)
+		}
+		a1, a2 := q1.Accuracy(), q2.Accuracy()
+		if diff := a1 - a2; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: post-restore accuracy diverged: %v vs %v", name, a1, a2)
+		}
+	}
+}
+
+func TestMemoryProfilesMatchTableIClasses(t *testing.T) {
+	cat := testCatalog(t, 0.02)
+	classMax := map[Class]float64{}
+	classMin := map[Class]float64{Light: 1e18, Medium: 1e18, Heavy: 1e18}
+	for _, name := range AllQueries {
+		prof, err := cat.MemoryProfile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mb := prof.EstimateMB()
+		if mb <= 0 {
+			t.Errorf("%s: non-positive memory estimate", name)
+		}
+		cls, _ := ClassOf(name)
+		if mb > classMax[cls] {
+			classMax[cls] = mb
+		}
+		if mb < classMin[cls] {
+			classMin[cls] = mb
+		}
+	}
+	// The class medians must be ordered; allow overlap at the extremes but
+	// require heavy-min > light-min and heavy-max > light-max.
+	if classMax[Heavy] <= classMax[Light] {
+		t.Errorf("heavy max %.1f MB not above light max %.1f MB", classMax[Heavy], classMax[Light])
+	}
+	if classMin[Heavy] <= classMin[Light] {
+		t.Errorf("heavy min %.1f MB not above light min %.1f MB", classMin[Heavy], classMin[Light])
+	}
+}
+
+func TestCostModelClassOrdering(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	fullPass := func(name string) float64 {
+		cm, err := cat.CostModel(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, _ := cat.FactRows(name)
+		return cm.BatchCost(rows, 1)
+	}
+	if l, h := fullPass("q19"), fullPass("q7"); h < 2.5*l {
+		t.Errorf("q7 full pass %.0fs not ≫ q19 %.0fs (Fig 1a shape)", h, l)
+	}
+	if l, m := fullPass("q19"), fullPass("q5"); m < 1.5*l {
+		t.Errorf("q5 full pass %.0fs not > q19 %.0fs", m, l)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(0.005, 7)
+	b := Generate(0.005, 7)
+	if a.Rows() != b.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Rows(), b.Rows())
+	}
+	for i := range a.Lineitems {
+		if a.Lineitems[i] != b.Lineitems[i] {
+			t.Fatalf("lineitem %d differs", i)
+		}
+	}
+	c := Generate(0.005, 8)
+	same := 0
+	for i := range a.Lineitems {
+		if i < len(c.Lineitems) && a.Lineitems[i] == c.Lineitems[i] {
+			same++
+		}
+	}
+	if same == len(a.Lineitems) {
+		t.Fatal("different seeds produced identical lineitems")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []struct{ y, m, d int }{
+		{1992, 1, 1}, {1995, 6, 17}, {1998, 8, 2}, {1996, 2, 29}, {1994, 12, 31},
+	}
+	for _, c := range cases {
+		dt := MakeDate(c.y, c.m, c.d)
+		if dt.Year() != c.y || dt.Month() != c.m {
+			t.Errorf("MakeDate(%d,%d,%d) round-trips to year=%d month=%d", c.y, c.m, c.d, dt.Year(), dt.Month())
+		}
+	}
+	if MakeDate(1992, 1, 1) != 0 {
+		t.Errorf("epoch is not zero: %d", MakeDate(1992, 1, 1))
+	}
+	if MakeDate(1992, 1, 2) != 1 {
+		t.Errorf("day arithmetic broken: %d", MakeDate(1992, 1, 2))
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	cat := testCatalog(t, 0.005)
+	stats := cat.Stats()
+	if len(stats) != 8 {
+		t.Fatalf("%d tables, want 8", len(stats))
+	}
+	li, err := cat.TableStatsByName("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Rows != len(cat.Dataset().Lineitems) {
+		t.Errorf("lineitem rows %d, want %d", li.Rows, len(cat.Dataset().Lineitems))
+	}
+	disc, ok := li.ColumnByName("l_discount")
+	if !ok {
+		t.Fatal("no l_discount stats")
+	}
+	if disc.Min < 0 || disc.Max > 0.10+1e-9 || disc.Distinct != 11 {
+		t.Errorf("l_discount stats %+v, want 11 distinct values in [0, 0.10]", disc)
+	}
+	rf, _ := li.ColumnByName("l_returnflag")
+	if rf.Distinct != 3 {
+		t.Errorf("l_returnflag distinct %d, want 3 (R/A/N)", rf.Distinct)
+	}
+	nation, _ := cat.TableStatsByName("nation")
+	nk, _ := nation.ColumnByName("n_nationkey")
+	if nk.Distinct != 25 || nk.Min != 0 || nk.Max != 24 {
+		t.Errorf("n_nationkey stats %+v", nk)
+	}
+	if _, err := cat.TableStatsByName("nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if out := RenderStats(stats); len(out) == 0 {
+		t.Error("empty stats render")
+	}
+	// Cached: second call returns the same slice.
+	if &cat.Stats()[0] != &stats[0] {
+		t.Error("stats not cached")
+	}
+}
+
+func TestDescribeAllQueries(t *testing.T) {
+	cat := testCatalog(t, 0.005)
+	for _, q := range AllQueries {
+		out, err := cat.Describe(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty description", q)
+		}
+	}
+	if _, err := cat.Describe("q99"); err == nil {
+		t.Error("described an unknown query")
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload synthesizes the paper's two evaluation workloads: the
+// Table I TPC-H AQP workload (30 jobs, Poisson arrivals, light/medium/
+// heavy mix, uniform accuracy-threshold and deadline spaces) and the
+// Table II survey-based DLT workload (60/20/20 convergence/accuracy/
+// runtime criteria over the model zoo's hyperparameter spaces). It also
+// seeds historical-job repositories so the estimators have the history
+// the paper assumes.
+package workload
+
+import (
+	"fmt"
+
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/estimate"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+)
+
+// Table I parameter spaces.
+var (
+	// AccuracyThresholds are the Table I accuracy-threshold choices.
+	AccuracyThresholds = []float64{0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+	// DeadlinesByClass are the Table I per-class deadline spaces, seconds.
+	DeadlinesByClass = map[tpch.Class][]float64{
+		tpch.Light:  {360, 420, 480, 540, 600, 660, 720, 780, 840, 900},
+		tpch.Medium: {1080, 1200, 1320, 1440, 1560, 1680, 1800, 1920, 2040, 2160},
+		tpch.Heavy:  {1440, 1620, 1800, 1980, 2160, 2340, 2520, 2700, 2880, 3060},
+	}
+)
+
+// AQPSpec is one synthesized AQP job before binding to a catalog.
+type AQPSpec struct {
+	ID           string
+	Query        string
+	Class        tpch.Class
+	Accuracy     float64
+	DeadlineSecs float64
+	ArrivalSecs  float64
+	BatchRows    int
+}
+
+// AQPWorkloadConfig parameterizes Table I generation.
+type AQPWorkloadConfig struct {
+	// Jobs is the workload size (30 in the paper).
+	Jobs int
+	// Mix is the light/medium/heavy job proportion (Table I: 40/30/30).
+	Mix [3]float64
+	// MeanArrivalSecs is the Poisson mean inter-arrival time (160 s).
+	MeanArrivalSecs float64
+	// BatchRows is the per-step row batch size.
+	BatchRows int
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// DefaultAQPWorkload is the Table I configuration.
+func DefaultAQPWorkload(jobs int, seed uint64) AQPWorkloadConfig {
+	if jobs <= 0 {
+		jobs = 30
+	}
+	return AQPWorkloadConfig{
+		Jobs:            jobs,
+		Mix:             [3]float64{0.40, 0.30, 0.30},
+		MeanArrivalSecs: 160,
+		BatchRows:       2000,
+		Seed:            seed,
+	}
+}
+
+// GenerateAQP samples a Table I workload: query type, accuracy threshold
+// and deadline are uniform over their spaces; arrivals follow a Poisson
+// process.
+func GenerateAQP(cfg AQPWorkloadConfig) []AQPSpec {
+	r := sim.NewRand(cfg.Seed ^ 0xa9b)
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 30
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 2000
+	}
+	specs := make([]AQPSpec, 0, cfg.Jobs)
+	arrival := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		clsIdx := r.PickWeighted(cfg.Mix[:])
+		cls := tpch.Class(clsIdx)
+		query := sim.Pick(r, tpch.QueriesOfClass(cls))
+		spec := AQPSpec{
+			ID:           fmt.Sprintf("aqp-%02d-%s", i, query),
+			Query:        query,
+			Class:        cls,
+			Accuracy:     sim.Pick(r, AccuracyThresholds),
+			DeadlineSecs: sim.Pick(r, DeadlinesByClass[cls]),
+			ArrivalSecs:  arrival,
+			BatchRows:    cfg.BatchRows,
+		}
+		specs = append(specs, spec)
+		if cfg.MeanArrivalSecs > 0 {
+			arrival += r.Exp(cfg.MeanArrivalSecs)
+		}
+	}
+	return specs
+}
+
+// BuildAQPJob binds a spec to a catalog, producing a runnable arbitrated
+// job.
+func BuildAQPJob(cat *tpch.Catalog, spec AQPSpec) (*core.AQPJob, error) {
+	q, err := cat.NewQuery(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := cat.MemoryProfile(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	crit, err := criteria.NewAccuracy("ACC", spec.Accuracy,
+		criteria.Deadline{Value: spec.DeadlineSecs, Unit: criteria.Seconds})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAQPJob(core.AQPJobConfig{
+		ID:        spec.ID,
+		Query:     q,
+		Criteria:  crit,
+		Class:     spec.Class.String(),
+		EstMemMB:  prof.EstimateMB(),
+		BatchRows: spec.BatchRows,
+	})
+}
+
+// RecommendedBatchRows returns a per-step batch size giving roughly 256
+// batches per full pass over the lineitem stream, so that arbitration
+// granularity (epochs per job) is scale-factor-invariant — at SF=1 this
+// lands near the paper's batch sizing, and at test scale factors it keeps
+// the estimators supplied with enough per-epoch observations.
+func RecommendedBatchRows(cat *tpch.Catalog) int {
+	rows, err := cat.FactRows("q1")
+	if err != nil || rows <= 0 {
+		return 2000
+	}
+	b := rows / 256
+	if b < 50 {
+		b = 50
+	}
+	return b
+}
+
+// DefaultAQPMemoryMB sizes the pool memory so a Table I mix contends: a
+// bit over half the summed estimates of one job per query, which admits
+// many light jobs but only a few heavy ones at a time (the regime the
+// paper's 192 GB / SF=1 setup produces with 30 concurrent jobs).
+func DefaultAQPMemoryMB(cat *tpch.Catalog) float64 {
+	var total float64
+	for _, q := range tpch.AllQueries {
+		if prof, err := cat.MemoryProfile(q); err == nil {
+			total += prof.EstimateMB()
+		}
+	}
+	return total * 0.55
+}
+
+// SeedAQPHistory runs every TPC-H query once, standalone on a single
+// thread, and stores its (runtime, estimated-accuracy) progress curve in
+// the repository — the historical data Rotary-AQP's progress estimator
+// fits against ("the historical data are from the selected historical
+// jobs that are similar to job j", §IV-A).
+func SeedAQPHistory(repo *estimate.Repository, cat *tpch.Catalog, batchRows int) error {
+	if batchRows <= 0 {
+		batchRows = 2000
+	}
+	for _, name := range tpch.AllQueries {
+		q, err := cat.NewQuery(name)
+		if err != nil {
+			return err
+		}
+		cls, err := tpch.ClassOf(name)
+		if err != nil {
+			return err
+		}
+		// Size batches against the query's own fact stream so every
+		// historical curve has enough points to fit, even for queries
+		// whose fact table is small (customers, partsupp).
+		qBatch := batchRows
+		if factRows, ferr := cat.FactRows(name); ferr == nil {
+			if cap := factRows / 64; cap < qBatch {
+				qBatch = cap
+			}
+		}
+		if qBatch < 10 {
+			qBatch = 10
+		}
+		var secs float64
+		var curve []estimate.Point
+		for !q.Exhausted() {
+			var epochCost float64
+			for b := 0; b < 4; b++ {
+				rows, cost := q.ProcessBatch(qBatch, 1)
+				epochCost += cost
+				if rows == 0 {
+					break
+				}
+			}
+			secs += epochCost
+			// Historical curves store the retrospective true accuracy:
+			// once a job has run to completion its final answer is known,
+			// so its whole αc/αf trajectory is reconstructible.
+			curve = append(curve, estimate.Point{X: secs, Y: q.Accuracy()})
+		}
+		repo.AddAQP(estimate.AQPRecord{
+			ID:        "hist-" + name,
+			Query:     name,
+			Class:     cls.String(),
+			BatchRows: batchRows,
+			Curve:     curve,
+		})
+	}
+	return nil
+}

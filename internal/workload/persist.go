@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file persists synthesized workloads as JSON so a run can be
+// repeated exactly — across machines, policies, or code versions — from
+// the same job list rather than the same seed.
+
+// workloadFile is the on-disk envelope.
+type workloadFile struct {
+	// Kind is "aqp" or "dlt".
+	Kind string          `json:"kind"`
+	AQP  []AQPSpec       `json:"aqp,omitempty"`
+	DLT  []dltSpecOnDisk `json:"dlt,omitempty"`
+}
+
+// dltSpecOnDisk flattens DLTSpec for stable serialization (criteria are
+// stored structurally, not as the DSL string).
+type dltSpecOnDisk struct {
+	ID       string          `json:"id"`
+	Config   json.RawMessage `json:"config"`
+	Criteria json.RawMessage `json:"criteria"`
+}
+
+// SaveAQPSpecs writes an AQP workload to path.
+func SaveAQPSpecs(path string, specs []AQPSpec) error {
+	data, err := json.MarshalIndent(workloadFile{Kind: "aqp", AQP: specs}, "", " ")
+	if err != nil {
+		return fmt.Errorf("workload: encode: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadAQPSpecs reads an AQP workload from path.
+func LoadAQPSpecs(path string) ([]AQPSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	var f workloadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("workload: parse %s: %w", path, err)
+	}
+	if f.Kind != "aqp" {
+		return nil, fmt.Errorf("workload: %s holds a %q workload, want aqp", path, f.Kind)
+	}
+	return f.AQP, nil
+}
+
+// SaveDLTSpecs writes a DLT workload to path.
+func SaveDLTSpecs(path string, specs []DLTSpec) error {
+	f := workloadFile{Kind: "dlt"}
+	for _, s := range specs {
+		cfg, err := json.Marshal(s.Config)
+		if err != nil {
+			return fmt.Errorf("workload: encode %s config: %w", s.ID, err)
+		}
+		crit, err := json.Marshal(s.Criteria)
+		if err != nil {
+			return fmt.Errorf("workload: encode %s criteria: %w", s.ID, err)
+		}
+		f.DLT = append(f.DLT, dltSpecOnDisk{ID: s.ID, Config: cfg, Criteria: crit})
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("workload: encode: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDLTSpecs reads a DLT workload from path.
+func LoadDLTSpecs(path string) ([]DLTSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	var f workloadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("workload: parse %s: %w", path, err)
+	}
+	if f.Kind != "dlt" {
+		return nil, fmt.Errorf("workload: %s holds a %q workload, want dlt", path, f.Kind)
+	}
+	out := make([]DLTSpec, 0, len(f.DLT))
+	for _, d := range f.DLT {
+		var s DLTSpec
+		s.ID = d.ID
+		if err := json.Unmarshal(d.Config, &s.Config); err != nil {
+			return nil, fmt.Errorf("workload: parse %s config: %w", d.ID, err)
+		}
+		if err := json.Unmarshal(d.Criteria, &s.Criteria); err != nil {
+			return nil, fmt.Errorf("workload: parse %s criteria: %w", d.ID, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

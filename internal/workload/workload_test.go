@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+
+	"rotary/internal/criteria"
+	"rotary/internal/dlt"
+	"rotary/internal/estimate"
+	"rotary/internal/tpch"
+)
+
+func testCatalog(t *testing.T) *tpch.Catalog {
+	t.Helper()
+	return tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+}
+
+func TestGenerateAQPRespectsSpaces(t *testing.T) {
+	specs := GenerateAQP(DefaultAQPWorkload(200, 5))
+	if len(specs) != 200 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	classCounts := map[tpch.Class]int{}
+	prevArrival := -1.0
+	for _, s := range specs {
+		cls, err := tpch.ClassOf(s.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if cls != s.Class {
+			t.Errorf("%s: class %v but query is %v", s.ID, s.Class, cls)
+		}
+		classCounts[s.Class]++
+		found := false
+		for _, a := range AccuracyThresholds {
+			if s.Accuracy == a {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: accuracy %v outside Table I space", s.ID, s.Accuracy)
+		}
+		found = false
+		for _, d := range DeadlinesByClass[s.Class] {
+			if s.DeadlineSecs == d {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: deadline %v outside the %v space", s.ID, s.DeadlineSecs, s.Class)
+		}
+		if s.ArrivalSecs < prevArrival {
+			t.Errorf("arrivals not monotone at %s", s.ID)
+		}
+		prevArrival = s.ArrivalSecs
+	}
+	// 40/30/30 mix within sampling tolerance at n=200.
+	if f := float64(classCounts[tpch.Light]) / 200; f < 0.30 || f > 0.50 {
+		t.Errorf("light fraction %v, want ≈0.40", f)
+	}
+}
+
+func TestGenerateAQPDeterministic(t *testing.T) {
+	a := GenerateAQP(DefaultAQPWorkload(30, 9))
+	b := GenerateAQP(DefaultAQPWorkload(30, 9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestBuildAQPJobAllQueries(t *testing.T) {
+	cat := testCatalog(t)
+	for _, q := range tpch.AllQueries {
+		cls, _ := tpch.ClassOf(q)
+		spec := AQPSpec{ID: "t-" + q, Query: q, Class: cls, Accuracy: 0.8,
+			DeadlineSecs: 600, BatchRows: 200}
+		j, err := BuildAQPJob(cat, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if j.EstMemMB() <= 0 {
+			t.Errorf("%s: no memory estimate", q)
+		}
+		if j.Criteria().Kind != criteria.Accuracy {
+			t.Errorf("%s: wrong criteria kind", q)
+		}
+	}
+}
+
+func TestGenerateDLTRespectsSpaces(t *testing.T) {
+	specs := GenerateDLT(DefaultDLTWorkload(200, 5))
+	if len(specs) != 200 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	kindCounts := map[criteria.Kind]int{}
+	for _, s := range specs {
+		if err := s.Config.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", s.ID, err)
+		}
+		kindCounts[s.Criteria.Kind]++
+		spec, _ := dlt.Lookup(s.Config.Model)
+		batches := dlt.BatchSizesCV
+		if spec.Domain == dlt.NLP {
+			batches = dlt.BatchSizesNLP
+		}
+		found := false
+		for _, b := range batches {
+			if s.Config.BatchSize == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: batch %d outside its domain space", s.ID, s.Config.BatchSize)
+		}
+	}
+	// 60/20/20 mix within tolerance.
+	if f := float64(kindCounts[criteria.Convergence]) / 200; f < 0.50 || f > 0.70 {
+		t.Errorf("convergence fraction %v, want ≈0.60", f)
+	}
+	if f := float64(kindCounts[criteria.Runtime]) / 200; f < 0.12 || f > 0.30 {
+		t.Errorf("runtime fraction %v, want ≈0.20", f)
+	}
+}
+
+func TestBuildDLTJob(t *testing.T) {
+	specs := GenerateDLT(DefaultDLTWorkload(20, 3))
+	for _, s := range specs {
+		j, err := BuildDLTJob(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if j.MaxEpochs() < 1 {
+			t.Errorf("%s: max epochs %d", s.ID, j.MaxEpochs())
+		}
+	}
+}
+
+func TestSeedDLTHistory(t *testing.T) {
+	repo := estimate.NewRepository()
+	if err := SeedDLTHistory(repo, 25, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if repo.DLTCount() != 25 {
+		t.Fatalf("seeded %d records, want 25", repo.DLTCount())
+	}
+}
+
+func TestSeedAQPHistoryCoversEveryQuery(t *testing.T) {
+	cat := testCatalog(t)
+	repo := estimate.NewRepository()
+	if err := SeedAQPHistory(repo, cat, 500); err != nil {
+		t.Fatal(err)
+	}
+	if repo.AQPCount() != len(tpch.AllQueries) {
+		t.Fatalf("seeded %d records, want %d", repo.AQPCount(), len(tpch.AllQueries))
+	}
+	for _, q := range tpch.AllQueries {
+		cls, _ := tpch.ClassOf(q)
+		recs := repo.TopKSimilarAQP(q, cls.String(), 500, 1)
+		if len(recs) != 1 || recs[0].Query != q {
+			t.Errorf("%s: no exact historical record", q)
+		}
+		curve := recs[0].Curve
+		if len(curve) < 5 {
+			t.Errorf("%s: history curve too short (%d points)", q, len(curve))
+			continue
+		}
+		if last := curve[len(curve)-1]; last.Y < 0.99 {
+			t.Errorf("%s: history curve ends at accuracy %v, want ≈1", q, last.Y)
+		}
+	}
+}
+
+func TestRecommendedBatchRows(t *testing.T) {
+	cat := testCatalog(t)
+	b := RecommendedBatchRows(cat)
+	rows, _ := cat.FactRows("q1")
+	batches := rows / b
+	if batches < 100 || batches > 400 {
+		t.Errorf("full pass is %d batches, want ≈256", batches)
+	}
+}
+
+func TestDefaultAQPMemoryMBContends(t *testing.T) {
+	cat := testCatalog(t)
+	budget := DefaultAQPMemoryMB(cat)
+	var total float64
+	for _, q := range tpch.AllQueries {
+		p, _ := cat.MemoryProfile(q)
+		total += p.EstimateMB()
+	}
+	if budget <= 0 || budget >= total {
+		t.Errorf("budget %v vs total %v: not a contended pool", budget, total)
+	}
+}
+
+func TestAQPWorkloadPersistRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/w.json"
+	specs := GenerateAQP(DefaultAQPWorkload(12, 4))
+	if err := SaveAQPSpecs(path, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAQPSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(specs) {
+		t.Fatalf("loaded %d specs, want %d", len(back), len(specs))
+	}
+	for i := range specs {
+		if specs[i] != back[i] {
+			t.Fatalf("spec %d diverged: %+v vs %+v", i, specs[i], back[i])
+		}
+	}
+	if _, err := LoadDLTSpecs(path); err == nil {
+		t.Error("loaded an AQP file as a DLT workload")
+	}
+}
+
+func TestDLTWorkloadPersistRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/w.json"
+	specs := GenerateDLT(DefaultDLTWorkload(12, 4))
+	if err := SaveDLTSpecs(path, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDLTSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(specs) {
+		t.Fatalf("loaded %d specs, want %d", len(back), len(specs))
+	}
+	for i := range specs {
+		if specs[i].ID != back[i].ID || specs[i].Config != back[i].Config ||
+			specs[i].Criteria != back[i].Criteria {
+			t.Fatalf("spec %d diverged: %+v vs %+v", i, specs[i], back[i])
+		}
+	}
+	if _, err := LoadAQPSpecs(path); err == nil {
+		t.Error("loaded a DLT file as an AQP workload")
+	}
+	if _, err := LoadDLTSpecs(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("loaded a missing file")
+	}
+}

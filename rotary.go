@@ -1,0 +1,381 @@
+// Package rotary is a from-scratch Go implementation of Rotary, the
+// resource-arbitration framework for progressive iterative analytics
+// (Liu, Elmore, Franklin, Krishnan — ICDE 2023), together with both of the
+// paper's prototype systems:
+//
+//   - Rotary-AQP — arbitration of CPU hardware threads and memory across
+//     multi-tenant approximate-query-processing jobs (online aggregation
+//     over TPC-H, Algorithm 2), and
+//   - Rotary-DLT — threshold-based arbitration of GPUs across deep
+//     learning training jobs (Algorithms 3 and 4),
+//
+// plus every substrate they need: a TPC-H data generator with streaming
+// implementations of all 22 queries, an online-aggregation engine, a deep
+// learning training simulator with a 17-architecture model zoo, a
+// discrete-event virtual clock, the §IV estimators (progress curves,
+// envelope, TEE, TME, TTR), the historical-job repository, and all seven
+// comparison baselines from the evaluation.
+//
+// This package is the public API: it re-exports the stable surface of the
+// internal packages. The examples/ directory shows end-to-end use; the
+// cmd/rotary-bench tool regenerates every table and figure in the paper.
+//
+// # Quick start
+//
+//	ds := rotary.GenerateTPCH(0.02, 1)             // scale factor, seed
+//	cat := rotary.NewCatalog(ds, 1)
+//	repo := rotary.NewRepository()
+//	rotary.SeedAQPHistory(repo, cat, 500)
+//	sched := rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3))
+//	exec := rotary.NewAQPExecutor(rotary.DefaultAQPExecConfig(4096), sched, repo)
+//
+//	cmd := "SELECT SUM(L_EXTENDEDPRICE) FROM LINEITEM ACC MIN 90% WITHIN 900 SECONDS"
+//	_, crit, _ := rotary.ParseCriteria(cmd)
+//	q, _ := cat.NewQuery("q6")
+//	job, _ := rotary.NewAQPJob(rotary.AQPJobConfig{ID: "demo", Query: q, Criteria: crit})
+//	exec.Submit(job, 0)
+//	exec.Run()
+package rotary
+
+import (
+	"rotary/internal/aqp"
+	"rotary/internal/baselines"
+	"rotary/internal/cluster"
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/dlt"
+	"rotary/internal/estimate"
+	"rotary/internal/hpo"
+	"rotary/internal/metrics"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// Completion criteria (§III-B, Fig. 3-4).
+type (
+	// Criteria is a parsed user-defined completion criterion.
+	Criteria = criteria.Criteria
+	// Deadline is a bound in wall time or epochs.
+	Deadline = criteria.Deadline
+	// CriteriaKind distinguishes accuracy-, convergence- and runtime-
+	// oriented criteria.
+	CriteriaKind = criteria.Kind
+	// DeadlineUnit is seconds/minutes/hours/epochs.
+	DeadlineUnit = criteria.Unit
+)
+
+// Criteria kinds and units.
+const (
+	AccuracyCriteria    = criteria.Accuracy
+	ConvergenceCriteria = criteria.Convergence
+	RuntimeCriteria     = criteria.Runtime
+	Seconds             = criteria.Seconds
+	Minutes             = criteria.Minutes
+	Hours               = criteria.Hours
+	Epochs              = criteria.Epochs
+)
+
+// Criteria constructors and the Fig. 4 clause parser.
+var (
+	// ParseCriteria splits "<cmd> ACC MIN 95% WITHIN 3600 SECONDS"-style
+	// input into the raw command and the parsed criterion.
+	ParseCriteria = criteria.Parse
+	// NewAccuracyCriteria builds "<metric> MIN <threshold> WITHIN <d>".
+	NewAccuracyCriteria = criteria.NewAccuracy
+	// NewConvergenceCriteria builds "<metric> DELTA <delta> WITHIN <d>".
+	NewConvergenceCriteria = criteria.NewConvergence
+	// NewRuntimeCriteria builds "FOR <runtime>".
+	NewRuntimeCriteria = criteria.NewRuntime
+)
+
+// Virtual time.
+type (
+	// Time is a point in virtual time (seconds since simulation start).
+	Time = sim.Time
+	// Engine is the discrete-event simulator driving an executor.
+	Engine = sim.Engine
+)
+
+// TPC-H substrate.
+type (
+	// Dataset is a generated TPC-H database.
+	Dataset = tpch.Dataset
+	// Catalog binds a dataset to runnable online queries with cost and
+	// memory metadata and cached ground truths.
+	Catalog = tpch.Catalog
+	// QueryClass is the Table I light/medium/heavy grouping.
+	QueryClass = tpch.Class
+)
+
+// TPC-H constructors and helpers.
+var (
+	// GenerateTPCH builds a deterministic dataset at a scale factor.
+	GenerateTPCH = tpch.Generate
+	// NewCatalog indexes a dataset for query execution.
+	NewCatalog = tpch.NewCatalog
+	// TPCHQueries lists the 22 query names.
+	TPCHQueries = tpch.AllQueries
+	// QueriesOfClass filters the query names by Table I class.
+	QueriesOfClass = tpch.QueriesOfClass
+)
+
+// Online-aggregation engine.
+type (
+	// OnlineQuery is a progressively executing query.
+	OnlineQuery = aqp.OnlineQuery
+	// Snapshot is a query's intermediate grouped aggregates.
+	Snapshot = aqp.Snapshot
+)
+
+// DLT substrate.
+type (
+	// DLTConfig fully determines a simulated training job.
+	DLTConfig = dlt.Config
+	// Trainer is a running (or checkpointed) simulated training job.
+	Trainer = dlt.Job
+	// ModelSpec describes one architecture of the Table II zoo.
+	ModelSpec = dlt.ModelSpec
+)
+
+// DLT helpers.
+var (
+	// NewTrainer builds a simulated training job.
+	NewTrainer = dlt.NewJob
+	// Models lists the model zoo.
+	Models = dlt.Models
+	// LookupModel returns an architecture's spec.
+	LookupModel = dlt.Lookup
+)
+
+// Estimation (§IV): repository, progress estimator, TEE, TME.
+type (
+	// Repository stores historical job information for the estimators.
+	Repository = estimate.Repository
+	// TEE is the training-epoch estimator.
+	TEE = estimate.TEE
+	// TME is the training-memory estimator.
+	TME = estimate.TME
+	// ProgressEstimator predicts AQP accuracy progress at a future runtime.
+	ProgressEstimator = estimate.ProgressEstimator
+	// Envelope is the non-parametric convergence detector.
+	Envelope = estimate.Envelope
+)
+
+// Estimator constructors.
+var (
+	// NewRepository returns an in-memory historical-job store.
+	NewRepository = estimate.NewRepository
+	// OpenRepository loads (or creates) a JSON-file-backed store.
+	OpenRepository = estimate.OpenRepository
+	// NewAccuracyProgress returns the §IV-A joint historical+real-time
+	// progress estimator.
+	NewAccuracyProgress = estimate.NewAccuracyProgress
+	// NewTEE returns the training-epoch estimator.
+	NewTEE = estimate.NewTEE
+	// NewTME returns the training-memory estimator.
+	NewTME = estimate.NewTME
+	// NewEnvelope returns a convergence detector with the given window.
+	NewEnvelope = estimate.NewEnvelope
+)
+
+// Core framework: jobs, policies, executors.
+type (
+	// AQPJob is an arbitrated progressive query.
+	AQPJob = core.AQPJob
+	// AQPJobConfig assembles an AQPJob.
+	AQPJobConfig = core.AQPJobConfig
+	// DLTJob is an arbitrated training job.
+	DLTJob = core.DLTJob
+	// AQPScheduler is the π : Q_t → assign(W, M) policy for AQP.
+	AQPScheduler = core.AQPScheduler
+	// DLTScheduler is the policy for DLT.
+	DLTScheduler = core.DLTScheduler
+	// RotaryAQPScheduler is Algorithm 2.
+	RotaryAQPScheduler = core.RotaryAQP
+	// RotaryDLTScheduler is Algorithm 3 (threshold T tunes fairness vs
+	// efficiency).
+	RotaryDLTScheduler = core.RotaryDLT
+	// AQPExecutor drives an AQP workload over virtual time.
+	AQPExecutor = core.AQPExecutor
+	// AQPExecConfig sizes the AQP system (threads, memory, checkpointing).
+	AQPExecConfig = core.AQPExecConfig
+	// DLTExecutor drives a DLT workload over virtual time.
+	DLTExecutor = core.DLTExecutor
+	// DLTExecConfig sizes the GPU cluster.
+	DLTExecConfig = core.DLTExecConfig
+	// JobStatus is a job's live or terminal state.
+	JobStatus = core.JobStatus
+	// Placement is one contiguous device occupancy (Fig. 11 Gantt cell).
+	Placement = core.Placement
+	// CheckpointStore persists deferred jobs' state with a memory
+	// materialization tier over disk spill (§VI).
+	CheckpointStore = core.CheckpointStore
+	// UnifiedExecutor arbitrates a mixed AQP + DLT workload on one clock
+	// under a cluster-wide fairness threshold (§VI's unified framework).
+	UnifiedExecutor = core.UnifiedExecutor
+	// UnifiedExecConfig sizes the combined cluster.
+	UnifiedExecConfig = core.UnifiedExecConfig
+	// Tracer records an executor run's arbitration timeline.
+	Tracer = core.Tracer
+	// TraceEvent is one timestamped arbitration decision.
+	TraceEvent = core.TraceEvent
+	// TableStats summarizes one generated TPC-H table.
+	TableStats = tpch.TableStats
+	// ColumnStats summarizes one column.
+	ColumnStats = tpch.ColumnStats
+)
+
+// Core constructors.
+var (
+	// NewAQPJob wraps an online query with a completion criterion.
+	NewAQPJob = core.NewAQPJob
+	// NewDLTJob wraps a trainer with a completion criterion.
+	NewDLTJob = core.NewDLTJob
+	// NewRotaryAQP returns the Algorithm 2 scheduler.
+	NewRotaryAQP = core.NewRotaryAQP
+	// NewRotaryDLT returns the Algorithm 3 scheduler with threshold T.
+	NewRotaryDLT = core.NewRotaryDLT
+	// NewAQPExecutor builds an AQP executor over a fresh pool.
+	NewAQPExecutor = core.NewAQPExecutor
+	// NewDLTExecutor builds a DLT executor over a fresh GPU cluster.
+	NewDLTExecutor = core.NewDLTExecutor
+	// DefaultAQPExecConfig mirrors the paper's 20-thread testbed.
+	DefaultAQPExecConfig = core.DefaultAQPExecConfig
+	// DefaultDLTExecConfig mirrors the paper's 4×8 GB GPU testbed.
+	DefaultDLTExecConfig = core.DefaultDLTExecConfig
+	// NewCheckpointStore creates a two-tier (memory + disk) state store.
+	NewCheckpointStore = core.NewCheckpointStore
+	// NewUnifiedExecutor builds the §VI unified AQP+DLT system.
+	NewUnifiedExecutor = core.NewUnifiedExecutor
+)
+
+// Job statuses.
+const (
+	StatusPending       = core.StatusPending
+	StatusRunning       = core.StatusRunning
+	StatusAttainedStop  = core.StatusAttainedStop
+	StatusConvergedStop = core.StatusConvergedStop
+	StatusExpired       = core.StatusExpired
+)
+
+// Baselines from the evaluation.
+type (
+	// RoundRobinAQP, EDFAQP, LAFAQP and ReLAQS are the Fig. 6 baselines.
+	RoundRobinAQP = baselines.RoundRobinAQP
+	// EDFAQP prioritizes the earliest deadline.
+	EDFAQP = baselines.EDFAQP
+	// LAFAQP prioritizes the least accuracy.
+	LAFAQP = baselines.LAFAQP
+	// ReLAQS re-implements the state-of-the-art comparison system.
+	ReLAQS = baselines.ReLAQS
+	// SRF, BCF and LAFDLT are the Fig. 10 baselines.
+	SRF = baselines.SRF
+	// BCF prioritizes the biggest convergence criteria.
+	BCF = baselines.BCF
+	// LAFDLT prioritizes the lowest accuracy criteria.
+	LAFDLT = baselines.LAFDLT
+)
+
+// Workload synthesis (Tables I and II).
+type (
+	// AQPSpec is one synthesized Table I job.
+	AQPSpec = workload.AQPSpec
+	// AQPWorkloadConfig parameterizes Table I generation.
+	AQPWorkloadConfig = workload.AQPWorkloadConfig
+	// DLTSpec is one synthesized Table II job.
+	DLTSpec = workload.DLTSpec
+	// DLTWorkloadConfig parameterizes Table II generation.
+	DLTWorkloadConfig = workload.DLTWorkloadConfig
+)
+
+// Workload helpers.
+var (
+	// DefaultAQPWorkload is the Table I configuration.
+	DefaultAQPWorkload = workload.DefaultAQPWorkload
+	// GenerateAQPWorkload samples a Table I workload.
+	GenerateAQPWorkload = workload.GenerateAQP
+	// BuildAQPJob binds a spec to a catalog.
+	BuildAQPJob = workload.BuildAQPJob
+	// DefaultDLTWorkload is the Table II configuration.
+	DefaultDLTWorkload = workload.DefaultDLTWorkload
+	// GenerateDLTWorkload samples a Table II workload.
+	GenerateDLTWorkload = workload.GenerateDLT
+	// BuildDLTJob turns a spec into a runnable job.
+	BuildDLTJob = workload.BuildDLTJob
+	// SeedAQPHistory populates a repository with standalone query runs.
+	SeedAQPHistory = workload.SeedAQPHistory
+	// SeedDLTHistory populates a repository with completed training runs.
+	SeedDLTHistory = workload.SeedDLTHistory
+	// DefaultAQPMemoryMB sizes a contended pool for a catalog.
+	DefaultAQPMemoryMB = workload.DefaultAQPMemoryMB
+	// RecommendedBatchRows sizes per-step batches scale-invariantly.
+	RecommendedBatchRows = workload.RecommendedBatchRows
+	// SaveAQPSpecs / LoadAQPSpecs persist an AQP workload as JSON.
+	SaveAQPSpecs = workload.SaveAQPSpecs
+	// LoadAQPSpecs reads a saved AQP workload.
+	LoadAQPSpecs = workload.LoadAQPSpecs
+	// SaveDLTSpecs persists a DLT workload as JSON.
+	SaveDLTSpecs = workload.SaveDLTSpecs
+	// LoadDLTSpecs reads a saved DLT workload.
+	LoadDLTSpecs = workload.LoadDLTSpecs
+)
+
+// Metrics.
+type (
+	// AQPReport aggregates one policy run (attainment, false attainment,
+	// waiting time).
+	AQPReport = metrics.AQPReport
+	// DLTSnapshot is a workload's progress distribution at one time.
+	DLTSnapshot = metrics.DLTSnapshot
+	// Violin is the five-number summary behind one Fig. 10 violin.
+	Violin = metrics.Violin
+	// ChartSeries is one named line of a plain-text chart.
+	ChartSeries = metrics.Series
+	// ChartXY is one plotted point.
+	ChartXY = metrics.XY
+)
+
+// Metric helpers.
+var (
+	// AnalyzeAQP derives a report from terminal jobs.
+	AnalyzeAQP = metrics.AnalyzeAQP
+	// SnapshotDLT computes Fig. 10-style progress snapshots.
+	SnapshotDLT = metrics.SnapshotDLT
+	// DLTProgressAt computes one job's §V-B attainment progress at a time.
+	DLTProgressAt = metrics.DLTProgressAt
+	// RenderGantt renders Fig. 11-style placements.
+	RenderGantt = metrics.RenderGantt
+	// RenderLineChart plots named series as a plain-text chart.
+	RenderLineChart = metrics.RenderLineChart
+)
+
+// Hyperparameter optimization (the introduction's motivating scenario,
+// built on the framework).
+type (
+	// HPOConfig parameterizes a successive-halving search.
+	HPOConfig = hpo.Config
+	// HPOResult summarizes a finished search.
+	HPOResult = hpo.Result
+	// HPOTrial is one configuration under evaluation.
+	HPOTrial = hpo.Trial
+)
+
+// HPO helpers.
+var (
+	// HPOSearch runs successive halving over trial configurations on the
+	// simulated cluster under efficiency Rotary-DLT.
+	HPOSearch = hpo.Search
+	// DefaultHPOConfig is a 1-epoch-rung, eta-3 search on 4 GPUs.
+	DefaultHPOConfig = hpo.DefaultConfig
+)
+
+// Resources.
+type (
+	// GPU is one accelerator device.
+	GPU = cluster.GPU
+	// GPUCluster is the Rotary-DLT resource substrate.
+	GPUCluster = cluster.GPUCluster
+	// CPUPool is the Rotary-AQP resource substrate.
+	CPUPool = cluster.CPUPool
+)

@@ -1,0 +1,114 @@
+package rotary_test
+
+// End-to-end exercises of the public facade — the same surface the
+// examples and a downstream adopter use.
+
+import (
+	"testing"
+
+	"rotary"
+)
+
+func TestPublicAPIAQPEndToEnd(t *testing.T) {
+	ds := rotary.GenerateTPCH(0.005, 1)
+	cat := rotary.NewCatalog(ds, 1)
+	repo := rotary.NewRepository()
+	if err := rotary.SeedAQPHistory(repo, cat, rotary.RecommendedBatchRows(cat)); err != nil {
+		t.Fatal(err)
+	}
+	sched := rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3))
+	exec := rotary.NewAQPExecutor(rotary.DefaultAQPExecConfig(rotary.DefaultAQPMemoryMB(cat)), sched, repo)
+
+	cmd := "SELECT SUM(L_EXTENDEDPRICE*L_DISCOUNT) FROM LINEITEM ACC MIN 80% WITHIN 900 SECONDS"
+	rest, crit, err := rotary.ParseCriteria(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest == "" || crit.Kind != rotary.AccuracyCriteria {
+		t.Fatalf("parse: %q %+v", rest, crit)
+	}
+	q, err := cat.NewQuery("q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := rotary.NewAQPJob(rotary.AQPJobConfig{
+		ID: "api-q6", Query: q, Criteria: crit, Class: "light",
+		BatchRows: rotary.RecommendedBatchRows(cat),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Submit(job, 0)
+	if err := exec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !job.Status().Terminal() {
+		t.Fatalf("job not terminal: %v", job.Status())
+	}
+	if job.Status() == rotary.StatusAttainedStop && job.EstimatedAccuracy() < 0.8 {
+		t.Errorf("attained at estimated accuracy %v < threshold", job.EstimatedAccuracy())
+	}
+	rep := rotary.AnalyzeAQP("api", exec.Jobs(), nil)
+	if len(rep.Outcomes) != 1 {
+		t.Fatalf("report has %d outcomes", len(rep.Outcomes))
+	}
+}
+
+func TestPublicAPIDLTEndToEnd(t *testing.T) {
+	repo := rotary.NewRepository()
+	if err := rotary.SeedDLTHistory(repo, 15, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	sched := rotary.NewRotaryDLT(0.5, rotary.NewTEE(repo, 3), rotary.NewTME(repo, 3))
+	exec := rotary.NewDLTExecutor(rotary.DefaultDLTExecConfig(), sched, repo)
+
+	_, crit, err := rotary.ParseCriteria("TRAIN RESNET ON CIFAR10 ACC DELTA 0.01 WITHIN 30 EPOCHS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := rotary.NewTrainer(rotary.DLTConfig{
+		Model: "resnet-18", Dataset: "cifar10", BatchSize: 32,
+		Optimizer: "sgd", LR: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := rotary.NewDLTJob("api-resnet", trainer, crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Submit(job, 0)
+	if err := exec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status() != rotary.StatusAttainedStop {
+		t.Fatalf("convergence job ended %v", job.Status())
+	}
+	if job.ConvergedAtEpoch() == 0 {
+		t.Error("no convergence epoch recorded")
+	}
+	snaps := rotary.SnapshotDLT(exec.Jobs(), []rotary.Time{exec.Engine().Now()})
+	if len(snaps) != 1 || snaps[0].Attained != 1 {
+		t.Fatalf("snapshot %+v", snaps)
+	}
+	if g := rotary.RenderGantt(exec.Jobs(), 4, exec.Engine().Now(), 20); g == "" {
+		t.Error("empty Gantt")
+	}
+}
+
+func TestPublicAPIWorkloadGeneration(t *testing.T) {
+	specs := rotary.GenerateAQPWorkload(rotary.DefaultAQPWorkload(10, 1))
+	if len(specs) != 10 {
+		t.Fatalf("%d AQP specs", len(specs))
+	}
+	dspecs := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(10, 1))
+	if len(dspecs) != 10 {
+		t.Fatalf("%d DLT specs", len(dspecs))
+	}
+	if len(rotary.TPCHQueries) != 22 {
+		t.Fatalf("%d TPC-H queries", len(rotary.TPCHQueries))
+	}
+	if len(rotary.Models()) == 0 {
+		t.Fatal("empty model zoo")
+	}
+}
