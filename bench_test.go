@@ -9,9 +9,14 @@ package rotary_test
 // experiments as full-text reports.
 
 import (
+	"sync"
 	"testing"
 
+	"rotary"
+	"rotary/internal/aqp"
 	"rotary/internal/experiments"
+	"rotary/internal/stream"
+	"rotary/internal/tpch"
 )
 
 // benchConfig mirrors the paper's 30-job, 3-run protocol at a reduced
@@ -306,4 +311,68 @@ func BenchmarkAblationArrivalRate(b *testing.B) {
 			b.ReportMetric(res.Values["mean-arrival=80s/edf"], "edf-attained@80s")
 		}
 	}
+}
+
+// BenchmarkAQPEpoch times the raw AQP data path — a q1-style
+// scan→filter→group-by epoch over a generated TPC-H lineitem stream — at
+// the worker widths the executor grants (seq = width 1). The fact topic
+// gets 64 partitions so every width has independent work. rows/s is the
+// headline metric; the sub-benchmarks share one generated dataset.
+// Parallel speedup only shows on multicore hardware, so nothing here
+// asserts wall-clock ratios — the equivalence tests prove the widths
+// compute identical results, this benchmark measures them.
+func BenchmarkAQPEpoch(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		width int
+	}{
+		{"seq", 1}, {"par-2", 2}, {"par-4", 4}, {"par-8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchmarkAQPEpoch(b, bc.width) })
+	}
+}
+
+// aqpEpochTopic is generated once and shared by all widths.
+var (
+	aqpEpochOnce  sync.Once
+	aqpEpochTopic *stream.Topic[tpch.Lineitem]
+)
+
+func benchmarkAQPEpoch(b *testing.B, width int) {
+	aqpEpochOnce.Do(func() {
+		ds := rotary.GenerateTPCH(0.05, 7)
+		aqpEpochTopic = stream.NewShuffledTopic("lineitem", ds.Lineitems, 64, 7)
+	})
+	cutoff := tpch.MakeDate(1998, 9, 2)
+	specs := []aqp.AggSpec{
+		{Name: "sum_qty", Kind: aqp.Sum},
+		{Name: "avg_price", Kind: aqp.Avg},
+		{Name: "count_order", Kind: aqp.Count},
+	}
+	proc := aqp.Processor[tpch.Lineitem]{
+		Process: func(rows []tpch.Lineitem, gt *aqp.GroupTable) {
+			for i := range rows {
+				l := &rows[i]
+				if l.ShipDate > cutoff {
+					continue
+				}
+				gt.Update(string([]byte{l.ReturnFlag, '|', l.LineStatus}),
+					l.Quantity, l.ExtendedPrice, 1)
+			}
+		},
+	}
+	var rows int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := aqp.NewRunning("bench", stream.NewConsumer(aqpEpochTopic), specs, proc,
+			aqp.CostModel{SecsPerRow: 1e-6})
+		for {
+			n, _ := q.ProcessBatch(1<<16, width)
+			if n == 0 {
+				break
+			}
+			rows += int64(n)
+		}
+	}
+	b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
 }

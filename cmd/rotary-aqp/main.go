@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"rotary"
 )
@@ -19,15 +20,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rotary-aqp: ")
 	var (
-		policy = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
-		jobs   = flag.Int("jobs", 30, "workload size")
-		sf     = flag.Float64("sf", 0.02, "TPC-H scale factor")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		mean   = flag.Float64("arrival", 160, "mean Poisson inter-arrival time (seconds)")
-		trace  = flag.Int("trace", 0, "print the last N arbitration trace events")
-		save   = flag.String("save-workload", "", "write the generated workload to this JSON file")
-		load   = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
-		desc   = flag.String("describe", "", "describe a query's plan shape (e.g. q5) and exit")
+		policy  = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
+		jobs    = flag.Int("jobs", 30, "workload size")
+		sf      = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		mean    = flag.Float64("arrival", 160, "mean Poisson inter-arrival time (seconds)")
+		trace   = flag.Int("trace", 0, "print the last N arbitration trace events")
+		save    = flag.String("save-workload", "", "write the generated workload to this JSON file")
+		load    = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
+		desc    = flag.String("describe", "", "describe a query's plan shape (e.g. q5) and exit")
+		dataPar = flag.Int("data-parallel", runtime.NumCPU(),
+			"cap on real goroutines per epoch's data path (0 = granted threads pass through)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,10 @@ func main() {
 	}
 
 	execCfg := rotary.DefaultAQPExecConfig(rotary.DefaultAQPMemoryMB(cat))
+	// Grants map to real goroutines in the data path; cap the physical
+	// fan-out to the local machine while the virtual 20-thread testbed
+	// accounting stays unchanged.
+	execCfg.DataParallelism = *dataPar
 	var tracer *rotary.Tracer
 	if *trace > 0 {
 		tracer = &rotary.Tracer{}

@@ -59,13 +59,117 @@ type AggSpec struct {
 
 // cell is the running state of one aggregate in one group. SumSq backs
 // the optional confidence intervals of §III-B ("Additional error bounds,
-// such as confidence interval, are optional").
+// such as confidence interval, are optional"). Every field is a
+// decomposable (mergeable) accumulator, which is what makes partial
+// tables combinable: sums and counts add, extrema compare, and the
+// pooled variance behind ConfidenceInterval falls out of Sum/SumSq/Count.
 type cell struct {
 	Sum   float64 `json:"sum"`
 	SumSq float64 `json:"sumsq"`
 	Count int64   `json:"count"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
+}
+
+// merge folds o into c. Addition order is caller-fixed (partials merge in
+// partition-index order), which keeps the floating-point results
+// deterministic.
+func (c *cell) merge(o cell) {
+	c.Sum += o.Sum
+	c.SumSq += o.SumSq
+	c.Count += o.Count
+	if o.Min < c.Min {
+		c.Min = o.Min
+	}
+	if o.Max > c.Max {
+		c.Max = o.Max
+	}
+}
+
+// cellJSON is the wire form of a cell. Float accumulators are encoded
+// through encodeBound so the non-finite values a cell can legitimately
+// hold — the ±Inf extrema sentinels of a column that has seen no finite
+// value, or a Sum/SumSq that overflowed — survive serialization, which
+// encoding/json cannot represent as numbers.
+type cellJSON struct {
+	Sum   json.RawMessage `json:"sum"`
+	SumSq json.RawMessage `json:"sumsq"`
+	Count int64           `json:"count"`
+	Min   json.RawMessage `json:"min"`
+	Max   json.RawMessage `json:"max"`
+}
+
+func encodeBound(v float64) json.RawMessage {
+	switch {
+	case math.IsInf(v, 1):
+		return json.RawMessage(`"+Inf"`)
+	case math.IsInf(v, -1):
+		return json.RawMessage(`"-Inf"`)
+	case math.IsNaN(v):
+		return json.RawMessage(`"NaN"`)
+	default:
+		b, _ := json.Marshal(v)
+		return b
+	}
+}
+
+func decodeBound(raw json.RawMessage, def float64) (float64, error) {
+	if len(raw) == 0 {
+		return def, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		switch s {
+		case "+Inf":
+			return math.Inf(1), nil
+		case "-Inf":
+			return math.Inf(-1), nil
+		case "NaN":
+			return math.NaN(), nil
+		default:
+			return 0, fmt.Errorf("aqp: bad bound %q", s)
+		}
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// MarshalJSON encodes the cell with non-finite values made representable.
+func (c cell) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cellJSON{
+		Sum: encodeBound(c.Sum), SumSq: encodeBound(c.SumSq), Count: c.Count,
+		Min: encodeBound(c.Min), Max: encodeBound(c.Max),
+	})
+}
+
+// UnmarshalJSON decodes the wire form; absent Min/Max restore the empty
+// sentinels so later Updates still compare correctly.
+func (c *cell) UnmarshalJSON(data []byte) error {
+	var w cellJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	sum, err := decodeBound(w.Sum, 0)
+	if err != nil {
+		return err
+	}
+	sumSq, err := decodeBound(w.SumSq, 0)
+	if err != nil {
+		return err
+	}
+	mn, err := decodeBound(w.Min, math.Inf(1))
+	if err != nil {
+		return err
+	}
+	mx, err := decodeBound(w.Max, math.Inf(-1))
+	if err != nil {
+		return err
+	}
+	*c = cell{Sum: sum, SumSq: sumSq, Count: w.Count, Min: mn, Max: mx}
+	return nil
 }
 
 // value reduces the cell under kind.
@@ -153,6 +257,45 @@ func (t *GroupTable) Update(group string, vals ...float64) {
 	}
 }
 
+// Merge folds other's running state into t: sums, sum-of-squares, and
+// counts add; extrema compare. Merging the partials of a partitioned scan
+// reproduces exactly the cell a single table would hold for every kind —
+// Sum/Count trivially, Avg and the variance accumulators behind
+// ConfidenceInterval because both are derived from the mergeable
+// Sum/SumSq/Count triple, Min/Max because comparison is order-free.
+//
+// Determinism: distinct groups occupy independent cells, so the map
+// iteration order inside one Merge call is unobservable; for a single
+// cell, the floating-point addition order is the order of the Merge calls
+// themselves. Callers that need bit-reproducible results (the parallel
+// data path) therefore merge partials in a fixed order — partition index
+// order — and get identical bits on every run at every worker width.
+//
+// The tables must share the same aggregate specs; Merge panics otherwise,
+// as mixing tables from different queries is always a programming error.
+func (t *GroupTable) Merge(other *GroupTable) {
+	if len(other.specs) != len(t.specs) {
+		panic(fmt.Sprintf("aqp: merging %d-spec table into %d-spec table", len(other.specs), len(t.specs)))
+	}
+	for i := range t.specs {
+		if t.specs[i].Kind != other.specs[i].Kind {
+			panic(fmt.Sprintf("aqp: merge spec %d kind mismatch: %v vs %v", i, t.specs[i].Kind, other.specs[i].Kind))
+		}
+	}
+	for g, ocs := range other.groups {
+		cs, ok := t.groups[g]
+		if !ok {
+			cs = make([]cell, len(ocs))
+			copy(cs, ocs)
+			t.groups[g] = cs
+			continue
+		}
+		for i := range cs {
+			cs[i].merge(ocs[i])
+		}
+	}
+}
+
 // ConfidenceInterval reports the normal-approximation confidence interval
 // of one aggregate cell at confidence z (e.g. 1.96 for 95%): for AVG the
 // standard error of the sample mean, for SUM/COUNT the Horvitz-Thompson
@@ -183,10 +326,13 @@ func (t *GroupTable) ConfidenceInterval(group string, col int, z, fraction float
 			return 0, 0, false
 		}
 		// Scale-up estimate of the final value with its standard error.
+		// Both kinds carry the finite-population correction √(1-fraction):
+		// as the progressive sample approaches the full dataset the
+		// estimate becomes exact and the interval collapses to a point.
 		var est, width float64
 		if t.specs[col].Kind == Sum {
 			est = c.Sum / fraction
-			width = z * se * n / fraction
+			width = z * se * n * math.Sqrt(1-fraction) / fraction
 		} else {
 			est = n / fraction
 			width = z * math.Sqrt(n*(1-fraction)) / fraction
@@ -326,6 +472,14 @@ func (t *GroupTable) UnmarshalJSON(data []byte) error {
 	}
 	if len(st.Specs) == 0 {
 		return fmt.Errorf("aqp: checkpoint has no aggregate specs")
+	}
+	// Every group must carry exactly one cell per spec: a shorter or
+	// longer row would make later Update/Snapshot calls index out of
+	// range, so a malformed checkpoint is rejected here instead.
+	for g, cs := range st.Groups {
+		if len(cs) != len(st.Specs) {
+			return fmt.Errorf("aqp: checkpoint group %q has %d cells for %d specs", g, len(cs), len(st.Specs))
+		}
 	}
 	t.specs = st.Specs
 	t.groups = st.Groups

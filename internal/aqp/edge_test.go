@@ -1,0 +1,149 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for ConfidenceInterval: the fraction domain
+// boundaries, degenerate variance, and starved cells. The fraction == 1
+// rows pin the finite-population correction — with the whole dataset
+// processed the scale-up estimate is exact, so the interval must collapse
+// to a point instead of reporting residual sampling error.
+func TestConfidenceIntervalEdgeCases(t *testing.T) {
+	constant := NewGroupTable([]AggSpec{{Name: "s", Kind: Sum}, {Name: "c", Kind: Count}, {Name: "a", Kind: Avg}})
+	for i := 0; i < 100; i++ {
+		constant.Update("g", 3, 1, 3)
+	}
+	varied := NewGroupTable([]AggSpec{{Name: "s", Kind: Sum}, {Name: "c", Kind: Count}, {Name: "a", Kind: Avg}})
+	for i := 0; i < 100; i++ {
+		varied.Update("g", float64(i), 1, float64(i))
+	}
+	single := NewGroupTable([]AggSpec{{Name: "s", Kind: Sum}})
+	single.Update("g", 7)
+	empty := NewGroupTable([]AggSpec{{Name: "s", Kind: Sum}})
+
+	tests := []struct {
+		name      string
+		gt        *GroupTable
+		group     string
+		col       int
+		fraction  float64
+		wantOK    bool
+		wantWidth float64 // -1: don't check
+		wantMid   float64 // NaN: don't check
+	}{
+		{"sum at fraction 1 is exact", varied, "g", 0, 1, true, 0, 4950},
+		{"count at fraction 1 is exact", varied, "g", 1, 1, true, 0, 100},
+		{"avg ignores fraction", varied, "g", 2, 1, true, -1, math.NaN()},
+		{"fraction above 1 rejected", varied, "g", 0, 1.5, false, -1, math.NaN()},
+		{"fraction zero rejected", varied, "g", 0, 0, false, -1, math.NaN()},
+		{"fraction negative rejected", varied, "g", 0, -0.5, false, -1, math.NaN()},
+		{"zero variance sum", constant, "g", 0, 0.5, true, 0, 600},
+		{"zero variance avg collapses to mean", constant, "g", 2, 0.5, true, 0, 3},
+		{"single sample starved", single, "g", 0, 0.5, false, -1, math.NaN()},
+		{"empty table", empty, "g", 0, 0.5, false, -1, math.NaN()},
+		{"negative column", varied, "g", -1, 0.5, false, -1, math.NaN()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi, ok := tc.gt.ConfidenceInterval(tc.group, tc.col, 1.96, tc.fraction)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if hi < lo {
+				t.Fatalf("inverted interval [%v, %v]", lo, hi)
+			}
+			if tc.wantWidth >= 0 && math.Abs((hi-lo)-tc.wantWidth) > 1e-9 {
+				t.Errorf("width = %v, want %v", hi-lo, tc.wantWidth)
+			}
+			if !math.IsNaN(tc.wantMid) && math.Abs((lo+hi)/2-tc.wantMid) > 1e-9 {
+				t.Errorf("midpoint = %v, want %v", (lo+hi)/2, tc.wantMid)
+			}
+		})
+	}
+}
+
+// The CI width must shrink monotonically as the processed fraction grows
+// — more data can only tighten a scale-up bound — reaching exactly zero
+// at fraction 1.
+func TestConfidenceIntervalSumWidthShrinksWithFraction(t *testing.T) {
+	gt := NewGroupTable([]AggSpec{{Name: "s", Kind: Sum}})
+	for i := 0; i < 500; i++ {
+		gt.Update("g", float64(i%17))
+	}
+	prev := math.Inf(1)
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.8, 0.95, 1} {
+		lo, hi, ok := gt.ConfidenceInterval("g", 0, 1.96, f)
+		if !ok {
+			t.Fatalf("no CI at fraction %v", f)
+		}
+		if w := hi - lo; w >= prev {
+			t.Errorf("width %v at fraction %v did not shrink (was %v)", w, f, prev)
+		} else {
+			prev = w
+		}
+	}
+	if prev != 0 {
+		t.Errorf("width at fraction 1 = %v, want exactly 0", prev)
+	}
+}
+
+// Table-driven edge cases for Accuracy: empty snapshots, weight
+// degeneracies, and group/column mismatches must all stay in [0, 1]
+// without panicking.
+func TestAccuracyEdgeCases(t *testing.T) {
+	specs := []AggSpec{{Name: "x", Kind: Sum}}
+	snap := func(groups map[string][]float64) Snapshot {
+		return Snapshot{Specs: specs, Groups: groups}
+	}
+	tests := []struct {
+		name    string
+		current Snapshot
+		final   Snapshot
+		want    float64 // NaN: only check bounds
+	}{
+		{"empty final is trivially attained", snap(map[string][]float64{"a": {1}}), Snapshot{}, 1},
+		{"final with no groups is trivially attained", snap(map[string][]float64{"a": {1}}), snap(map[string][]float64{}), 1},
+		{"empty current scores zero", snap(map[string][]float64{}), snap(map[string][]float64{"a": {5}}), 0},
+		{"both zero counts as exact", snap(map[string][]float64{"a": {0}}), snap(map[string][]float64{"a": {0}}), 1},
+		{"zero final nonzero current", snap(map[string][]float64{"a": {3}}), snap(map[string][]float64{"a": {0}}), 0},
+		{"overshoot scores symmetrically", snap(map[string][]float64{"a": {200}}), snap(map[string][]float64{"a": {100}}), 0.5},
+		{"current missing a column", Snapshot{Specs: specs, Groups: map[string][]float64{"a": {}}},
+			snap(map[string][]float64{"a": {5}}), 0},
+		{"extra current groups ignored", snap(map[string][]float64{"a": {5}, "zzz": {9}}),
+			snap(map[string][]float64{"a": {5}}), 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Accuracy(tc.current, tc.final)
+			if got < 0 || got > 1 {
+				t.Fatalf("accuracy %v outside [0, 1]", got)
+			}
+			if !math.IsNaN(tc.want) && math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("accuracy = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Negative column weights are clamped to zero rather than poisoning the
+// normalization; an all-negative weighting falls back to equal weights.
+func TestAccuracyWeightClamping(t *testing.T) {
+	specs := []AggSpec{{Name: "x", Kind: Sum, Weight: -5}, {Name: "y", Kind: Sum, Weight: 1}}
+	final := Snapshot{Specs: specs, Groups: map[string][]float64{"g": {100, 100}}}
+	cur := Snapshot{Specs: specs, Groups: map[string][]float64{"g": {0, 100}}}
+	// x's negative weight clamps to 0, so only y (exact) counts.
+	if got := Accuracy(cur, final); math.Abs(got-1) > 1e-12 {
+		t.Errorf("accuracy with clamped negative weight = %v, want 1", got)
+	}
+	allNeg := []AggSpec{{Name: "x", Kind: Sum, Weight: -1}, {Name: "y", Kind: Sum, Weight: -1}}
+	finalN := Snapshot{Specs: allNeg, Groups: map[string][]float64{"g": {100, 100}}}
+	curN := Snapshot{Specs: allNeg, Groups: map[string][]float64{"g": {100, 0}}}
+	if got := Accuracy(curN, finalN); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("all-negative weights = %v, want equal-weight 0.5", got)
+	}
+}

@@ -1,0 +1,60 @@
+package aqp
+
+import "sync"
+
+// This file is the parallel data path: an epoch's per-partition row runs
+// are folded into private partial GroupTables by a pool of goroutines,
+// then combined by GroupTable.Merge in partition-index order.
+//
+// Determinism argument, in full, because the equivalence suite leans on
+// it:
+//
+//  1. Partition p's records arrive in a fixed order (a pure function of
+//     the topic — never of batch sizing or scheduling), and every record
+//     of partition p is folded into partial p by exactly one goroutine at
+//     a time. The floating-point operation sequence inside partial p is
+//     therefore identical at every worker width, including width 1.
+//  2. Partials are merged in partition-index order, so the addition order
+//     into each merged cell is fixed too.
+//
+// Scheduling decides only *when* each partition's fold runs, never the
+// arithmetic itself, so snapshots are bit-identical across widths. The
+// sequential reference (width 1) is the same computation run inline.
+
+// runPartitions folds each non-empty partition batch into its partial
+// table using up to width goroutines. Width 1 (or fewer non-empty
+// partitions than workers would need) processes inline in partition
+// order; the result is bit-identical either way.
+func runPartitions[T any](width int, batches [][]T, partials []*GroupTable, process func([]T, *GroupTable)) {
+	work := make([]int, 0, len(batches))
+	for p, b := range batches {
+		if len(b) > 0 {
+			work = append(work, p)
+		}
+	}
+	if width > len(work) {
+		width = len(work)
+	}
+	if width <= 1 {
+		for _, p := range work {
+			process(batches[p], partials[p])
+		}
+		return
+	}
+	jobs := make(chan int, len(work))
+	for _, p := range work {
+		jobs <- p
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				process(batches[p], partials[p])
+			}
+		}()
+	}
+	wg.Wait()
+}

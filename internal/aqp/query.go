@@ -42,6 +42,15 @@ func (c CostModel) BatchCost(rows, threads int) float64 {
 // Processor is the per-query streaming program: a fold over fact-row
 // batches into a GroupTable, plus optional hooks to persist auxiliary
 // per-key state (the Q17/Q18/Q21-style maps) across checkpoints.
+//
+// A stateless processor (no SaveAux/LoadAux, Sequential unset) runs on
+// the parallel data path: Process is then invoked concurrently from
+// multiple goroutines, each call with a private GroupTable over a
+// disjoint run of rows. Such a Process must be re-entrant — it may read
+// shared immutable structures (dimension indexes) but must write nothing
+// outside the GroupTable it was handed. Processors with auxiliary state
+// are inherently order-sensitive and stay on the single-goroutine
+// interleaved path automatically.
 type Processor[T any] struct {
 	// Process folds a batch into the running aggregates.
 	Process func(rows []T, gt *GroupTable)
@@ -51,6 +60,16 @@ type Processor[T any] struct {
 	// AuxBytes reports the auxiliary state's current footprint. Nil means
 	// zero.
 	AuxBytes func() int64
+	// Sequential forces the single-goroutine interleaved path even for a
+	// processor without auxiliary state (e.g. a Process closure that is
+	// not re-entrant).
+	Sequential bool
+}
+
+// parallelizable reports whether the processor may run on the
+// partitioned data path.
+func (p Processor[T]) parallelizable() bool {
+	return p.SaveAux == nil && p.LoadAux == nil && !p.Sequential
 }
 
 // OnlineQuery is the engine's view of one progressive query, independent
@@ -89,14 +108,24 @@ type OnlineQuery interface {
 }
 
 // Running is the concrete OnlineQuery over fact-row type T.
+//
+// Stateless queries hold one partial GroupTable per stream partition and
+// fold each partition's rows independently (the parallel data path); the
+// aggregate view merges partials in partition-index order, so snapshots
+// are bit-identical at every worker width and epoch sizing. Queries with
+// auxiliary state keep the single interleaved GroupTable.
 type Running[T any] struct {
 	name     string
 	consumer *stream.Consumer[T]
-	gt       *GroupTable
+	specs    []AggSpec
+	gt       *GroupTable   // interleaved path state; nil on the parallel path
+	partials []*GroupTable // parallel path state, one per stream partition
+	merged   *GroupTable   // memoized merge of partials, dropped each epoch
 	proc     Processor[T]
 	cost     CostModel
 	final    *Snapshot
 	rows     int64
+	maxWidth int // physical fan-out cap; 0 = granted threads pass through
 }
 
 // NewRunning assembles an online query from its parts. The consumer must
@@ -105,44 +134,102 @@ func NewRunning[T any](name string, consumer *stream.Consumer[T], specs []AggSpe
 	if proc.Process == nil {
 		panic("aqp: Processor.Process must be set")
 	}
-	return &Running[T]{
+	r := &Running[T]{
 		name:     name,
 		consumer: consumer,
-		gt:       NewGroupTable(specs),
+		specs:    append([]AggSpec(nil), specs...),
 		proc:     proc,
 		cost:     cost,
 	}
+	if proc.parallelizable() {
+		r.partials = make([]*GroupTable, consumer.Partitions())
+		for p := range r.partials {
+			r.partials[p] = NewGroupTable(specs)
+		}
+	} else {
+		r.gt = NewGroupTable(specs)
+	}
+	return r
+}
+
+// table returns the query's aggregate view: the interleaved table on the
+// sequential path, or the partials merged in partition-index order on the
+// parallel path (memoized until the next batch).
+func (r *Running[T]) table() *GroupTable {
+	if r.partials == nil {
+		return r.gt
+	}
+	if r.merged == nil {
+		m := NewGroupTable(r.specs)
+		for _, p := range r.partials {
+			m.Merge(p)
+		}
+		r.merged = m
+	}
+	return r.merged
 }
 
 // SetFinal attaches the ground-truth final answer used by Accuracy.
 func (r *Running[T]) SetFinal(final Snapshot) { r.final = &final }
 
+// SetMaxDataWidth caps the number of goroutines an epoch's parallel data
+// path may fan out to, independent of the granted (virtual) thread count;
+// the executor applies its DataParallelism config through this. Zero
+// removes the cap. The cap changes scheduling only, never results: the
+// partitioned accumulation is bit-deterministic at every width.
+func (r *Running[T]) SetMaxDataWidth(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.maxWidth = n
+}
+
 // Name implements OnlineQuery.
 func (r *Running[T]) Name() string { return r.name }
 
-// ProcessBatch implements OnlineQuery.
+// ProcessBatch implements OnlineQuery. On the parallel data path the
+// thread allocation is real: up to that many goroutines fold the epoch's
+// per-partition row runs into private partial tables concurrently.
 func (r *Running[T]) ProcessBatch(batchRows, threads int) (int, float64) {
-	batch, ok := r.consumer.NextBatch(batchRows)
+	if r.partials == nil {
+		batch, ok := r.consumer.NextBatch(batchRows)
+		if !ok {
+			return 0, 0
+		}
+		r.proc.Process(batch, r.gt)
+		r.rows += int64(len(batch))
+		return len(batch), r.cost.BatchCost(len(batch), threads)
+	}
+	batches, ok := r.consumer.NextBatchPartitioned(batchRows)
 	if !ok {
 		return 0, 0
 	}
-	r.proc.Process(batch, r.gt)
-	r.rows += int64(len(batch))
-	return len(batch), r.cost.BatchCost(len(batch), threads)
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	width := threads
+	if r.maxWidth > 0 && width > r.maxWidth {
+		width = r.maxWidth
+	}
+	runPartitions(width, batches, r.partials, r.proc.Process)
+	r.merged = nil
+	r.rows += int64(n)
+	return n, r.cost.BatchCost(n, threads)
 }
 
 // Exhausted implements OnlineQuery.
 func (r *Running[T]) Exhausted() bool { return r.consumer.Remaining() == 0 }
 
 // Snapshot implements OnlineQuery.
-func (r *Running[T]) Snapshot() Snapshot { return r.gt.Snapshot() }
+func (r *Running[T]) Snapshot() Snapshot { return r.table().Snapshot() }
 
 // Accuracy implements OnlineQuery.
 func (r *Running[T]) Accuracy() float64 {
 	if r.final == nil {
 		return 0
 	}
-	return Accuracy(r.gt.Snapshot(), *r.final)
+	return Accuracy(r.table().Snapshot(), *r.final)
 }
 
 // DataProgress implements OnlineQuery.
@@ -153,34 +240,58 @@ func (r *Running[T]) RowsProcessed() int64 { return r.rows }
 
 // ConfidenceInterval implements OnlineQuery.
 func (r *Running[T]) ConfidenceInterval(group string, col int, z float64) (lo, hi float64, ok bool) {
-	return r.gt.ConfidenceInterval(group, col, z, r.consumer.Progress())
+	return r.table().ConfidenceInterval(group, col, z, r.consumer.Progress())
 }
 
 // StateMemMB implements OnlineQuery.
 func (r *Running[T]) StateMemMB() float64 {
-	b := r.gt.StateBytes()
+	var b int64
+	if r.partials == nil {
+		b = r.gt.StateBytes()
+	} else {
+		for _, p := range r.partials {
+			b += p.StateBytes()
+		}
+	}
 	if r.proc.AuxBytes != nil {
 		b += r.proc.AuxBytes()
 	}
 	return float64(b) / (1 << 20)
 }
 
-// checkpoint is the serialized form of a Running query.
+// checkpoint is the serialized form of a Running query. Sequential-path
+// queries persist the single interleaved table; parallel-path queries
+// persist one partial table per stream partition, so a restore resumes
+// with the exact per-partition accumulators (and therefore the exact
+// bits) the checkpointed query held.
 type checkpoint struct {
 	Name     string               `json:"name"`
 	Consumer stream.ConsumerState `json:"consumer"`
-	Table    json.RawMessage      `json:"table"`
+	Table    json.RawMessage      `json:"table,omitempty"`
+	Partials []json.RawMessage    `json:"partials,omitempty"`
 	Aux      json.RawMessage      `json:"aux,omitempty"`
 	Rows     int64                `json:"rows"`
 }
 
 // Checkpoint implements OnlineQuery.
 func (r *Running[T]) Checkpoint() ([]byte, error) {
-	tbl, err := json.Marshal(r.gt)
-	if err != nil {
-		return nil, fmt.Errorf("aqp: checkpoint %s: %w", r.name, err)
+	cp := checkpoint{Name: r.name, Consumer: r.consumer.Offsets(), Rows: r.rows}
+	if r.partials == nil {
+		tbl, err := json.Marshal(r.gt)
+		if err != nil {
+			return nil, fmt.Errorf("aqp: checkpoint %s: %w", r.name, err)
+		}
+		cp.Table = tbl
+	} else {
+		cp.Partials = make([]json.RawMessage, len(r.partials))
+		for p, gt := range r.partials {
+			tbl, err := json.Marshal(gt)
+			if err != nil {
+				return nil, fmt.Errorf("aqp: checkpoint %s partial %d: %w", r.name, p, err)
+			}
+			cp.Partials[p] = tbl
+		}
 	}
-	cp := checkpoint{Name: r.name, Consumer: r.consumer.Offsets(), Table: tbl, Rows: r.rows}
 	if r.proc.SaveAux != nil {
 		aux, err := r.proc.SaveAux()
 		if err != nil {
@@ -203,11 +314,30 @@ func (r *Running[T]) Restore(data []byte) error {
 	if err := r.consumer.Seek(cp.Consumer); err != nil {
 		return fmt.Errorf("aqp: restore %s: %w", r.name, err)
 	}
-	gt := &GroupTable{}
-	if err := json.Unmarshal(cp.Table, gt); err != nil {
-		return fmt.Errorf("aqp: restore %s table: %w", r.name, err)
+	if r.partials == nil {
+		if cp.Table == nil {
+			return fmt.Errorf("aqp: restore %s: checkpoint lacks the sequential-path table", r.name)
+		}
+		gt := &GroupTable{}
+		if err := json.Unmarshal(cp.Table, gt); err != nil {
+			return fmt.Errorf("aqp: restore %s table: %w", r.name, err)
+		}
+		r.gt = gt
+	} else {
+		if len(cp.Partials) != len(r.partials) {
+			return fmt.Errorf("aqp: restore %s: %d partial tables for %d partitions", r.name, len(cp.Partials), len(r.partials))
+		}
+		partials := make([]*GroupTable, len(cp.Partials))
+		for p, raw := range cp.Partials {
+			gt := &GroupTable{}
+			if err := json.Unmarshal(raw, gt); err != nil {
+				return fmt.Errorf("aqp: restore %s partial %d: %w", r.name, p, err)
+			}
+			partials[p] = gt
+		}
+		r.partials = partials
+		r.merged = nil
 	}
-	r.gt = gt
 	if cp.Aux != nil && r.proc.LoadAux != nil {
 		if err := r.proc.LoadAux(cp.Aux); err != nil {
 			return fmt.Errorf("aqp: restore %s aux: %w", r.name, err)

@@ -110,6 +110,61 @@ func (c *Consumer[T]) NextBatch(n int) ([]T, bool) {
 	return batch, true
 }
 
+// Partitions reports the partition count of the consumer's topic.
+func (c *Consumer[T]) Partitions() int { return len(c.topic.partitions) }
+
+// NextBatchPartitioned returns up to n records grouped by partition:
+// out[p] is the contiguous run of partition p's records drawn this call
+// (nil if the partition contributed nothing). It reports whether any
+// records were returned; false means the topic is exhausted.
+//
+// The per-partition quotas replicate NextBatch's strict round-robin draw
+// exactly, so a consumer advanced with NextBatchPartitioned consumes the
+// same record set per call and lands on the same ConsumerState as one
+// advanced with NextBatch — checkpoints are interchangeable between the
+// two access paths. Unlike NextBatch, the returned slices alias the
+// topic's partitions (zero copy); callers must treat them as read-only.
+//
+// This is the parallel data path's entry point: each partition's run can
+// be folded independently (partition p's record order is a pure function
+// of the topic, never of batch sizing), then combined in partition-index
+// order for a deterministic result.
+func (c *Consumer[T]) NextBatchPartitioned(n int) ([][]T, bool) {
+	if n <= 0 {
+		return nil, false
+	}
+	parts := len(c.topic.partitions)
+	take := make([]int, parts)
+	taken := 0
+	empty := 0
+	for taken < n && empty < parts {
+		p := c.next % parts
+		c.next++
+		part := c.topic.partitions[p]
+		if c.offsets[p]+take[p] >= len(part) {
+			empty++
+			continue
+		}
+		empty = 0
+		take[p]++
+		taken++
+	}
+	if taken == 0 {
+		return nil, false
+	}
+	out := make([][]T, parts)
+	for p, k := range take {
+		if k == 0 {
+			continue
+		}
+		off := c.offsets[p]
+		out[p] = c.topic.partitions[p][off : off+k : off+k]
+		c.offsets[p] = off + k
+	}
+	c.read += taken
+	return out, true
+}
+
 // Read reports the total number of records consumed so far.
 func (c *Consumer[T]) Read() int { return c.read }
 

@@ -172,3 +172,136 @@ func TestEmptyAndZeroBatch(t *testing.T) {
 		t.Error("zero-size batch returned records")
 	}
 }
+
+// The partitioned draw must consume exactly the record set the
+// interleaved draw would, call by call, and land on the identical
+// serialized consumer state — checkpoints are interchangeable between
+// the two data paths.
+func TestNextBatchPartitionedMatchesInterleaved(t *testing.T) {
+	check := func(seed uint64, nparts uint8) bool {
+		parts := int(nparts)%7 + 1
+		topic := NewTopic("t", intRecords(500), parts)
+		seq := NewConsumer(topic)
+		par := NewConsumer(topic)
+		sizes := []int{1, 7, 77, 13, 500, 3}
+		for i := 0; ; i++ {
+			n := sizes[i%len(sizes)]
+			batch, okSeq := seq.NextBatch(n)
+			runs, okPar := par.NextBatchPartitioned(n)
+			if okSeq != okPar {
+				return false
+			}
+			if !okSeq {
+				break
+			}
+			want := make(map[int]bool, len(batch))
+			for _, v := range batch {
+				want[v] = true
+			}
+			got := 0
+			for _, run := range runs {
+				for _, v := range run {
+					if !want[v] {
+						return false
+					}
+					got++
+				}
+			}
+			if got != len(batch) {
+				return false
+			}
+			a, b := seq.Offsets(), par.Offsets()
+			if a.Next != b.Next || a.Read != b.Read {
+				return false
+			}
+			for p := range a.Offsets {
+				if a.Offsets[p] != b.Offsets[p] {
+					return false
+				}
+			}
+		}
+		return seq.Read() == par.Read() && par.Remaining() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Partition runs are contiguous slices of the partition in its own
+// order: concatenating the runs across calls replays each partition
+// exactly, at any batch sizing.
+func TestNextBatchPartitionedPreservesPartitionOrder(t *testing.T) {
+	const parts = 5
+	topic := NewTopic("t", intRecords(403), parts)
+	c := NewConsumer(topic)
+	replay := make([][]int, parts)
+	for {
+		runs, ok := c.NextBatchPartitioned(41)
+		if !ok {
+			break
+		}
+		if len(runs) != parts {
+			t.Fatalf("got %d runs for %d partitions", len(runs), parts)
+		}
+		for p, run := range runs {
+			replay[p] = append(replay[p], run...)
+		}
+	}
+	for p := 0; p < parts; p++ {
+		want := 0
+		for _, v := range replay[p] {
+			// NewTopic splits round-robin: partition p holds p, p+parts, …
+			if v != p+want*parts {
+				t.Fatalf("partition %d replay[%d] = %d, want %d", p, want, v, p+want*parts)
+			}
+			want++
+		}
+		if len(replay[p]) != len(topic.partitions[p]) {
+			t.Fatalf("partition %d replayed %d of %d records", p, len(replay[p]), len(topic.partitions[p]))
+		}
+	}
+}
+
+// A consumer checkpointed mid-stream on the partitioned path resumes on
+// either path from the same state.
+func TestNextBatchPartitionedSeekRoundTrip(t *testing.T) {
+	topic := NewTopic("t", intRecords(300), 4)
+	c1 := NewConsumer(topic)
+	c1.NextBatchPartitioned(113)
+	state := c1.Offsets()
+
+	c2 := NewConsumer(topic)
+	if err := c2.Seek(state); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c1.NextBatch(300)
+	r2, _ := c2.NextBatch(300)
+	if len(r1) != len(r2) {
+		t.Fatalf("post-seek drains differ: %d vs %d records", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("post-seek record %d: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
+// Degenerate draws: n <= 0 and exhausted topics return ok == false.
+func TestNextBatchPartitionedDegenerate(t *testing.T) {
+	topic := NewTopic("t", intRecords(10), 3)
+	c := NewConsumer(topic)
+	if _, ok := c.NextBatchPartitioned(0); ok {
+		t.Error("n=0 returned records")
+	}
+	if _, ok := c.NextBatchPartitioned(-1); ok {
+		t.Error("n<0 returned records")
+	}
+	c.NextBatchPartitioned(100)
+	if _, ok := c.NextBatchPartitioned(1); ok {
+		t.Error("exhausted topic returned records")
+	}
+	empty := NewConsumer(NewTopic("e", intRecords(0), 2))
+	if _, ok := empty.NextBatchPartitioned(5); ok {
+		t.Error("empty topic returned records")
+	}
+}

@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rotary/internal/aqp"
+)
+
+// drainAt runs a fresh instance of the named query to exhaustion with the
+// given epoch sizing and worker width, returning it for inspection.
+func drainAt(t *testing.T, cat *Catalog, name string, batch, width int) aqp.OnlineQuery {
+	t.Helper()
+	q, err := cat.NewQuery(name)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for {
+		rows, _ := q.ProcessBatch(batch, width)
+		if rows == 0 {
+			return q
+		}
+	}
+}
+
+// TestAllQueriesParallelEquivalence is the metamorphic proof obligation of
+// the parallel data path: for each of the 22 TPC-H queries, running with
+// worker widths 2, 4, 8, and 16 (the catalog's fact topics have 4
+// partitions, so 8 and 16 are degenerate widths above the partition count)
+// must produce a Snapshot bit-identical to the width-1 run — including the
+// ConfidenceInterval outputs, which expose the raw Sum/SumSq/Count
+// accumulators that the snapshot reduction could otherwise mask. A
+// different epoch sizing rides along to show epoch boundaries don't matter
+// either. Queries with auxiliary state (q4, q17, q18, q21) take the
+// sequential fallback path internally and must satisfy the same property.
+func TestAllQueriesParallelEquivalence(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for _, name := range AllQueries {
+		t.Run(name, func(t *testing.T) {
+			ref := drainAt(t, cat, name, 5000, 1)
+			refSnap := ref.Snapshot()
+			if len(refSnap.Groups) == 0 {
+				t.Fatalf("reference snapshot has no groups")
+			}
+			for _, cfg := range []struct{ batch, width int }{
+				{5000, 2}, {5000, 4}, {5000, 8}, {5000, 16},
+				{1700, 4},
+			} {
+				label := fmt.Sprintf("batch=%d width=%d", cfg.batch, cfg.width)
+				q := drainAt(t, cat, name, cfg.batch, cfg.width)
+				snap := q.Snapshot()
+				requireIdenticalSnapshots(t, label, refSnap, snap)
+				requireIdenticalIntervals(t, label, refSnap, ref, q)
+				if a, b := ref.Accuracy(), q.Accuracy(); math.Float64bits(a) != math.Float64bits(b) {
+					t.Errorf("%s: accuracy %v differs from reference %v", label, b, a)
+				}
+			}
+		})
+	}
+}
+
+func requireIdenticalSnapshots(t *testing.T, label string, want, got aqp.Snapshot) {
+	t.Helper()
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups, reference has %d", label, len(got.Groups), len(want.Groups))
+	}
+	for g, wv := range want.Groups {
+		gv, ok := got.Groups[g]
+		if !ok {
+			t.Fatalf("%s: group %q missing", label, g)
+		}
+		if len(gv) != len(wv) {
+			t.Fatalf("%s: group %q has %d values, reference %d", label, g, len(gv), len(wv))
+		}
+		for i := range wv {
+			if math.Float64bits(gv[i]) != math.Float64bits(wv[i]) {
+				t.Fatalf("%s: group %q col %d (%s): %v vs reference %v — bits differ",
+					label, g, i, want.Specs[i].Name, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+func requireIdenticalIntervals(t *testing.T, label string, snap aqp.Snapshot, ref, q aqp.OnlineQuery) {
+	t.Helper()
+	for g := range snap.Groups {
+		for col := range snap.Specs {
+			rlo, rhi, rok := ref.ConfidenceInterval(g, col, 1.96)
+			qlo, qhi, qok := q.ConfidenceInterval(g, col, 1.96)
+			if rok != qok || math.Float64bits(rlo) != math.Float64bits(qlo) ||
+				math.Float64bits(rhi) != math.Float64bits(qhi) {
+				t.Fatalf("%s: CI(%q, %d) = (%v, %v, %v), reference (%v, %v, %v)",
+					label, g, col, qlo, qhi, qok, rlo, rhi, rok)
+			}
+		}
+	}
+}
+
+// A mid-stream checkpoint taken under one worker width must restore and
+// finish under another with a bit-identical result, for both the
+// partitioned path (q1) and the sequential aux-state fallback (q18).
+func TestQueryCheckpointAcrossWidths(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for _, name := range []string{"q1", "q6", "q18"} {
+		t.Run(name, func(t *testing.T) {
+			q1, err := cat.NewQuery(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q1.ProcessBatch(4000, 4)
+			cp, err := q1.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			q2, err := cat.NewQuery(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q2.Restore(cp); err != nil {
+				t.Fatal(err)
+			}
+			for !q1.Exhausted() {
+				q1.ProcessBatch(5000, 8)
+			}
+			for !q2.Exhausted() {
+				q2.ProcessBatch(3000, 2)
+			}
+			requireIdenticalSnapshots(t, "post-restore", q1.Snapshot(), q2.Snapshot())
+		})
+	}
+}
