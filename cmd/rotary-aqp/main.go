@@ -31,6 +31,9 @@ func main() {
 		desc    = flag.String("describe", "", "describe a query's plan shape (e.g. q5) and exit")
 		dataPar = flag.Int("data-parallel", runtime.NumCPU(),
 			"cap on real goroutines per epoch's data path (0 = granted threads pass through)")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-injection seed (0 = reuse -seed)")
+		faultRate = flag.Float64("fault-rate", 0,
+			"total per-opportunity fault probability (crashes + checkpoint I/O faults); 0 disables injection")
 	)
 	flag.Parse()
 
@@ -94,6 +97,27 @@ func main() {
 	// fan-out to the local machine while the virtual 20-thread testbed
 	// accounting stays unchanged.
 	execCfg.DataParallelism = *dataPar
+	var injector *rotary.FaultInjector
+	if *faultRate > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		dir, err := os.MkdirTemp("", "rotary-ckpt-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		store, err := rotary.NewCheckpointStore(dir, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = rotary.NewFaultInjector(rotary.UniformFaults(fseed, *faultRate))
+		store.SetFaults(injector)
+		execCfg.Store = store
+		execCfg.Faults = injector
+		fmt.Printf("fault injection armed: rate=%g seed=%d\n", *faultRate, fseed)
+	}
 	var tracer *rotary.Tracer
 	if *trace > 0 {
 		tracer = &rotary.Tracer{}
@@ -131,6 +155,10 @@ func main() {
 		att["light"], tot["light"], att["medium"], tot["medium"],
 		att["heavy"], tot["heavy"], att["total"], tot["total"], rep.FalseAttained())
 	fmt.Printf("virtual makespan: %s\n", exec.Engine().Now())
+	if injector != nil {
+		fmt.Println()
+		fmt.Print(rotary.RenderRecovery(sched.Name(), exec.Recovery(), execCfg.Store.Health()))
+	}
 	if tracer != nil {
 		fmt.Printf("\nlast %d arbitration events:\n%s", *trace, tracer.Render(*trace))
 	}

@@ -20,14 +20,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rotary-dlt: ")
 	var (
-		policy  = flag.String("policy", "adaptive", "policy: adaptive, fairness, efficiency, srf, bcf, laf")
-		jobs    = flag.Int("jobs", 30, "workload size")
-		gpus    = flag.Int("gpus", 4, "GPU count")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		history = flag.Int("history", 40, "historical jobs to seed the repository with")
-		trace   = flag.Int("trace", 0, "print the last N arbitration trace events")
-		save    = flag.String("save-workload", "", "write the generated workload to this JSON file")
-		load    = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
+		policy    = flag.String("policy", "adaptive", "policy: adaptive, fairness, efficiency, srf, bcf, laf")
+		jobs      = flag.Int("jobs", 30, "workload size")
+		gpus      = flag.Int("gpus", 4, "GPU count")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		history   = flag.Int("history", 40, "historical jobs to seed the repository with")
+		trace     = flag.Int("trace", 0, "print the last N arbitration trace events")
+		save      = flag.String("save-workload", "", "write the generated workload to this JSON file")
+		load      = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-injection seed (0 = reuse -seed)")
+		faultRate = flag.Float64("fault-rate", 0,
+			"total per-opportunity fault probability (GPU crashes + checkpoint I/O faults); 0 disables injection")
 	)
 	flag.Parse()
 
@@ -39,7 +42,11 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		specs = rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(*jobs, *seed))
+		var err error
+		specs, err = rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(*jobs, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *save != "" {
 		if err := rotary.SaveDLTSpecs(*save, specs); err != nil {
@@ -76,6 +83,27 @@ func main() {
 
 	cfg := rotary.DefaultDLTExecConfig()
 	cfg.GPUs = *gpus
+	var injector *rotary.FaultInjector
+	if *faultRate > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		dir, err := os.MkdirTemp("", "rotary-ckpt-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		store, err := rotary.NewCheckpointStore(dir, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = rotary.NewFaultInjector(rotary.UniformFaults(fseed, *faultRate))
+		store.SetFaults(injector)
+		cfg.Store = store
+		cfg.Faults = injector
+		fmt.Printf("fault injection armed: rate=%g seed=%d\n", *faultRate, fseed)
+	}
 	var tracer *rotary.Tracer
 	if *trace > 0 {
 		tracer = &rotary.Tracer{}
@@ -119,6 +147,10 @@ func main() {
 	}
 	fmt.Printf("\nvirtual makespan: %.0f minutes; TTR overhead: %v\n",
 		exec.Engine().Now().Minutes(), exec.TTR().Overhead())
+	if injector != nil {
+		fmt.Println()
+		fmt.Print(rotary.RenderRecovery(sched.Name(), exec.Recovery(), cfg.Store.Health()))
+	}
 	if tracer != nil {
 		fmt.Printf("\nlast %d arbitration events:\n%s", *trace, tracer.Render(*trace))
 	}

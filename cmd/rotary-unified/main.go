@@ -54,7 +54,11 @@ func main() {
 		}
 		u.SubmitAQP(j, rotary.Time(spec.ArrivalSecs))
 	}
-	for _, spec := range rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(*dltJobs, *seed)) {
+	dltSpecs, err := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(*dltJobs, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range dltSpecs {
 		j, err := rotary.BuildDLTJob(spec)
 		if err != nil {
 			log.Fatal(err)

@@ -15,7 +15,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	const jobs = 20
-	specs := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(jobs, 11))
+	specs, err := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(jobs, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("survey-based workload: %d jobs\n", jobs)
 
 	variants := []struct {

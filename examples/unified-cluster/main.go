@@ -42,7 +42,11 @@ func run(threshold float64) {
 		}
 		u.SubmitAQP(j, rotary.Time(spec.ArrivalSecs))
 	}
-	for _, spec := range rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(8, 21)) {
+	dltSpecs, err := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(8, 21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range dltSpecs {
 		j, err := rotary.BuildDLTJob(spec)
 		if err != nil {
 			log.Fatal(err)

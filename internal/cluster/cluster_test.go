@@ -189,3 +189,41 @@ func TestHeldJobsSorted(t *testing.T) {
 		t.Fatalf("HeldJobs() = %v, want %v", got, want)
 	}
 }
+
+func TestGPUClusterDownDevices(t *testing.T) {
+	c := NewUniformGPUCluster(3, 8192)
+	c.SetDown(1, true)
+	if !c.IsDown(1) || c.IsDown(0) {
+		t.Fatalf("down state: 0=%v 1=%v", c.IsDown(0), c.IsDown(1))
+	}
+	free := c.FreeDevices()
+	if len(free) != 2 {
+		t.Fatalf("%d free devices with one down, want 2", len(free))
+	}
+	for _, d := range free {
+		if d.ID == 1 {
+			t.Fatal("down device listed free")
+		}
+	}
+	if err := c.Assign("j1", 1, 100); err == nil {
+		t.Fatal("assignment to a down device succeeded")
+	}
+	// Repair restores the device for placement.
+	c.SetDown(1, false)
+	if c.IsDown(1) {
+		t.Fatal("device still down after repair")
+	}
+	if len(c.FreeDevices()) != 3 {
+		t.Fatalf("%d free devices after repair, want 3", len(c.FreeDevices()))
+	}
+	if err := c.Assign("j1", 1, 100); err != nil {
+		t.Fatalf("assignment after repair: %v", err)
+	}
+	// A crash while occupied: the executor releases the occupant as part
+	// of its crash handling; the device stays unlistable until repaired.
+	c.SetDown(1, true)
+	c.Release("j1")
+	if len(c.FreeDevices()) != 2 {
+		t.Fatalf("%d free devices after crash release, want 2", len(c.FreeDevices()))
+	}
+}

@@ -20,6 +20,7 @@ type GPUCluster struct {
 	devices []GPU
 	busy    map[int]string // device ID -> job ID
 	placed  map[string]int // job ID -> device ID
+	down    map[int]bool   // device ID -> crashed, awaiting repair
 }
 
 // NewGPUCluster returns a cluster with the given devices.
@@ -36,6 +37,7 @@ func NewGPUCluster(devices []GPU) *GPUCluster {
 		devices: ds,
 		busy:    make(map[int]string),
 		placed:  make(map[string]int),
+		down:    make(map[int]bool),
 	}
 }
 
@@ -59,16 +61,35 @@ func (c *GPUCluster) Devices() []GPU {
 // Size reports the number of devices.
 func (c *GPUCluster) Size() int { return len(c.devices) }
 
-// FreeDevices returns the idle devices in ID order.
+// FreeDevices returns the idle, healthy devices in ID order. Devices
+// marked down (crashed, awaiting repair) are excluded until SetDown
+// clears them.
 func (c *GPUCluster) FreeDevices() []GPU {
 	var out []GPU
 	for _, d := range c.devices {
+		if c.down[d.ID] {
+			continue
+		}
 		if _, taken := c.busy[d.ID]; !taken {
 			out = append(out, d)
 		}
 	}
 	return out
 }
+
+// SetDown marks a device crashed (down=true) or repaired (down=false).
+// A down device is never listed free and rejects assignments; any
+// occupant must be released by the caller as part of its crash handling.
+func (c *GPUCluster) SetDown(deviceID int, down bool) {
+	if down {
+		c.down[deviceID] = true
+	} else {
+		delete(c.down, deviceID)
+	}
+}
+
+// IsDown reports whether the device is marked crashed.
+func (c *GPUCluster) IsDown(deviceID int) bool { return c.down[deviceID] }
 
 // Assign places jobID on the device. It fails if the device is unknown or
 // busy, if the job is already placed, or if memMB exceeds the device
@@ -84,6 +105,9 @@ func (c *GPUCluster) Assign(jobID string, deviceID int, memMB float64) error {
 	}
 	if dev == nil {
 		return fmt.Errorf("cluster: unknown GPU %d", deviceID)
+	}
+	if c.down[deviceID] {
+		return fmt.Errorf("cluster: GPU %d is down", deviceID)
 	}
 	if holder, taken := c.busy[deviceID]; taken {
 		return fmt.Errorf("cluster: GPU %d busy with job %s", deviceID, holder)

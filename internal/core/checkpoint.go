@@ -2,11 +2,104 @@ package core
 
 import (
 	"container/list"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"rotary/internal/faults"
 )
+
+// Typed checkpoint errors. Callers branch on these with errors.Is to pick
+// a recovery strategy: a missing or corrupt checkpoint means the job's
+// persisted state is lost (restart from scratch), a transient error that
+// survives the bounded retries means the same, anything else is a real
+// environmental failure that should abort the run.
+var (
+	// ErrNotFound reports that no checkpoint exists for the id.
+	ErrNotFound = errors.New("core: checkpoint not found")
+	// ErrCorrupt reports that the persisted frame failed validation
+	// (magic, version, length, or CRC32). The payload is never handed to
+	// a deserializer in this case.
+	ErrCorrupt = errors.New("core: checkpoint corrupt")
+	// ErrTransient reports a retryable I/O failure that persisted through
+	// the store's bounded retries.
+	ErrTransient = errors.New("core: transient checkpoint I/O error")
+)
+
+// Checkpoint wire format: a fixed header followed by the payload.
+//
+//	offset size  field
+//	0      4     magic "RCKP"
+//	4      1     format version (1)
+//	5      3     reserved (zero)
+//	8      4     payload length, little-endian
+//	12     4     CRC32 (IEEE) of the payload, little-endian
+//	16     …     payload
+//
+// The header lets Load reject torn, truncated, or bit-flipped files by
+// checksum before any byte of the payload reaches a deserializer.
+const (
+	ckptMagic     = "RCKP"
+	ckptVersion   = 1
+	ckptHeaderLen = 16
+)
+
+// encodeCheckpointFrame wraps a payload in the checksummed header.
+func encodeCheckpointFrame(payload []byte) []byte {
+	frame := make([]byte, ckptHeaderLen+len(payload))
+	copy(frame, ckptMagic)
+	frame[4] = ckptVersion
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	copy(frame[ckptHeaderLen:], payload)
+	return frame
+}
+
+// decodeCheckpointFrame validates a frame and returns its payload, or an
+// error wrapping ErrCorrupt. It never returns payload bytes that failed
+// the checksum.
+func decodeCheckpointFrame(frame []byte) ([]byte, error) {
+	if len(frame) < ckptHeaderLen {
+		return nil, fmt.Errorf("%w: %d-byte file shorter than header", ErrCorrupt, len(frame))
+	}
+	if string(frame[:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, frame[:4])
+	}
+	if frame[4] != ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, frame[4])
+	}
+	n := binary.LittleEndian.Uint32(frame[8:12])
+	if int(n) != len(frame)-ckptHeaderLen {
+		return nil, fmt.Errorf("%w: header claims %d payload bytes, file has %d", ErrCorrupt, n, len(frame)-ckptHeaderLen)
+	}
+	payload := frame[ckptHeaderLen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(frame[12:16]); got != want {
+		return nil, fmt.Errorf("%w: CRC32 mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	return payload, nil
+}
+
+// StoreHealth counts the failure-path activity of a CheckpointStore: the
+// chaos suite and the recovery report read it.
+type StoreHealth struct {
+	// Retries counts transient I/O attempts that were retried.
+	Retries int
+	// TransientFailures counts operations that exhausted their retries
+	// and surfaced ErrTransient.
+	TransientFailures int
+	// CorruptDetected counts loads rejected by frame validation.
+	CorruptDetected int
+	// SlowIOs counts injected slow-storage events.
+	SlowIOs int
+	// Swept counts stale checkpoint files removed at startup.
+	Swept int
+}
 
 // CheckpointStore persists the state of paused (deferred) jobs, realizing
 // §VI's implementation choice: "When a job is paused, its intermediate
@@ -21,6 +114,11 @@ import (
 // disk (resuming replays the file and pays the I/O cost the executor
 // charges in virtual time). MemorySlots = 0 is the paper's disk-only
 // configuration.
+//
+// Disk writes are crash-safe: each frame is written to a temp file,
+// fsynced, and renamed over the final path, so a torn write can never
+// shadow a previously valid checkpoint, and every frame carries a CRC32
+// header that Load verifies before any payload byte is deserialized.
 type CheckpointStore struct {
 	mu  sync.Mutex
 	dir string
@@ -30,12 +128,25 @@ type CheckpointStore struct {
 	lru         *list.List               // front = most recent
 	lruIdx      map[string]*list.Element // id -> element (value: id)
 
+	// injector, when set, deals deterministic I/O faults; maxRetries and
+	// retryBackoffSecs bound the recovery from transient ones. The
+	// backoff is charged in virtual time: it accrues to penaltySecs,
+	// which the executor drains into the affected job's epoch cost.
+	injector         *faults.Injector
+	maxRetries       int
+	retryBackoffSecs float64
+	penaltySecs      float64
+
 	memHits, diskHits, writes int
 	diskBytes                 int64
+	health                    StoreHealth
+	closed                    bool
 }
 
 // NewCheckpointStore creates a store spilling to dir, keeping up to
-// memorySlots checkpoints resident. The directory is created if missing.
+// memorySlots checkpoints resident. The directory is created if missing,
+// and stale checkpoint files left behind by a previous (possibly crashed)
+// run are swept away so completed workloads never leak disk across runs.
 func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
@@ -43,13 +154,60 @@ func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
 	if memorySlots < 0 {
 		memorySlots = 0
 	}
-	return &CheckpointStore{
-		dir:         dir,
-		memorySlots: memorySlots,
-		memory:      make(map[string][]byte),
-		lru:         list.New(),
-		lruIdx:      make(map[string]*list.Element),
-	}, nil
+	s := &CheckpointStore{
+		dir:              dir,
+		memorySlots:      memorySlots,
+		memory:           make(map[string][]byte),
+		lru:              list.New(),
+		lruIdx:           make(map[string]*list.Element),
+		maxRetries:       3,
+		retryBackoffSecs: 1.0,
+	}
+	s.health.Swept = s.sweep()
+	return s, nil
+}
+
+// sweep removes leftover *.ckpt and *.ckpt.tmp files and reports how many
+// it deleted. Checkpoints are scratch state scoped to one run; anything
+// present at store creation is an orphan.
+func (s *CheckpointStore) sweep() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (!strings.HasSuffix(name, ".ckpt") && !strings.HasSuffix(name, ".ckpt.tmp")) {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, name)) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFaults arms the store with a deterministic fault injector (nil
+// disarms it). Intended for chaos runs; production stores leave it unset.
+func (s *CheckpointStore) SetFaults(in *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injector = in
+}
+
+// SetRetryPolicy overrides the bounded-retry parameters for transient
+// I/O errors: up to maxRetries retries, with exponential virtual-time
+// backoff starting at backoffSecs.
+func (s *CheckpointStore) SetRetryPolicy(maxRetries int, backoffSecs float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxRetries >= 0 {
+		s.maxRetries = maxRetries
+	}
+	if backoffSecs >= 0 {
+		s.retryBackoffSecs = backoffSecs
+	}
 }
 
 func (s *CheckpointStore) path(id string) string {
@@ -61,6 +219,9 @@ func (s *CheckpointStore) path(id string) string {
 func (s *CheckpointStore) Save(id string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: save checkpoint %s: store closed", id)
+	}
 	s.writes++
 	if s.memorySlots > 0 {
 		if el, ok := s.lruIdx[id]; ok {
@@ -86,43 +247,185 @@ func (s *CheckpointStore) Save(id string, data []byte) error {
 	return s.writeFile(id, data)
 }
 
+// writeFile frames the payload and writes it atomically: temp file in the
+// same directory, fsync, rename. Injected transient faults are retried
+// with exponential backoff charged in virtual time; injected corruption
+// flips a payload byte after the CRC is computed, so the damage is
+// carried to disk undetected and caught by Load's checksum — exactly the
+// failure mode a real bit-rot or torn DMA produces.
 func (s *CheckpointStore) writeFile(id string, data []byte) error {
-	s.diskBytes += int64(len(data))
-	if err := os.WriteFile(s.path(id), data, 0o644); err != nil {
+	frame := encodeCheckpointFrame(data)
+	for attempt := 0; ; attempt++ {
+		switch s.injector.WriteFault() {
+		case faults.Transient:
+			if attempt < s.maxRetries {
+				s.health.Retries++
+				s.penaltySecs += s.retryBackoffSecs * float64(int(1)<<attempt)
+				continue
+			}
+			s.health.TransientFailures++
+			return fmt.Errorf("core: write checkpoint %s: %w", id, ErrTransient)
+		case faults.Corrupt:
+			// Flip one payload byte in a copy; the header CRC was computed
+			// over the clean payload, so Load will reject this frame.
+			frame = append([]byte(nil), frame...)
+			frame[ckptHeaderLen+len(data)/2] ^= 0xFF
+		case faults.Slow:
+			s.penaltySecs += s.injector.SlowDelaySecs()
+		}
+		break
+	}
+
+	final := s.path(id)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
 	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: sync checkpoint %s: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: close checkpoint %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: publish checkpoint %s: %w", id, err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	s.diskBytes += int64(len(frame))
 	return nil
 }
 
 // Load retrieves a checkpoint, reporting whether it was served from the
 // memory tier (fromMemory), which the executor translates into a cheap
-// resume instead of a disk replay.
+// resume instead of a disk replay. A missing file returns ErrNotFound; a
+// frame that fails validation returns ErrCorrupt without ever exposing
+// the payload; a transient fault that survives the bounded retries
+// returns ErrTransient.
 func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("core: load checkpoint %s: store closed", id)
+	}
 	if d, ok := s.memory[id]; ok {
 		s.memHits++
 		s.lru.MoveToFront(s.lruIdx[id])
 		return d, true, nil
 	}
-	d, err := os.ReadFile(s.path(id))
+	for attempt := 0; ; attempt++ {
+		switch s.injector.ReadFault() {
+		case faults.Transient:
+			if attempt < s.maxRetries {
+				s.health.Retries++
+				s.penaltySecs += s.retryBackoffSecs * float64(int(1)<<attempt)
+				continue
+			}
+			s.health.TransientFailures++
+			return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, ErrTransient)
+		case faults.Slow:
+			s.penaltySecs += s.injector.SlowDelaySecs()
+		}
+		break
+	}
+	frame, err := os.ReadFile(s.path(id))
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, ErrNotFound)
+		}
+		return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, err)
+	}
+	payload, err := decodeCheckpointFrame(frame)
+	if err != nil {
+		s.health.CorruptDetected++
 		return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, err)
 	}
 	s.diskHits++
-	return d, false, nil
+	return payload, false, nil
 }
 
-// Remove deletes a terminal job's checkpoint from both tiers.
-func (s *CheckpointStore) Remove(id string) {
+// TakePenaltySecs drains the virtual-time cost accrued by retry backoffs
+// and slow-storage events since the last drain. The executor charges it
+// to the job whose I/O incurred it.
+func (s *CheckpointStore) TakePenaltySecs() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	p := s.penaltySecs
+	s.penaltySecs = 0
+	return p
+}
+
+// Delete removes a job's checkpoint from both tiers. Deleting an id with
+// no checkpoint is a no-op.
+func (s *CheckpointStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(id)
+}
+
+func (s *CheckpointStore) deleteLocked(id string) error {
 	if el, ok := s.lruIdx[id]; ok {
 		s.lru.Remove(el)
 		delete(s.lruIdx, id)
 		delete(s.memory, id)
 	}
-	_ = os.Remove(s.path(id))
+	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("core: delete checkpoint %s: %w", id, err)
+	}
+	return nil
+}
+
+// Remove deletes a terminal job's checkpoint from both tiers, ignoring
+// I/O errors (kept for callers that cannot propagate them).
+func (s *CheckpointStore) Remove(id string) {
+	_ = s.Delete(id)
+}
+
+// Close releases the store: the memory tier is dropped and every
+// remaining on-disk checkpoint is deleted (checkpoints are scratch state
+// scoped to one run — terminal jobs already removed theirs; whatever is
+// left belongs to jobs that will never resume). Operations after Close
+// fail. Close is idempotent.
+func (s *CheckpointStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for id := range s.memory {
+		delete(s.memory, id)
+	}
+	s.lru.Init()
+	s.lruIdx = make(map[string]*list.Element)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("core: close checkpoint store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (!strings.HasSuffix(name, ".ckpt") && !strings.HasSuffix(name, ".ckpt.tmp")) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: close checkpoint store: %w", err)
+		}
+	}
+	return firstErr
 }
 
 // Stats reports the store's activity: checkpoint writes, memory-tier and
@@ -131,4 +434,11 @@ func (s *CheckpointStore) Stats() (writes, memHits, diskHits int, diskBytes int6
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.writes, s.memHits, s.diskHits, s.diskBytes
+}
+
+// Health reports the store's failure-path counters.
+func (s *CheckpointStore) Health() StoreHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
 }

@@ -58,7 +58,7 @@ func TestDLTRunDeterminism(t *testing.T) {
 		}
 		sched := core.NewRotaryDLT(0.5, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
 		exec := core.NewDLTExecutor(core.DefaultDLTExecConfig(), sched, repo)
-		for _, spec := range workload.GenerateDLT(workload.DefaultDLTWorkload(8, 5)) {
+		for _, spec := range mustGenDLT(t, 8, 5) {
 			j, err := workload.BuildDLTJob(spec)
 			if err != nil {
 				t.Fatal(err)

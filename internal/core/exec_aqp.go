@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"rotary/internal/aqp"
 	"rotary/internal/cluster"
 	"rotary/internal/estimate"
+	"rotary/internal/faults"
 	"rotary/internal/sim"
 )
 
@@ -31,6 +33,15 @@ type AQPExecConfig struct {
 	Store *CheckpointStore
 	// Tracer, when set, records the arbitration timeline.
 	Tracer *Tracer
+	// Faults, when set, deals deterministic worker crashes into running
+	// epochs (checkpoint I/O faults are dealt by arming the Store with the
+	// same injector). Fault injection requires a Store: recovery replays
+	// persisted state.
+	Faults *faults.Injector
+	// CrashRecoverySecs is the virtual time between a worker crash and the
+	// job rejoining the pending queue (failure detection + worker
+	// restart). Defaults to 2s.
+	CrashRecoverySecs float64
 	// DataParallelism caps the real data-path worker width an epoch may
 	// use. A grant's thread count maps to actual goroutines inside
 	// OnlineQuery.ProcessBatch (partitioned accumulation with a
@@ -75,6 +86,7 @@ type AQPExecutor struct {
 	arbPending    bool
 	terminalCount int
 	storeErr      error
+	rec           RecoveryStats
 
 	// ownsEngine marks an executor with a private engine (it may Stop the
 	// engine when its workload completes); onDone notifies a composing
@@ -103,6 +115,9 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 	if repo == nil {
 		repo = estimate.NewRepository()
 	}
+	if cfg.CrashRecoverySecs <= 0 {
+		cfg.CrashRecoverySecs = 2
+	}
 	return &AQPExecutor{
 		eng:     eng,
 		pool:    cluster.NewCPUPool(cfg.Threads, cfg.MemMB),
@@ -119,11 +134,23 @@ func (e *AQPExecutor) Engine() *sim.Engine { return e.eng }
 // Jobs returns every submitted job.
 func (e *AQPExecutor) Jobs() []*AQPJob { return e.jobs }
 
+// Recovery reports the executor's fault-recovery counters.
+func (e *AQPExecutor) Recovery() RecoveryStats { return e.rec }
+
 // Submit schedules a job's arrival at the given virtual time.
 func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 	if e.cfg.DataParallelism > 0 {
 		if q, ok := j.query.(interface{ SetMaxDataWidth(int) }); ok {
 			q.SetMaxDataWidth(e.cfg.DataParallelism)
+		}
+	}
+	// Capture the pristine state before any processing: the restart-from-
+	// scratch fallback when no usable checkpoint survives a failure.
+	if e.cfg.Store != nil && j.pristine == nil {
+		if data, err := j.query.Checkpoint(); err != nil {
+			e.storeErr = fmt.Errorf("core: pristine checkpoint %s: %w", j.ID(), err)
+		} else {
+			j.pristine = data
 		}
 	}
 	e.jobs = append(e.jobs, j)
@@ -151,6 +178,9 @@ func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 // events remain, which means the workload deadlocked — reported as an
 // error).
 func (e *AQPExecutor) Run() error {
+	if e.cfg.Faults.Enabled() && e.cfg.Store == nil {
+		return errors.New("core: AQP fault injection requires a CheckpointStore (recovery replays persisted state)")
+	}
 	e.eng.Run()
 	if e.storeErr != nil {
 		return e.storeErr
@@ -233,32 +263,19 @@ func (e *AQPExecutor) startEpoch(g AQPGrant) {
 	}
 
 	var epochSecs float64
+	// Checkpoint-I/O backoff accrued when this job's state was last saved
+	// is charged to its next epoch.
+	epochSecs += j.deferredPenaltySecs
+	j.deferredPenaltySecs = 0
 	// Resuming a job deferred at an earlier instant replays its disk
 	// checkpoint; a job re-granted at the very moment it released keeps
-	// its state hot (§III-C's third advantage). With a CheckpointStore
-	// configured the replay is real: the in-memory state is discarded and
-	// reconstructed from the persisted bytes, and resumes served from the
-	// store's memory tier skip the disk-replay cost.
-	if j.everRan && j.lastRelease != e.eng.Now() {
-		state := j.query.StateMemMB()
-		cost := 2 * (e.cfg.CheckpointBaseSecs + state*e.cfg.CheckpointSecsPerMB)
-		if e.cfg.Store != nil {
-			data, fromMemory, err := e.cfg.Store.Load(j.ID())
-			if err == nil {
-				err = j.query.Restore(data)
-			}
-			if err != nil {
-				e.storeErr = fmt.Errorf("core: resume %s: %w", j.ID(), err)
-			}
-			if fromMemory {
-				cost = 0.1 * e.cfg.CheckpointBaseSecs
-			}
-			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
-				Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
-		} else {
-			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
-		}
-		epochSecs += cost
+	// its state hot (§III-C's third advantage) — unless a crash left the
+	// in-memory state dirty (needsRestore), which forces the replay. With
+	// a CheckpointStore configured the replay is real: the in-memory state
+	// is discarded and reconstructed from the persisted bytes, and resumes
+	// served from the store's memory tier skip the disk-replay cost.
+	if j.needsRestore || (j.everRan && j.lastRelease != e.eng.Now()) {
+		epochSecs += e.resumeJob(j)
 	}
 	// The grant's thread count is passed straight into the data path:
 	// stateless queries fan the epoch's batches out across that many
@@ -281,7 +298,117 @@ func (e *AQPExecutor) startEpoch(g AQPGrant) {
 	// job's progress-runtime curve shares units with the single-threaded
 	// historical curves.
 	normWork := workSecs * aqp.Speedup(g.Threads)
+	// The injector may interrupt the epoch mid-flight: the worker dies,
+	// its in-flight results are lost, and the job rolls back to its last
+	// valid checkpoint at the next grant.
+	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed {
+		e.eng.Schedule(after, func() { e.crashEpoch(j, after) })
+		return
+	}
 	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, epochSecs, normWork) })
+}
+
+// resumeJob replays the job's persisted state and returns the virtual
+// resume cost. An unusable checkpoint (missing, corrupt, or persistently
+// failing I/O) falls back to a from-scratch restart off the pristine
+// state; any other failure is fatal to the run.
+func (e *AQPExecutor) resumeJob(j *AQPJob) float64 {
+	state := j.query.StateMemMB()
+	cost := 2 * (e.cfg.CheckpointBaseSecs + state*e.cfg.CheckpointSecsPerMB)
+	if e.cfg.Store == nil {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
+		return cost
+	}
+	rollingBack := j.needsRestore
+	data, fromMemory, err := e.cfg.Store.Load(j.ID())
+	cost += e.cfg.Store.TakePenaltySecs()
+	if err == nil {
+		err = j.query.Restore(data)
+		if err == nil {
+			if fromMemory {
+				cost = 0.1 * e.cfg.CheckpointBaseSecs
+			}
+			j.needsRestore = false
+			if rollingBack {
+				e.rec.Rollbacks++
+			}
+			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
+				Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
+			return cost
+		}
+	}
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTransient) {
+		if serr := e.scratchRestart(j, err); serr != nil {
+			e.storeErr = serr
+		}
+	} else {
+		e.storeErr = fmt.Errorf("core: resume %s: %w", j.ID(), err)
+	}
+	return cost
+}
+
+// scratchRestart rewinds the job to its pristine state: the persisted
+// checkpoint is unusable, so the job replays from the beginning — which,
+// with deterministic data, reproduces the fault-free observation sequence
+// exactly.
+func (e *AQPExecutor) scratchRestart(j *AQPJob, cause error) error {
+	if j.pristine == nil {
+		return fmt.Errorf("core: restart %s: no pristine state: %w", j.ID(), cause)
+	}
+	if err := j.query.Restore(j.pristine); err != nil {
+		return fmt.Errorf("core: restart %s: %w", j.ID(), err)
+	}
+	e.cfg.Store.Remove(j.ID())
+	j.resetForScratchRestart()
+	e.rec.ScratchRestarts++
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceRestart, Job: j.ID(),
+		Detail: restartCause(cause)})
+	return nil
+}
+
+// restartCause classifies the checkpoint failure that forced a restart.
+func restartCause(err error) string {
+	switch {
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, ErrNotFound):
+		return "not-found"
+	case errors.Is(err, ErrTransient):
+		return "transient"
+	default:
+		return "error"
+	}
+}
+
+// crashEpoch handles a worker crash wastedSecs into a running epoch: the
+// epoch's results are lost, resources free immediately, and the job
+// rejoins the queue after the crash-recovery delay with a forced rollback
+// to its last valid checkpoint.
+func (e *AQPExecutor) crashEpoch(j *AQPJob, wastedSecs float64) {
+	e.pool.Release(j.ID())
+	delete(e.running, j.ID())
+	e.runningEstMem -= j.EstMemMB()
+	j.status = StatusPending
+	j.needsRestore = true
+	j.processingSecs += wastedSecs
+	if !j.crashPending {
+		j.crashPending = true
+		j.crashedSince = e.eng.Now()
+	}
+	e.rec.Crashes++
+	e.rec.WastedWorkSecs += wastedSecs
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(),
+		Detail: fmt.Sprintf("wasted=%.1fs", wastedSecs)})
+	e.eng.Schedule(e.cfg.CrashRecoverySecs, func() {
+		// The deadline watchdog may have expired the job while it was
+		// recovering.
+		if j.status.Terminal() {
+			return
+		}
+		e.pending = append(e.pending, j)
+		e.scheduleArbitrate()
+	})
+	e.scheduleArbitrate()
 }
 
 // finishEpoch observes the completed epoch and applies the shared stop
@@ -295,6 +422,11 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 	j.epochs++
 	j.processingSecs += epochSecs
 	j.normSecs += normWork
+	if j.crashPending {
+		j.crashPending = false
+		e.rec.Recovered++
+		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
+	}
 	j.observeEpoch(e.eng.Now())
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceEpochDone, Job: j.ID(),
 		Detail: fmt.Sprintf("epoch=%d est-acc=%.3f", j.epochs, j.EstimatedAccuracy())})
@@ -331,8 +463,21 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 			if data, err := j.query.Checkpoint(); err != nil {
 				e.storeErr = fmt.Errorf("core: checkpoint %s: %w", j.ID(), err)
 			} else if err := e.cfg.Store.Save(j.ID(), data); err != nil {
-				e.storeErr = err
+				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
+				if errors.Is(err, ErrTransient) {
+					// The save failed for good, but any previously persisted
+					// checkpoint is now behind the in-memory bookkeeping, so
+					// rolling back to it would desynchronize the job. Replay
+					// from scratch instead — deterministic data makes that
+					// exact, just slower.
+					if serr := e.scratchRestart(j, err); serr != nil {
+						e.storeErr = serr
+					}
+				} else {
+					e.storeErr = err
+				}
 			} else {
+				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
 				e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCheckpoint, Job: j.ID()})
 			}
 		}
@@ -343,6 +488,12 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 func (e *AQPExecutor) finishJob(j *AQPJob, status JobStatus) {
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
+	}
+	if j.crashPending {
+		// Expired while still recovering: close the latency window without
+		// counting a successful recovery.
+		j.crashPending = false
+		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
 	}
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
 	j.status = status

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"rotary/internal/cluster"
 	"rotary/internal/criteria"
 	"rotary/internal/dlt"
 	"rotary/internal/estimate"
+	"rotary/internal/faults"
 	"rotary/internal/sim"
 )
 
@@ -21,6 +23,18 @@ type DLTExecConfig struct {
 	SwapSecsPerParam float64
 	// RecordHistory appends completed jobs to the repository.
 	RecordHistory bool
+	// Store, when set, actually persists deferred jobs' trainer state and
+	// restores it when the job swaps back onto a device — required for
+	// fault injection, where recovery replays persisted state.
+	Store *CheckpointStore
+	// Faults, when set, deals deterministic device crashes into running
+	// epochs (checkpoint I/O faults are dealt by arming the Store with the
+	// same injector).
+	Faults *faults.Injector
+	// CrashRecoverySecs is the virtual time between a device crash and the
+	// job rejoining the pending queue. Defaults to 2s. The device itself
+	// stays down for the injector's repair delay.
+	CrashRecoverySecs float64
 	// Tracer, when set, records the arbitration timeline.
 	Tracer *Tracer
 }
@@ -66,6 +80,8 @@ type DLTExecutor struct {
 	arbPending    bool
 	terminalCount int
 	oomEvents     int
+	storeErr      error
+	rec           RecoveryStats
 
 	ownsEngine bool
 	onDone     func()
@@ -91,6 +107,9 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 	if repo == nil {
 		repo = estimate.NewRepository()
 	}
+	if cfg.CrashRecoverySecs <= 0 {
+		cfg.CrashRecoverySecs = 2
+	}
 	return &DLTExecutor{
 		eng:           eng,
 		gpus:          cluster.NewUniformGPUCluster(cfg.GPUs, cfg.GPUMemMB),
@@ -115,8 +134,18 @@ func (e *DLTExecutor) TTR() *dlt.TTR { return e.ttr }
 // OOMEvents reports placements that exceeded device memory.
 func (e *DLTExecutor) OOMEvents() int { return e.oomEvents }
 
+// Recovery reports the executor's fault-recovery counters.
+func (e *DLTExecutor) Recovery() RecoveryStats { return e.rec }
+
 // Submit schedules a job's arrival.
 func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
+	if e.cfg.Store != nil && j.pristine == nil {
+		if data, err := j.job.Checkpoint(); err != nil {
+			e.storeErr = fmt.Errorf("core: pristine checkpoint %s: %w", j.ID(), err)
+		} else {
+			j.pristine = data
+		}
+	}
 	e.jobs = append(e.jobs, j)
 	e.eng.ScheduleAt(at, func() {
 		j.arrival = e.eng.Now()
@@ -130,7 +159,13 @@ func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
 
 // Run drives the simulation until every job is terminal.
 func (e *DLTExecutor) Run() error {
+	if e.cfg.Faults.Enabled() && e.cfg.Store == nil {
+		return errors.New("core: DLT fault injection requires a CheckpointStore (recovery replays persisted state)")
+	}
 	e.eng.Run()
+	if e.storeErr != nil {
+		return e.storeErr
+	}
 	if e.terminalCount != len(e.jobs) {
 		return fmt.Errorf("core: %d of %d DLT jobs did not terminate", len(e.jobs)-e.terminalCount, len(e.jobs))
 	}
@@ -218,18 +253,123 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 	}
 
 	var epochSecs float64
+	epochSecs += j.deferredPenaltySecs
+	j.deferredPenaltySecs = 0
 	firstPlacement := !j.everRan
 	// A job continuously prioritized onto the device it last occupied
-	// keeps its state hot; anything else replays the checkpoint.
-	resumed := j.everRan && e.deviceLastJob[p.Device] != j.ID()
+	// keeps its state hot; anything else replays the checkpoint — and a
+	// crash forces the replay regardless, because the interrupted epoch
+	// left the in-memory trainer dirty.
+	resumed := j.needsRestore || (j.everRan && e.deviceLastJob[p.Device] != j.ID())
 	if resumed {
-		epochSecs += e.cfg.SwapBaseSecs + e.cfg.SwapSecsPerParam*j.job.Spec().ParamsM + dlt.WarmupSeconds
+		epochSecs += e.cfg.SwapBaseSecs + e.cfg.SwapSecsPerParam*j.job.Spec().ParamsM
+		if e.cfg.Store != nil {
+			// Real replay: the trainer is rebuilt from persisted bytes. Its
+			// Restore drops the warmed flag, so TrainEpoch below re-pays the
+			// warm-up internally — no explicit charge here.
+			epochSecs += e.resumeDLT(j)
+		} else {
+			epochSecs += dlt.WarmupSeconds
+		}
 	}
 	e.deviceLastJob[p.Device] = j.ID()
 	_, trainSecs := j.job.TrainEpoch()
 	epochSecs += trainSecs
 	start := e.eng.Now()
+	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed {
+		e.eng.Schedule(after, func() { e.crashEpoch(j, p.Device, after) })
+		return
+	}
 	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, p.Device, start, epochSecs, firstPlacement || resumed) })
+}
+
+// resumeDLT replays the trainer's persisted state, returning any injected
+// I/O delay. An unusable checkpoint falls back to a from-scratch restart
+// off the pristine state.
+func (e *DLTExecutor) resumeDLT(j *DLTJob) float64 {
+	rollingBack := j.needsRestore
+	data, _, err := e.cfg.Store.Load(j.ID())
+	extra := e.cfg.Store.TakePenaltySecs()
+	if err == nil {
+		err = j.job.Restore(data)
+		if err == nil {
+			j.needsRestore = false
+			if rollingBack {
+				e.rec.Rollbacks++
+			}
+			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
+			return extra
+		}
+	}
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTransient) {
+		if serr := e.scratchRestartDLT(j, err); serr != nil {
+			e.storeErr = serr
+		}
+	} else {
+		e.storeErr = fmt.Errorf("core: resume %s: %w", j.ID(), err)
+	}
+	return extra
+}
+
+// scratchRestartDLT rewinds the job to its pristine trainer state: with a
+// deterministic accuracy curve, replaying from epoch zero reproduces the
+// fault-free trajectory exactly.
+func (e *DLTExecutor) scratchRestartDLT(j *DLTJob, cause error) error {
+	if j.pristine == nil {
+		return fmt.Errorf("core: restart %s: no pristine state: %w", j.ID(), cause)
+	}
+	if err := j.job.Restore(j.pristine); err != nil {
+		return fmt.Errorf("core: restart %s: %w", j.ID(), err)
+	}
+	e.cfg.Store.Remove(j.ID())
+	j.epochs = 0
+	j.convergedAtEpoch = 0
+	j.everRan = false
+	j.needsRestore = false
+	j.lastRelease = 0
+	j.lastDevice = -1
+	e.rec.ScratchRestarts++
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceRestart, Job: j.ID(),
+		Detail: restartCause(cause)})
+	return nil
+}
+
+// crashEpoch handles a device crash wastedSecs into a running epoch: the
+// epoch's results are lost, the device goes down until repaired, and the
+// job rejoins the queue after the crash-recovery delay with a forced
+// rollback to its last valid checkpoint.
+func (e *DLTExecutor) crashEpoch(j *DLTJob, device int, wastedSecs float64) {
+	e.gpus.Release(j.ID())
+	delete(e.running, j.ID())
+	e.roundRunning--
+	j.status = StatusPending
+	j.needsRestore = true
+	j.processingSecs += wastedSecs
+	if !j.crashPending {
+		j.crashPending = true
+		j.crashedSince = e.eng.Now()
+	}
+	e.rec.Crashes++
+	e.rec.WastedWorkSecs += wastedSecs
+	// The device's hot state is gone and the device itself leaves the
+	// rotation until repaired.
+	delete(e.deviceLastJob, device)
+	e.gpus.SetDown(device, true)
+	repair := e.cfg.Faults.RepairSecs()
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(), Device: device,
+		Detail: fmt.Sprintf("wasted=%.1fs repair=%.0fs", wastedSecs, repair)})
+	e.eng.Schedule(repair, func() {
+		e.gpus.SetDown(device, false)
+		e.scheduleArbitrate()
+	})
+	e.eng.Schedule(e.cfg.CrashRecoverySecs, func() {
+		if j.status.Terminal() {
+			return
+		}
+		e.pending = append(e.pending, j)
+		e.scheduleArbitrate()
+	})
+	e.scheduleArbitrate()
 }
 
 func (e *DLTExecutor) deviceByID(id int) (cluster.GPU, bool) {
@@ -251,6 +391,11 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 	j.lastDevice = device
 	j.epochs++
 	j.processingSecs += epochSecs
+	if j.crashPending {
+		j.crashPending = false
+		e.rec.Recovered++
+		e.rec.RecoveryLatencySecs += (now - j.crashedSince).Seconds()
+	}
 	e.recordPlacement(j, device, start, now)
 
 	e.ttr.RecordEpoch(j.ID(), device, epochSecs, j.job.StepsPerEpoch(), firstOnDevice)
@@ -275,6 +420,26 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 	default:
 		j.status = StatusPending
 		e.pending = append(e.pending, j)
+		if e.cfg.Store != nil {
+			if data, err := j.job.Checkpoint(); err != nil {
+				e.storeErr = fmt.Errorf("core: checkpoint %s: %w", j.ID(), err)
+			} else if err := e.cfg.Store.Save(j.ID(), data); err != nil {
+				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
+				if errors.Is(err, ErrTransient) {
+					// The save failed for good: the previous checkpoint is
+					// behind the in-memory bookkeeping, so replay from
+					// scratch instead of desynchronizing the job.
+					if serr := e.scratchRestartDLT(j, err); serr != nil {
+						e.storeErr = serr
+					}
+				} else {
+					e.storeErr = err
+				}
+			} else {
+				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
+				e.cfg.Tracer.Emit(TraceEvent{At: now, Kind: TraceCheckpoint, Job: j.ID()})
+			}
+		}
 	}
 	e.scheduleArbitrate()
 }
@@ -291,6 +456,13 @@ func (e *DLTExecutor) recordPlacement(j *DLTJob, device int, start, end sim.Time
 }
 
 func (e *DLTExecutor) finishJob(j *DLTJob, status JobStatus) {
+	if e.cfg.Store != nil {
+		e.cfg.Store.Remove(j.ID())
+	}
+	if j.crashPending {
+		j.crashPending = false
+		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
+	}
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
 	j.status = status
 	j.endTime = e.eng.Now()

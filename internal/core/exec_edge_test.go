@@ -251,7 +251,7 @@ func TestGPUClusterNeverOverCommitted(t *testing.T) {
 	}
 	sched := core.NewRotaryDLT(0.0, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
 	exec := core.NewDLTExecutor(core.DefaultDLTExecConfig(), sched, repo)
-	for _, spec := range workload.GenerateDLT(workload.DefaultDLTWorkload(8, 2)) {
+	for _, spec := range mustGenDLT(t, 8, 2) {
 		j, err := workload.BuildDLTJob(spec)
 		if err != nil {
 			t.Fatal(err)

@@ -70,7 +70,7 @@ func TestDLTExecutorRunsWorkloadToCompletion(t *testing.T) {
 	if err := workload.SeedDLTHistory(repo, 40, 30, 3); err != nil {
 		t.Fatalf("seed history: %v", err)
 	}
-	specs := workload.GenerateDLT(workload.DefaultDLTWorkload(10, 7))
+	specs := mustGenDLT(t, 10, 7)
 	tee := estimate.NewTEE(repo, 3)
 	tme := estimate.NewTME(repo, 3)
 	scheds := []core.DLTScheduler{

@@ -243,12 +243,26 @@ func (u *UnifiedExecutor) DLTJobs() []*DLTJob { return u.dlt.Jobs() }
 // MinProgress reports the cluster-wide minimum attainment progress.
 func (u *UnifiedExecutor) MinProgress() float64 { return u.state.minProgress() }
 
+// Recovery reports the cluster-wide fault-recovery counters (AQP + DLT).
+func (u *UnifiedExecutor) Recovery() RecoveryStats {
+	return u.aqp.Recovery().Add(u.dlt.Recovery())
+}
+
 // Run drives the mixed workload to completion.
 func (u *UnifiedExecutor) Run() error {
+	if u.aqp.cfg.Faults.Enabled() && u.aqp.cfg.Store == nil {
+		return errors.New("core: AQP fault injection requires a CheckpointStore")
+	}
+	if u.dlt.cfg.Faults.Enabled() && u.dlt.cfg.Store == nil {
+		return errors.New("core: DLT fault injection requires a CheckpointStore")
+	}
 	u.eng.Run()
 	var errs []error
 	if u.aqp.storeErr != nil {
 		errs = append(errs, u.aqp.storeErr)
+	}
+	if u.dlt.storeErr != nil {
+		errs = append(errs, u.dlt.storeErr)
 	}
 	if n := len(u.aqp.jobs) - u.aqp.terminalCount; n > 0 {
 		errs = append(errs, errors.New("core: unified run left AQP jobs unterminated"))

@@ -40,7 +40,7 @@ func TestUnifiedExecutorRunsMixedWorkload(t *testing.T) {
 		}
 		u.SubmitAQP(j, sim.Time(spec.ArrivalSecs))
 	}
-	dltSpecs := workload.GenerateDLT(workload.DefaultDLTWorkload(6, 3))
+	dltSpecs := mustGenDLT(t, 6, 3)
 	for _, spec := range dltSpecs {
 		j, err := workload.BuildDLTJob(spec)
 		if err != nil {
@@ -86,7 +86,7 @@ func TestUnifiedGlobalFairnessCouplesWorkloads(t *testing.T) {
 			}
 			u.SubmitAQP(j, 0)
 		}
-		for _, spec := range workload.GenerateDLT(workload.DefaultDLTWorkload(5, 9)) {
+		for _, spec := range mustGenDLT(t, 5, 9) {
 			j, err := workload.BuildDLTJob(spec)
 			if err != nil {
 				t.Fatal(err)

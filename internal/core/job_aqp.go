@@ -52,6 +52,22 @@ type AQPJob struct {
 	endTime     sim.Time
 	stopAcc     float64 // true accuracy at stop (metrics only)
 
+	// Fault-recovery state. pristine is the query's state as captured at
+	// submission, the fallback when no usable checkpoint survives a
+	// failure. needsRestore forces the next grant to replay persisted
+	// state even at the release instant — a crash leaves the in-memory
+	// query dirty (batches of the interrupted epoch were consumed), so
+	// the hot-state shortcut would resume from a state no completed epoch
+	// ever observed. crashPending/crashedSince track the open recovery
+	// window for the latency counter; deferredPenaltySecs carries
+	// checkpoint-I/O backoff accrued at save time into the next epoch's
+	// virtual cost.
+	pristine            []byte
+	needsRestore        bool
+	crashPending        bool
+	crashedSince        sim.Time
+	deferredPenaltySecs float64
+
 	// realtimeCurve is the recorded (processing-seconds, estimated
 	// accuracy) series fed to the progress estimator.
 	realtimeCurve []estimate.Point
@@ -376,6 +392,22 @@ func (j *AQPJob) observeEpoch(now sim.Time) {
 		TrueAcc:  j.query.Accuracy(),
 		Progress: j.AttainmentProgress(),
 	})
+}
+
+// resetForScratchRestart clears every observation the job accumulated so
+// a from-scratch replay reproduces the fault-free observation sequence
+// bit-for-bit: fresh envelope and growth trackers, empty real-time curve,
+// zeroed epoch and work counters. The caller restores the query itself
+// from the pristine checkpoint. processingSecs is deliberately kept — the
+// wasted time was really spent and the metrics must see it.
+func (j *AQPJob) resetForScratchRestart() {
+	j.envelope = &envelopeState{window: j.envelope.window, converge: j.envelope.converge}
+	j.realtimeCurve = nil
+	j.epochs = 0
+	j.normSecs = 0
+	j.everRan = false
+	j.needsRestore = false
+	j.lastRelease = 0
 }
 
 // envelopeConverged reports whether every tracked cell's envelope has

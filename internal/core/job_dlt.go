@@ -28,6 +28,18 @@ type DLTJob struct {
 	lastRelease sim.Time
 	everRan     bool
 
+	// Fault-recovery state, mirroring AQPJob: pristine is the trainer's
+	// state at submission (the restart-from-scratch fallback), needsRestore
+	// forces a checkpoint replay after a device crash left the in-memory
+	// trainer dirty, crashPending/crashedSince track the open recovery
+	// window, deferredPenaltySecs carries save-time I/O backoff into the
+	// next epoch's cost.
+	pristine            []byte
+	needsRestore        bool
+	crashPending        bool
+	crashedSince        sim.Time
+	deferredPenaltySecs float64
+
 	// convergedAtEpoch records the first epoch at which the delta check
 	// fired (0 = never) — the metrics' convergence-line.
 	convergedAtEpoch int

@@ -1,0 +1,48 @@
+package core
+
+// RecoveryStats counts an executor's failure-recovery activity under
+// fault injection. All times are virtual seconds.
+type RecoveryStats struct {
+	// Crashes counts worker/device crashes that interrupted a running
+	// epoch.
+	Crashes int
+	// Rollbacks counts recoveries that replayed the job's last valid
+	// checkpoint.
+	Rollbacks int
+	// ScratchRestarts counts recoveries where no usable checkpoint
+	// survived (missing, corrupt, or persistently failing I/O) and the job
+	// restarted from its pristine state.
+	ScratchRestarts int
+	// WastedWorkSecs is the virtual processing time lost to interrupted
+	// epochs.
+	WastedWorkSecs float64
+	// RecoveryLatencySecs accumulates, over every crash, the virtual time
+	// from the crash to the job's next completed epoch (or its terminal
+	// event if it never ran again).
+	RecoveryLatencySecs float64
+	// Recovered counts crashes whose job went on to complete another
+	// epoch.
+	Recovered int
+}
+
+// MeanRecoveryLatencySecs is the average crash-to-next-completed-epoch
+// latency (0 with no crashes).
+func (r RecoveryStats) MeanRecoveryLatencySecs() float64 {
+	if r.Crashes == 0 {
+		return 0
+	}
+	return r.RecoveryLatencySecs / float64(r.Crashes)
+}
+
+// Add accumulates another executor's counters (the unified system sums
+// its AQP and DLT sides).
+func (r RecoveryStats) Add(o RecoveryStats) RecoveryStats {
+	return RecoveryStats{
+		Crashes:             r.Crashes + o.Crashes,
+		Rollbacks:           r.Rollbacks + o.Rollbacks,
+		ScratchRestarts:     r.ScratchRestarts + o.ScratchRestarts,
+		WastedWorkSecs:      r.WastedWorkSecs + o.WastedWorkSecs,
+		RecoveryLatencySecs: r.RecoveryLatencySecs + o.RecoveryLatencySecs,
+		Recovered:           r.Recovered + o.Recovered,
+	}
+}

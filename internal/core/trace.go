@@ -22,6 +22,12 @@ const (
 	TraceResume
 	TraceOOM
 	TraceStop
+	// TraceCrash and TraceRestart extend the lifecycle under fault
+	// injection: Crash interrupts a running epoch (the job rolls back to
+	// its last valid checkpoint at the next grant), Restart marks a
+	// from-scratch restart after an unrecoverable checkpoint.
+	TraceCrash
+	TraceRestart
 )
 
 // String names the event kind.
@@ -43,6 +49,10 @@ func (k TraceKind) String() string {
 		return "oom"
 	case TraceStop:
 		return "stop"
+	case TraceCrash:
+		return "crash"
+	case TraceRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

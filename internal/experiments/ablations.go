@@ -230,7 +230,10 @@ func AblationEstimatorSources(cfg Config) (*AblationResult, error) {
 // progress at the workload's halfway point) and the efficiency metric
 // (jobs attained by the halfway point).
 func AblationThresholdSweep(cfg Config) (*AblationResult, error) {
-	specs := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationResult{Values: map[string]float64{}}
 	var b strings.Builder
 	b.WriteString("Ablation: Algorithm 3 threshold T sweep\n")

@@ -124,7 +124,11 @@ func Unified(cfg Config) (*UnifiedResult, error) {
 			}
 			u.SubmitAQP(j, sim.Time(spec.ArrivalSecs))
 		}
-		for _, spec := range workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs/2, cfg.Seed)) {
+		dltSpecs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs/2, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range dltSpecs {
 			j, err := workload.BuildDLTJob(spec)
 			if err != nil {
 				return nil, err
@@ -174,7 +178,10 @@ func Unified(cfg Config) (*UnifiedResult, error) {
 // warm-up on re-placement) zeroed versus priced, against round-robin
 // SRF-tail scheduling, whose rotation churns placements.
 func AblationSwapOverhead(cfg Config) (*AblationResult, error) {
-	specs := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationResult{Values: map[string]float64{}}
 	var b strings.Builder
 	b.WriteString("Ablation: placement-swap overhead (§III-C continuous prioritization)\n")

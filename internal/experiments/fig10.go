@@ -92,7 +92,10 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 	var horizon sim.Time
 	for run := 0; run < cfg.Runs; run++ {
 		seed := cfg.Seed + uint64(run)
-		specs := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, seed))
+		specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, seed))
+		if err != nil {
+			return nil, err
+		}
 		// The six policies are independent; run them concurrently.
 		execs := make([]*core.DLTExecutor, len(fig10Policies))
 		errs := make([]error, len(fig10Policies))

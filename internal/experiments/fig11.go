@@ -17,12 +17,13 @@ import (
 // oriented criteria. The NLP jobs can reach their criteria in a handful
 // of epochs — when the epoch estimate is reliable they are triggered
 // right after the trial phase and complete early.
-func fig11Specs(seed uint64) []workload.DLTSpec {
+func fig11Specs(seed uint64) ([]workload.DLTSpec, error) {
+	var firstErr error
 	mk := func(i int, model, dataset string, batch int, opt string, lr, acc float64, maxEpochs int) workload.DLTSpec {
 		crit, err := criteria.NewAccuracy("ACC", acc,
 			criteria.Deadline{Value: float64(maxEpochs), Unit: criteria.Epochs})
-		if err != nil {
-			panic(err)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: fig11 job %d criteria: %w", i, err)
 		}
 		return workload.DLTSpec{
 			ID: fmt.Sprintf("job%d-%s", i, model),
@@ -33,7 +34,7 @@ func fig11Specs(seed uint64) []workload.DLTSpec {
 			Criteria: crit,
 		}
 	}
-	return []workload.DLTSpec{
+	specs := []workload.DLTSpec{
 		mk(0, "resnet-18", "cifar10", 32, "sgd", 0.01, 0.88, 25),
 		mk(1, "mobilenet", "cifar10", 16, "sgd", 0.01, 0.85, 25),
 		mk(2, "vgg-11", "cifar10", 32, "momentum", 0.01, 0.85, 25),
@@ -43,6 +44,10 @@ func fig11Specs(seed uint64) []workload.DLTSpec {
 		mk(6, "lstm", "udtreebank", 64, "adam", 0.001, 0.80, 20),
 		mk(7, "shufflenet", "cifar10", 8, "sgd", 0.01, 0.80, 25),
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return specs, nil
 }
 
 // Fig11Case is one arm of the epoch-estimation micro-benchmark.
@@ -66,7 +71,10 @@ type Fig11Result struct {
 
 // Fig11 regenerates Fig. 11a/11b.
 func Fig11(cfg Config) (*Fig11Result, error) {
-	specs := fig11Specs(cfg.Seed)
+	specs, err := fig11Specs(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	run := func(stripNLP bool, label string) (Fig11Case, error) {
 		repo := estimate.NewRepository()
 		if err := workload.SeedDLTHistory(repo, 60, 30, cfg.Seed); err != nil {

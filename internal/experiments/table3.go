@@ -34,7 +34,10 @@ type Table3Result struct {
 func Table3(cfg Config) (*Table3Result, error) {
 	res := &Table3Result{}
 	for _, size := range []int{10, 20, 30, 40} {
-		specs := workload.GenerateDLT(workload.DefaultDLTWorkload(size, cfg.Seed))
+		specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(size, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
 		repo := estimate.NewRepository()
 		if err := workload.SeedDLTHistory(repo, 40, 30, cfg.Seed); err != nil {
 			return nil, err

@@ -47,7 +47,10 @@ type Table2Result struct {
 
 // Table2 regenerates Table II.
 func Table2(cfg Config) (*Table2Result, error) {
-	specs := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(cfg.DLTJobs, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
 	var b strings.Builder
 	b.WriteString("Table II: synthetic DLT workload\n")
 	fmt.Fprintf(&b, " convergence deltas: %v\n", workload.ConvergenceDeltas)

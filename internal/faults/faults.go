@@ -1,0 +1,246 @@
+// Package faults provides deterministic fault injection for chaos-testing
+// the Rotary executors. An Injector is driven by the same seeded PRNG
+// substrate as the rest of the simulation (internal/sim), so every chaos
+// run — which worker crashes when, which checkpoint write is corrupted,
+// which read stalls — replays bit-for-bit from a single seed.
+//
+// The injector is consulted at well-defined decision points by the
+// executors and the checkpoint store:
+//
+//   - EpochCrash: once per started epoch, may interrupt it mid-flight
+//     (a worker process or GPU device crash);
+//   - WriteFault / ReadFault: once per checkpoint I/O attempt, may inject
+//     a transient error (retryable), corrupted bytes (write only,
+//     detected by checksum at read), or a slow-storage event;
+//   - RepairSecs / SlowDelaySecs: draw the virtual-time cost of a device
+//     repair or a slow I/O op.
+//
+// All methods are safe on a nil *Injector (no faults) and safe for
+// concurrent use, although the executors consult it from the
+// single-threaded event loop, which is what makes draw order — and hence
+// the whole fault schedule — deterministic.
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"rotary/internal/sim"
+)
+
+// Kind classifies one injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// None means the operation proceeds unharmed.
+	None Kind = iota
+	// Crash interrupts a running epoch: the worker process (AQP) or the
+	// GPU device (DLT) dies and every in-flight result is lost.
+	Crash
+	// Transient is a retryable checkpoint I/O error (EIO, a flaky NFS
+	// mount, a throttled blob store).
+	Transient
+	// Corrupt silently flips checkpoint bytes on their way to disk; the
+	// store's checksum detects it at load time.
+	Corrupt
+	// Slow is a slow-storage event: the I/O completes but takes extra
+	// virtual time.
+	Slow
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Transient:
+		return "transient"
+	case Corrupt:
+		return "corrupt"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config sets the fault mix. All rates are per-opportunity probabilities
+// in [0, 1): CrashRate applies once per started epoch, the I/O rates once
+// per checkpoint read/write attempt. The rates are classified from a
+// single uniform draw per opportunity, so TransientRate + CorruptRate +
+// SlowRate must not exceed 1.
+type Config struct {
+	// Seed drives every draw; equal seeds replay identical fault
+	// schedules against identical executor event sequences.
+	Seed uint64
+	// CrashRate is the probability a started epoch is interrupted by a
+	// worker/device crash.
+	CrashRate float64
+	// TransientRate is the probability a checkpoint I/O attempt fails
+	// with a retryable error.
+	TransientRate float64
+	// CorruptRate is the probability a checkpoint write's bytes are
+	// silently corrupted (reads are never corrupted directly: corruption
+	// is planted at write time and caught by the checksum at load).
+	CorruptRate float64
+	// SlowRate is the probability a checkpoint I/O attempt hits a
+	// slow-storage event.
+	SlowRate float64
+	// SlowMeanSecs is the mean extra virtual latency of a slow I/O op
+	// (exponentially distributed). Defaults to 5s.
+	SlowMeanSecs float64
+	// MeanRepairSecs is the mean virtual downtime of a crashed device
+	// before it rejoins the cluster (exponentially distributed, clamped
+	// to ≥ 1s). Defaults to 60s.
+	MeanRepairSecs float64
+}
+
+// Uniform is a convenience mix: crash, transient and slow faults all at
+// rate, corruption at rate/2, with default latencies. It is what the
+// -fault-rate command-line flag constructs.
+func Uniform(seed uint64, rate float64) Config {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0.3 {
+		rate = 0.3 // keep the classification draw well-formed and runs convergent
+	}
+	return Config{
+		Seed:          seed,
+		CrashRate:     rate,
+		TransientRate: rate,
+		CorruptRate:   rate / 2,
+		SlowRate:      rate,
+	}
+}
+
+// Recoverable is the Uniform mix without corruption: every injected
+// fault is recoverable from the last valid checkpoint, the precondition
+// of the chaos suite's bit-equivalence check.
+func Recoverable(seed uint64, rate float64) Config {
+	c := Uniform(seed, rate)
+	c.CorruptRate = 0
+	return c
+}
+
+// Stats counts the faults an injector has dealt.
+type Stats struct {
+	Crashes    int
+	Transients int
+	Corruptions int
+	SlowIOs    int
+}
+
+// Injector deals deterministic faults from a seeded PRNG.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *sim.Rand
+	stats Stats
+}
+
+// New returns an injector for the given mix. Zero-valued latencies take
+// their documented defaults.
+func New(cfg Config) *Injector {
+	if cfg.SlowMeanSecs <= 0 {
+		cfg.SlowMeanSecs = 5
+	}
+	if cfg.MeanRepairSecs <= 0 {
+		cfg.MeanRepairSecs = 60
+	}
+	return &Injector{cfg: cfg, rng: sim.NewRand(cfg.Seed ^ 0xfa017)}
+}
+
+// Enabled reports whether the injector deals faults (false for nil).
+func (in *Injector) Enabled() bool { return in != nil }
+
+// EpochCrash reports whether an epoch of the given virtual length is
+// interrupted by a crash, and after how many virtual seconds. The crash
+// point is uniform over the middle 90% of the epoch.
+func (in *Injector) EpochCrash(epochSecs float64) (afterSecs float64, crashed bool) {
+	if in == nil || in.cfg.CrashRate <= 0 || epochSecs <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.CrashRate {
+		return 0, false
+	}
+	in.stats.Crashes++
+	return in.rng.Range(0.05, 0.95) * epochSecs, true
+}
+
+// WriteFault draws the fault affecting one checkpoint write attempt.
+func (in *Injector) WriteFault() Kind {
+	return in.ioFault(true)
+}
+
+// ReadFault draws the fault affecting one checkpoint read attempt.
+// Corruption never originates at read time — it is planted by WriteFault
+// and surfaces as a checksum mismatch when the frame is decoded.
+func (in *Injector) ReadFault() Kind {
+	return in.ioFault(false)
+}
+
+func (in *Injector) ioFault(write bool) Kind {
+	if in == nil {
+		return None
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	corrupt := 0.0
+	if write {
+		corrupt = in.cfg.CorruptRate
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < in.cfg.TransientRate:
+		in.stats.Transients++
+		return Transient
+	case u < in.cfg.TransientRate+corrupt:
+		in.stats.Corruptions++
+		return Corrupt
+	case u < in.cfg.TransientRate+corrupt+in.cfg.SlowRate:
+		in.stats.SlowIOs++
+		return Slow
+	default:
+		return None
+	}
+}
+
+// SlowDelaySecs draws the extra virtual latency of one slow I/O event.
+func (in *Injector) SlowDelaySecs() float64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Exp(in.cfg.SlowMeanSecs)
+}
+
+// RepairSecs draws the virtual downtime of a crashed device.
+func (in *Injector) RepairSecs() float64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	d := in.rng.Exp(in.cfg.MeanRepairSecs)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Stats returns the counts of faults dealt so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,146 @@
+package faults_test
+
+import (
+	"sync"
+	"testing"
+
+	"rotary/internal/faults"
+)
+
+// drawSequence replays a fixed consultation pattern and records every
+// outcome, so two injectors can be compared draw-for-draw.
+func drawSequence(in *faults.Injector, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if at, crashed := in.EpochCrash(100); crashed {
+			out = append(out, 1, int(at))
+		} else {
+			out = append(out, 0)
+		}
+		out = append(out, int(in.WriteFault()), int(in.ReadFault()))
+	}
+	return out
+}
+
+func TestInjectorDeterministicAcrossRuns(t *testing.T) {
+	cfg := faults.Uniform(42, 0.2)
+	a := drawSequence(faults.New(cfg), 500)
+	b := drawSequence(faults.New(cfg), 500)
+	if len(a) != len(b) {
+		t.Fatalf("sequence lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorSeedsDiffer(t *testing.T) {
+	a := drawSequence(faults.New(faults.Uniform(1, 0.2)), 200)
+	b := drawSequence(faults.New(faults.Uniform(2, 0.2)), 200)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestInjectorRatesRoughlyHonored(t *testing.T) {
+	in := faults.New(faults.Config{Seed: 7, CrashRate: 0.25, TransientRate: 0.1, CorruptRate: 0.1, SlowRate: 0.1})
+	const n = 4000
+	crashes := 0
+	for i := 0; i < n; i++ {
+		if _, crashed := in.EpochCrash(10); crashed {
+			crashes++
+		}
+		in.WriteFault()
+	}
+	st := in.Stats()
+	if crashes < n/8 || crashes > n/2 {
+		t.Errorf("crash count %d far from 25%% of %d", crashes, n)
+	}
+	for name, got := range map[string]int{
+		"transients": st.Transients, "corruptions": st.Corruptions, "slow": st.SlowIOs,
+	} {
+		if got < n/25 || got > n/5 {
+			t.Errorf("%s count %d far from 10%% of %d", name, got, n)
+		}
+	}
+}
+
+func TestNilAndZeroInjectorDealNoFaults(t *testing.T) {
+	var nilIn *faults.Injector
+	if nilIn.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	zero := faults.New(faults.Config{Seed: 3})
+	for _, in := range []*faults.Injector{nilIn, zero} {
+		for i := 0; i < 100; i++ {
+			if _, crashed := in.EpochCrash(50); crashed {
+				t.Fatal("crash dealt with zero crash rate")
+			}
+			if k := in.WriteFault(); k != faults.None {
+				t.Fatalf("write fault %v dealt with zero rates", k)
+			}
+			if k := in.ReadFault(); k != faults.None {
+				t.Fatalf("read fault %v dealt with zero rates", k)
+			}
+		}
+	}
+	if nilIn.SlowDelaySecs() != 0 || nilIn.RepairSecs() != 0 {
+		t.Error("nil injector draws nonzero delays")
+	}
+}
+
+func TestReadsNeverCorrupt(t *testing.T) {
+	in := faults.New(faults.Config{Seed: 5, CorruptRate: 0.9})
+	for i := 0; i < 500; i++ {
+		if k := in.ReadFault(); k == faults.Corrupt {
+			t.Fatal("read attempt drew a corruption fault")
+		}
+	}
+	if st := in.Stats(); st.Corruptions != 0 {
+		t.Errorf("read-only injector counted %d corruptions", st.Corruptions)
+	}
+}
+
+func TestRepairAndSlowDelaysPositive(t *testing.T) {
+	in := faults.New(faults.Uniform(9, 0.1))
+	for i := 0; i < 50; i++ {
+		if d := in.RepairSecs(); d < 1 {
+			t.Fatalf("repair delay %g below 1s clamp", d)
+		}
+		if d := in.SlowDelaySecs(); d < 0 {
+			t.Fatalf("negative slow delay %g", d)
+		}
+	}
+}
+
+// The executors consult the injector from a single-threaded event loop,
+// but the checkpoint store may be hit from tests exercising concurrent
+// Save/Load — the injector must be race-clean.
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := faults.New(faults.Uniform(11, 0.2))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.WriteFault()
+				in.ReadFault()
+				in.EpochCrash(10)
+			}
+		}()
+	}
+	wg.Wait()
+	_ = in.Stats()
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"rotary/internal/core"
 	"rotary/internal/sim"
 )
 
@@ -128,5 +129,23 @@ func TestRenderLineChartOverlapGlyph(t *testing.T) {
 	out := RenderLineChart("", []Series{a, b}, 20, 6)
 	if !strings.Contains(out, "#") {
 		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+}
+
+func TestRenderRecovery(t *testing.T) {
+	rs := core.RecoveryStats{
+		Crashes: 3, Recovered: 2, Rollbacks: 2, ScratchRestarts: 1,
+		WastedWorkSecs: 40.5, RecoveryLatencySecs: 9,
+	}
+	health := core.StoreHealth{Retries: 4, TransientFailures: 1, CorruptDetected: 1, SlowIOs: 2, Swept: 3}
+	out := RenderRecovery("aqp", rs, health)
+	for _, want := range []string{
+		"recovery report: aqp", "crashes=3", "recovered=2", "rollbacks=2",
+		"scratch-restarts=1", "wasted-work=40.5s", "mean=3.0s",
+		"retries=4", "transient-failures=1", "corrupt-detected=1", "slow-ios=2", "swept=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,24 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"rotary/internal/core"
+)
+
+// RenderRecovery renders one executor's fault-recovery report: the
+// crash/rollback/restart counters with the wasted-work and
+// recovery-latency totals, followed by the checkpoint store's health
+// counters when a store was in play.
+func RenderRecovery(label string, rs core.RecoveryStats, health core.StoreHealth) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovery report: %s\n", label)
+	fmt.Fprintf(&b, " crashes=%d recovered=%d rollbacks=%d scratch-restarts=%d\n",
+		rs.Crashes, rs.Recovered, rs.Rollbacks, rs.ScratchRestarts)
+	fmt.Fprintf(&b, " wasted-work=%.1fs recovery-latency: total=%.1fs mean=%.1fs\n",
+		rs.WastedWorkSecs, rs.RecoveryLatencySecs, rs.MeanRecoveryLatencySecs())
+	fmt.Fprintf(&b, " checkpoint store: retries=%d transient-failures=%d corrupt-detected=%d slow-ios=%d swept=%d\n",
+		health.Retries, health.TransientFailures, health.CorruptDetected, health.SlowIOs, health.Swept)
+	return b.String()
+}

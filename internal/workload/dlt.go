@@ -59,8 +59,10 @@ func DefaultDLTWorkload(jobs int, seed uint64) DLTWorkloadConfig {
 
 // GenerateDLT samples a Table II workload: model architecture and the
 // criteria mix follow the survey distributions; hyperparameters and
-// criteria parameters are uniform over their spaces.
-func GenerateDLT(cfg DLTWorkloadConfig) []DLTSpec {
+// criteria parameters are uniform over their spaces. A criteria
+// construction failure (a malformed parameter space) is reported, not
+// panicked, so library callers can handle it.
+func GenerateDLT(cfg DLTWorkloadConfig) ([]DLTSpec, error) {
 	r := sim.NewRand(cfg.Seed ^ 0xd17)
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 30
@@ -121,9 +123,7 @@ func GenerateDLT(cfg DLTWorkloadConfig) []DLTSpec {
 				criteria.Deadline{Value: float64(sim.Pick(r, epochs)), Unit: criteria.Epochs})
 		}
 		if err != nil {
-			// The parameter spaces are all valid; a failure here is a
-			// programming error.
-			panic(err)
+			return nil, fmt.Errorf("workload: DLT job %d criteria: %w", i, err)
 		}
 		specs = append(specs, DLTSpec{
 			ID:       fmt.Sprintf("dlt-%02d-%s", i, model),
@@ -131,7 +131,7 @@ func GenerateDLT(cfg DLTWorkloadConfig) []DLTSpec {
 			Criteria: crit,
 		})
 	}
-	return specs
+	return specs, nil
 }
 
 // BuildDLTJob turns a spec into a runnable arbitrated job.

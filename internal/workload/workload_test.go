@@ -89,7 +89,10 @@ func TestBuildAQPJobAllQueries(t *testing.T) {
 }
 
 func TestGenerateDLTRespectsSpaces(t *testing.T) {
-	specs := GenerateDLT(DefaultDLTWorkload(200, 5))
+	specs, err := GenerateDLT(DefaultDLTWorkload(200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(specs) != 200 {
 		t.Fatalf("%d specs", len(specs))
 	}
@@ -124,7 +127,10 @@ func TestGenerateDLTRespectsSpaces(t *testing.T) {
 }
 
 func TestBuildDLTJob(t *testing.T) {
-	specs := GenerateDLT(DefaultDLTWorkload(20, 3))
+	specs, err := GenerateDLT(DefaultDLTWorkload(20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range specs {
 		j, err := BuildDLTJob(s)
 		if err != nil {
@@ -220,7 +226,10 @@ func TestAQPWorkloadPersistRoundTrip(t *testing.T) {
 
 func TestDLTWorkloadPersistRoundTrip(t *testing.T) {
 	path := t.TempDir() + "/w.json"
-	specs := GenerateDLT(DefaultDLTWorkload(12, 4))
+	specs, err := GenerateDLT(DefaultDLTWorkload(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := SaveDLTSpecs(path, specs); err != nil {
 		t.Fatal(err)
 	}

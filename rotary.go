@@ -45,6 +45,7 @@ import (
 	"rotary/internal/criteria"
 	"rotary/internal/dlt"
 	"rotary/internal/estimate"
+	"rotary/internal/faults"
 	"rotary/internal/hpo"
 	"rotary/internal/metrics"
 	"rotary/internal/sim"
@@ -248,6 +249,47 @@ var (
 	NewCheckpointStore = core.NewCheckpointStore
 	// NewUnifiedExecutor builds the §VI unified AQP+DLT system.
 	NewUnifiedExecutor = core.NewUnifiedExecutor
+)
+
+// Fault injection and crash recovery (chaos testing).
+type (
+	// FaultInjector draws deterministic, seed-reproducible fault events
+	// (crashes, transient/corrupting/slow checkpoint I/O) for the
+	// executors to react to.
+	FaultInjector = faults.Injector
+	// FaultConfig sets the per-opportunity fault probabilities and seed.
+	FaultConfig = faults.Config
+	// FaultStats counts the faults an injector has dealt.
+	FaultStats = faults.Stats
+	// RecoveryStats counts an executor's crashes, rollbacks, scratch
+	// restarts, wasted work and recovery latency.
+	RecoveryStats = core.RecoveryStats
+	// StoreHealth exposes a checkpoint store's I/O-fault counters.
+	StoreHealth = core.StoreHealth
+)
+
+// Fault-injection constructors and helpers.
+var (
+	// NewFaultInjector builds an injector from a FaultConfig.
+	NewFaultInjector = faults.New
+	// UniformFaults spreads a total fault rate across every fault kind.
+	UniformFaults = faults.Uniform
+	// RecoverableFaults is UniformFaults minus checkpoint corruption, so
+	// every injected fault is recoverable by checkpoint rollback.
+	RecoverableFaults = faults.Recoverable
+	// RenderRecovery renders an executor's fault-recovery report.
+	RenderRecovery = metrics.RenderRecovery
+)
+
+// Checkpoint-store error classes.
+var (
+	// ErrCheckpointNotFound: no checkpoint stored under the id.
+	ErrCheckpointNotFound = core.ErrNotFound
+	// ErrCheckpointCorrupt: stored bytes failed frame or checksum
+	// validation and were never deserialized.
+	ErrCheckpointCorrupt = core.ErrCorrupt
+	// ErrCheckpointTransient: I/O kept failing past the retry budget.
+	ErrCheckpointTransient = core.ErrTransient
 )
 
 // Job statuses.

@@ -101,7 +101,10 @@ func TestPublicAPIWorkloadGeneration(t *testing.T) {
 	if len(specs) != 10 {
 		t.Fatalf("%d AQP specs", len(specs))
 	}
-	dspecs := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(10, 1))
+	dspecs, err := rotary.GenerateDLTWorkload(rotary.DefaultDLTWorkload(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dspecs) != 10 {
 		t.Fatalf("%d DLT specs", len(dspecs))
 	}
