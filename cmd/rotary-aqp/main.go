@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"rotary"
+	"rotary/internal/cliutil"
 )
 
 func main() {
@@ -30,12 +31,24 @@ func main() {
 		load    = flag.String("load-workload", "", "run the workload from this JSON file instead of generating")
 		desc    = flag.String("describe", "", "describe a query's plan shape (e.g. q5) and exit")
 		dataPar = flag.Int("data-parallel", runtime.NumCPU(),
-			"cap on real goroutines per epoch's data path (0 = granted threads pass through)")
+			"cap on real goroutines per epoch's data path (minimum 1)")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault-injection seed (0 = reuse -seed)")
 		faultRate = flag.Float64("fault-rate", 0,
 			"total per-opportunity fault probability (crashes + checkpoint I/O faults); 0 disables injection")
 	)
 	flag.Parse()
+	if err := cliutil.ValidateAll(
+		cliutil.MinInt("-jobs", *jobs, 1),
+		cliutil.Positive("-sf", *sf),
+		cliutil.NonNegative("-arrival", *mean),
+		cliutil.MinInt("-trace", *trace, 0),
+		cliutil.MinInt("-data-parallel", *dataPar, 1),
+		cliutil.Fraction("-fault-rate", *faultRate),
+	); err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	fmt.Printf("generating TPC-H at SF=%g (seed %d)…\n", *sf, *seed)
 	ds := rotary.GenerateTPCH(*sf, *seed)

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"rotary/internal/cliutil"
 	"rotary/internal/experiments"
 )
 
@@ -67,6 +68,16 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base random seed")
 	)
 	flag.Parse()
+	if err := cliutil.ValidateAll(
+		cliutil.Positive("-sf", *sf),
+		cliutil.MinInt("-runs", *runs, 1),
+		cliutil.MinInt("-aqp-jobs", *aqpJobs, 1),
+		cliutil.MinInt("-dlt-jobs", *dltJobs, 1),
+	); err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{SF: *sf, Seed: *seed, Runs: *runs, AQPJobs: *aqpJobs, DLTJobs: *dltJobs}
 	want := strings.ToLower(*experiment)

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"rotary"
+	"rotary/internal/cliutil"
 )
 
 func main() {
@@ -33,6 +34,17 @@ func main() {
 			"total per-opportunity fault probability (GPU crashes + checkpoint I/O faults); 0 disables injection")
 	)
 	flag.Parse()
+	if err := cliutil.ValidateAll(
+		cliutil.MinInt("-jobs", *jobs, 1),
+		cliutil.MinInt("-gpus", *gpus, 1),
+		cliutil.MinInt("-history", *history, 0),
+		cliutil.MinInt("-trace", *trace, 0),
+		cliutil.Fraction("-fault-rate", *faultRate),
+	); err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var specs []rotary.DLTSpec
 	if *load != "" {

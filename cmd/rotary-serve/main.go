@@ -1,0 +1,144 @@
+// Command rotary-serve runs the live serving mode: a long-lived arbiter
+// over a Unix socket, admitting completion-criteria statements under an
+// admission controller and pacing the virtual clock against wall-clock
+// time. SIGTERM (or a client {"op":"drain"}) drains gracefully: new work
+// is refused, in-flight jobs run to a terminal status, and the final
+// overload report is printed before exit.
+//
+// Usage:
+//
+//	rotary-serve -socket /tmp/rotary.sock [-pace 60] [-queue-bound 8] [-admission reject|shed|degrade]
+//
+// Protocol: one JSON object per line, e.g.
+//
+//	{"op":"submit","id":"j1","statement":"q5 ACC MIN 80% WITHIN 900 SECONDS"}
+//	{"op":"status","id":"j1"}
+//	{"op":"stats"}
+//	{"op":"drain"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rotary"
+	"rotary/internal/admission"
+	"rotary/internal/cliutil"
+	"rotary/internal/core"
+	"rotary/internal/serve"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rotary-serve: ")
+	var (
+		socket     = flag.String("socket", "/tmp/rotary.sock", "Unix socket path to listen on")
+		sf         = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		policy     = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
+		pace       = flag.Float64("pace", 60, "virtual seconds per wall-clock second (0 freezes the clock between requests)")
+		queueBound = flag.Int("queue-bound", 8, "admission bound on waiting+running jobs (0 = unbounded)")
+		backpress  = flag.String("admission", "reject", "backpressure policy at the bound: reject, shed, degrade")
+		slack      = flag.Float64("slack-factor", 1, "deadline feasibility slack: refuse when slack × estimated completion exceeds the deadline (0 disables)")
+		wdSlack    = flag.Float64("watchdog-slack", 4, "epoch watchdog slack over the predicted epoch cost (0 disables)")
+		aging      = flag.Int("aging", 8, "starvation guard: force a minimal grant after this many consecutive skips (0 disables)")
+	)
+	flag.Parse()
+	if err := cliutil.ValidateAll(
+		cliutil.Positive("-sf", *sf),
+		cliutil.NonNegative("-pace", *pace),
+		cliutil.MinInt("-queue-bound", *queueBound, 0),
+		cliutil.NonNegative("-slack-factor", *slack),
+		cliutil.NonNegative("-watchdog-slack", *wdSlack),
+		cliutil.MinInt("-aging", *aging, 0),
+	); err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	admitPolicy, err := admission.ParsePolicy(*backpress)
+	if err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating TPC-H at SF=%g (seed %d)…\n", *sf, *seed)
+	ds := tpch.Generate(*sf, *seed)
+	cat := tpch.NewCatalog(ds, *seed)
+	repo := rotary.NewRepository()
+	var sched core.AQPScheduler
+	switch *policy {
+	case "rotary":
+		if err := workload.SeedAQPHistory(repo, cat, workload.RecommendedBatchRows(cat)); err != nil {
+			log.Fatal(err)
+		}
+		sched = rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3))
+	case "relaqs":
+		sched = rotary.ReLAQS{}
+	case "edf":
+		sched = rotary.EDFAQP{}
+	case "laf":
+		sched = rotary.LAFAQP{}
+	case "rr":
+		sched = rotary.RoundRobinAQP{}
+	default:
+		log.Printf("unknown policy %q", *policy)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	execCfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	execCfg.Admission = admission.NewController(admission.Config{
+		MaxQueueDepth: *queueBound,
+		SlackFactor:   *slack,
+		Policy:        admitPolicy,
+	})
+	execCfg.AgingRounds = *aging
+	if *wdSlack > 0 {
+		dir, err := os.MkdirTemp("", "rotary-serve-ckpt-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		store, err := rotary.NewCheckpointStore(dir, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		execCfg.Store = store
+		execCfg.WatchdogSlack = *wdSlack
+	}
+	exec := core.NewAQPExecutor(execCfg, sched, repo)
+
+	srv, err := serve.New(serve.Config{Socket: *socket, Pace: *pace}, exec, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("\n%v: draining…\n", sig)
+		srv.Drain()
+	}()
+
+	fmt.Printf("serving %s on %s (pace %gx, queue bound %d, %s backpressure)\n",
+		sched.Name(), *socket, *pace, *queueBound, admitPolicy)
+	start := time.Now()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	r := srv.Final()
+	fmt.Printf("drained %d/%d jobs after %s (virtual now %.0fs)\n%s",
+		r.Terminal, r.Jobs, time.Since(start).Round(time.Millisecond), r.VirtualNow, r.Report)
+	if !r.OK {
+		log.Fatal(r.Error)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"rotary"
+	"rotary/internal/cliutil"
 )
 
 func main() {
@@ -27,6 +29,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	if err := cliutil.ValidateAll(
+		cliutil.Fraction("-threshold", *threshold),
+		cliutil.MinInt("-aqp-jobs", *aqpJobs, 1),
+		cliutil.MinInt("-dlt-jobs", *dltJobs, 1),
+		cliutil.Positive("-sf", *sf),
+	); err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	fmt.Printf("generating TPC-H at SF=%g and seeding history…\n", *sf)
 	ds := rotary.GenerateTPCH(*sf, *seed)

@@ -1,0 +1,266 @@
+// Package admission implements the overload front door of the arbiter:
+// a deadline/utility-aware admission controller with a bounded wait
+// queue. The paper's arbiter (§III-D) assumes a closed, well-behaved job
+// set — every submitted job enters the wait queue and eventually runs.
+// Under open-loop arrivals that assumption breaks: when the offered load
+// exceeds capacity, an unbounded queue grows without limit and every
+// queued job's deadline becomes infeasible. The controller turns that
+// failure mode into an explicit, typed decision at arrival time:
+//
+//   - a job whose estimated completion cannot meet its criteria deadline
+//     under the current load is refused (ErrAdmissionRejected) — or, under
+//     the Degrade policy, admitted as best-effort;
+//   - a job arriving while the active set is at the configured bound is
+//     refused (ErrQueueFull) — or, under the ShedLowestValue policy,
+//     admitted by evicting the lowest-value queued job.
+//
+// The controller itself is pure decision logic over a Request snapshot;
+// the executors own the queues and supply the load estimates, so the same
+// controller front-ends the AQP, DLT, and serving-mode queues.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed refusal causes. Callers match with errors.Is.
+var (
+	// ErrAdmissionRejected marks a job refused because its estimated
+	// completion cannot meet its deadline under current load.
+	ErrAdmissionRejected = errors.New("admission: deadline infeasible under current load")
+	// ErrQueueFull marks a job refused because the wait queue is at its
+	// configured bound.
+	ErrQueueFull = errors.New("admission: queue full")
+)
+
+// Policy selects the backpressure response when a job cannot be admitted
+// outright.
+type Policy int
+
+const (
+	// Reject refuses the arriving job (the default).
+	Reject Policy = iota
+	// ShedLowestValue admits the arriving job over a full queue by
+	// evicting the queued job with the lowest value — if one with strictly
+	// lower value than the arrival exists; otherwise the arrival is the
+	// cheapest job in sight and is refused instead.
+	ShedLowestValue
+	// Degrade admits deadline-infeasible jobs as best-effort: they keep
+	// running but renounce any feasibility claim (and are first in line
+	// for shedding). The queue bound stays hard under Degrade.
+	Degrade
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Reject:
+		return "reject"
+	case ShedLowestValue:
+		return "shed"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a CLI spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reject":
+		return Reject, nil
+	case "shed", "shed-lowest-value":
+		return ShedLowestValue, nil
+	case "degrade", "best-effort":
+		return Degrade, nil
+	default:
+		return Reject, fmt.Errorf("admission: unknown policy %q (want reject, shed, degrade)", s)
+	}
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// MaxQueueDepth bounds the active set (queued + running jobs); an
+	// arrival that would push the count past the bound triggers the
+	// backpressure policy. 0 means unbounded.
+	MaxQueueDepth int
+	// SlackFactor scales the completion estimate in the deadline
+	// feasibility check: a job is infeasible when
+	// SlackFactor × EstCompletionSecs > RemainingSecs. 0 disables the
+	// check; 1 trusts the estimate exactly; larger values refuse earlier
+	// (the estimate is optimistic under contention).
+	SlackFactor float64
+	// Policy is the backpressure response. See the Policy constants.
+	Policy Policy
+}
+
+// Verdict is the controller's decision for one arrival.
+type Verdict int
+
+const (
+	// Admit enqueues the job normally.
+	Admit Verdict = iota
+	// RejectJob refuses the job; Decision.Err carries the typed cause.
+	RejectJob
+	// ShedVictim admits the job if the executor can evict a queued job
+	// with strictly lower value; the executor reports the outcome through
+	// ResolveShed.
+	ShedVictim
+	// DegradeBestEffort admits the job flagged best-effort.
+	DegradeBestEffort
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case RejectJob:
+		return "reject"
+	case ShedVictim:
+		return "shed-victim"
+	case DegradeBestEffort:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Request is the load snapshot an executor presents for one arrival.
+type Request struct {
+	// ID identifies the arriving job (error messages only).
+	ID string
+	// QueueDepth is the active-set size (queued + running) before this
+	// arrival.
+	QueueDepth int
+	// EstCompletionSecs estimates the job's queueing delay plus first
+	// service under the current load.
+	EstCompletionSecs float64
+	// RemainingSecs is the time left until the job's deadline. Jobs
+	// without a wall-time deadline pass +Inf (or any huge value) and are
+	// never deadline-refused.
+	RemainingSecs float64
+}
+
+// Decision is the controller's answer.
+type Decision struct {
+	Verdict Verdict
+	// Err carries the typed refusal cause when Verdict is RejectJob.
+	Err error
+	// Reason is a short human-readable cause for traces.
+	Reason string
+}
+
+// Stats counts the controller's decisions.
+type Stats struct {
+	Submitted int
+	Admitted  int
+	Rejected  int
+	// Shed counts queued jobs evicted to admit a higher-value arrival.
+	Shed int
+	// Degraded counts deadline-infeasible jobs admitted as best-effort.
+	Degraded int
+	// QueueFullRejections is the subset of Rejected refused at the bound.
+	QueueFullRejections int
+	// MaxQueueDepth is the deepest active set observed at decision time.
+	MaxQueueDepth int
+}
+
+// Controller applies a Config to arrival Requests. It is pure decision
+// logic: it owns no queue and performs no I/O, so one controller can
+// front-end any executor. Not safe for concurrent use; the arbitration
+// loop is single-threaded by design.
+type Controller struct {
+	cfg   Config
+	stats Stats
+}
+
+// NewController validates and applies the config.
+func NewController(cfg Config) *Controller {
+	if cfg.SlackFactor < 0 || math.IsNaN(cfg.SlackFactor) {
+		cfg.SlackFactor = 0
+	}
+	if cfg.MaxQueueDepth < 0 {
+		cfg.MaxQueueDepth = 0
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the applied configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns the decision counters so far.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Decide evaluates one arrival. The deadline feasibility check runs
+// first — shedding a queued job frees a slot but no time, so an
+// infeasible job is refused (or degraded) regardless of queue headroom.
+// The queue bound is checked second and is hard under every policy
+// except ShedLowestValue.
+func (c *Controller) Decide(r Request) Decision {
+	c.stats.Submitted++
+	if r.QueueDepth > c.stats.MaxQueueDepth {
+		c.stats.MaxQueueDepth = r.QueueDepth
+	}
+
+	degraded := false
+	if c.cfg.SlackFactor > 0 && r.RemainingSecs > 0 && !math.IsInf(r.RemainingSecs, 1) &&
+		c.cfg.SlackFactor*r.EstCompletionSecs > r.RemainingSecs {
+		if c.cfg.Policy != Degrade {
+			c.stats.Rejected++
+			return Decision{
+				Verdict: RejectJob,
+				Err: fmt.Errorf("admission: %s: estimated completion %.0fs × slack %.2g exceeds remaining %.0fs: %w",
+					r.ID, r.EstCompletionSecs, c.cfg.SlackFactor, r.RemainingSecs, ErrAdmissionRejected),
+				Reason: "deadline-infeasible",
+			}
+		}
+		degraded = true
+	}
+
+	if c.cfg.MaxQueueDepth > 0 && r.QueueDepth >= c.cfg.MaxQueueDepth {
+		if c.cfg.Policy == ShedLowestValue {
+			return Decision{Verdict: ShedVictim, Reason: "queue-full"}
+		}
+		c.stats.Rejected++
+		c.stats.QueueFullRejections++
+		return Decision{
+			Verdict: RejectJob,
+			Err: fmt.Errorf("admission: %s: active set %d at bound %d: %w",
+				r.ID, r.QueueDepth, c.cfg.MaxQueueDepth, ErrQueueFull),
+			Reason: "queue-full",
+		}
+	}
+
+	if degraded {
+		c.stats.Degraded++
+		c.stats.Admitted++
+		return Decision{Verdict: DegradeBestEffort, Reason: "deadline-infeasible"}
+	}
+	c.stats.Admitted++
+	return Decision{Verdict: Admit}
+}
+
+// ResolveShed finalizes a ShedVictim verdict: shed reports whether the
+// executor found a strictly-lower-value victim to evict (the arrival was
+// admitted in its place); false means the arrival itself was the cheapest
+// job in sight and was refused.
+func (c *Controller) ResolveShed(shed bool) {
+	if shed {
+		c.stats.Shed++
+		c.stats.Admitted++
+	} else {
+		c.stats.Rejected++
+		c.stats.QueueFullRejections++
+	}
+}
+
+// ShedRefusalErr is the typed error an executor attaches to an arrival
+// refused because no lower-value victim existed.
+func ShedRefusalErr(id string, depth, bound int) error {
+	return fmt.Errorf("admission: %s: active set %d at bound %d and no lower-value victim: %w",
+		id, depth, bound, ErrQueueFull)
+}

@@ -1,0 +1,135 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAdmitWithinBoundsAndDeadline(t *testing.T) {
+	c := NewController(Config{MaxQueueDepth: 4, SlackFactor: 1.5})
+	d := c.Decide(Request{ID: "j1", QueueDepth: 2, EstCompletionSecs: 100, RemainingSecs: 600})
+	if d.Verdict != Admit || d.Err != nil {
+		t.Fatalf("want Admit, got %v err=%v", d.Verdict, d.Err)
+	}
+	s := c.Stats()
+	if s.Submitted != 1 || s.Admitted != 1 || s.Rejected != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDeadlineInfeasibleRejected(t *testing.T) {
+	c := NewController(Config{SlackFactor: 1.5})
+	d := c.Decide(Request{ID: "j1", EstCompletionSecs: 500, RemainingSecs: 600})
+	if d.Verdict != RejectJob {
+		t.Fatalf("want RejectJob, got %v", d.Verdict)
+	}
+	if !errors.Is(d.Err, ErrAdmissionRejected) {
+		t.Fatalf("want ErrAdmissionRejected, got %v", d.Err)
+	}
+	if errors.Is(d.Err, ErrQueueFull) {
+		t.Fatal("deadline refusal must not carry ErrQueueFull")
+	}
+}
+
+func TestQueueFullRejected(t *testing.T) {
+	c := NewController(Config{MaxQueueDepth: 2})
+	d := c.Decide(Request{ID: "j1", QueueDepth: 2, RemainingSecs: math.Inf(1)})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrQueueFull) {
+		t.Fatalf("want RejectJob/ErrQueueFull, got %v err=%v", d.Verdict, d.Err)
+	}
+	s := c.Stats()
+	if s.QueueFullRejections != 1 || s.Rejected != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestShedPolicyDefersToExecutor(t *testing.T) {
+	c := NewController(Config{MaxQueueDepth: 1, Policy: ShedLowestValue})
+	d := c.Decide(Request{ID: "j1", QueueDepth: 1})
+	if d.Verdict != ShedVictim {
+		t.Fatalf("want ShedVictim, got %v", d.Verdict)
+	}
+	c.ResolveShed(true)
+	if s := c.Stats(); s.Shed != 1 || s.Admitted != 1 {
+		t.Fatalf("after successful shed: %+v", s)
+	}
+	d = c.Decide(Request{ID: "j2", QueueDepth: 1})
+	if d.Verdict != ShedVictim {
+		t.Fatalf("want ShedVictim, got %v", d.Verdict)
+	}
+	c.ResolveShed(false)
+	if s := c.Stats(); s.Rejected != 1 || s.QueueFullRejections != 1 {
+		t.Fatalf("after failed shed: %+v", s)
+	}
+	if !errors.Is(ShedRefusalErr("j2", 1, 1), ErrQueueFull) {
+		t.Fatal("shed refusal must be typed ErrQueueFull")
+	}
+}
+
+func TestDegradePolicyAdmitsBestEffort(t *testing.T) {
+	c := NewController(Config{SlackFactor: 2, Policy: Degrade})
+	d := c.Decide(Request{ID: "j1", EstCompletionSecs: 500, RemainingSecs: 600})
+	if d.Verdict != DegradeBestEffort {
+		t.Fatalf("want DegradeBestEffort, got %v", d.Verdict)
+	}
+	if s := c.Stats(); s.Degraded != 1 || s.Admitted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The bound stays hard under Degrade.
+	c2 := NewController(Config{MaxQueueDepth: 1, SlackFactor: 2, Policy: Degrade})
+	d = c2.Decide(Request{ID: "j2", QueueDepth: 1, EstCompletionSecs: 1, RemainingSecs: 1e9})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrQueueFull) {
+		t.Fatalf("degrade at full queue: got %v err=%v", d.Verdict, d.Err)
+	}
+}
+
+func TestDeadlineCheckPrecedesQueueBound(t *testing.T) {
+	// An infeasible job is refused with ErrAdmissionRejected even when the
+	// queue is also full: shedding frees a slot, not time.
+	c := NewController(Config{MaxQueueDepth: 1, SlackFactor: 1, Policy: ShedLowestValue})
+	d := c.Decide(Request{ID: "j1", QueueDepth: 1, EstCompletionSecs: 700, RemainingSecs: 600})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrAdmissionRejected) {
+		t.Fatalf("got %v err=%v", d.Verdict, d.Err)
+	}
+}
+
+func TestNoDeadlineNeverDeadlineRefused(t *testing.T) {
+	c := NewController(Config{SlackFactor: 1.5})
+	for _, remaining := range []float64{math.Inf(1), 0, -5} {
+		d := c.Decide(Request{ID: "j", EstCompletionSecs: 1e12, RemainingSecs: remaining})
+		if d.Verdict != Admit {
+			t.Fatalf("remaining=%v: want Admit, got %v", remaining, d.Verdict)
+		}
+	}
+}
+
+func TestConfigSanitized(t *testing.T) {
+	c := NewController(Config{SlackFactor: math.NaN(), MaxQueueDepth: -3})
+	if got := c.Config(); got.SlackFactor != 0 || got.MaxQueueDepth != 0 {
+		t.Fatalf("config not sanitized: %+v", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{"reject": Reject, "shed": ShedLowestValue, "degrade": Degrade}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}
+
+func TestMaxQueueDepthTracksHighWater(t *testing.T) {
+	c := NewController(Config{})
+	for _, depth := range []int{1, 5, 3} {
+		c.Decide(Request{QueueDepth: depth})
+	}
+	if s := c.Stats(); s.MaxQueueDepth != 5 {
+		t.Fatalf("MaxQueueDepth = %d, want 5", s.MaxQueueDepth)
+	}
+}

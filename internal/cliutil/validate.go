@@ -1,0 +1,47 @@
+// Package cliutil holds shared command-line validation for the rotary
+// binaries: flag values are range-checked before any work starts, so a
+// typo'd -jobs -5 fails with a usage error instead of a confusing panic
+// (or a silent empty run) minutes into dataset generation.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MinInt requires v >= min.
+func MinInt(name string, v, min int) error {
+	if v < min {
+		return fmt.Errorf("%s must be >= %d (got %d)", name, min, v)
+	}
+	return nil
+}
+
+// Positive requires v > 0.
+func Positive(name string, v float64) error {
+	if !(v > 0) { // NaN fails too
+		return fmt.Errorf("%s must be > 0 (got %g)", name, v)
+	}
+	return nil
+}
+
+// NonNegative requires v >= 0.
+func NonNegative(name string, v float64) error {
+	if !(v >= 0) { // NaN fails too
+		return fmt.Errorf("%s must be >= 0 (got %g)", name, v)
+	}
+	return nil
+}
+
+// Fraction requires v in [0, 1].
+func Fraction(name string, v float64) error {
+	if !(v >= 0 && v <= 1) { // NaN fails too
+		return fmt.Errorf("%s must be in [0, 1] (got %g)", name, v)
+	}
+	return nil
+}
+
+// ValidateAll joins the non-nil errors, one per line.
+func ValidateAll(errs ...error) error {
+	return errors.Join(errs...)
+}

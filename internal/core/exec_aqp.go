@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"rotary/internal/admission"
 	"rotary/internal/aqp"
 	"rotary/internal/cluster"
 	"rotary/internal/estimate"
@@ -50,6 +51,27 @@ type AQPExecConfig struct {
 	// physical fan-out bounded without changing the virtual-time
 	// accounting. Zero means grants pass through unclamped.
 	DataParallelism int
+	// Admission, when set, gates arrivals: jobs whose estimated completion
+	// cannot meet their deadline under current load, or that arrive while
+	// the active set is at the controller's bound, are refused or shed per
+	// the controller's backpressure policy. Nil admits everything (the
+	// closed-workload behaviour).
+	Admission *admission.Controller
+	// WatchdogSlack, when > 0, arms the epoch watchdog: a running epoch is
+	// preempted after slack × the job's predicted epoch cost, re-queueing
+	// the job with a penalty and a rollback to its last checkpoint. Each
+	// consecutive preemption doubles the job's next budget so genuinely
+	// long epochs eventually complete. Requires a Store (the rollback
+	// replays persisted state). Zero disables the watchdog.
+	WatchdogSlack float64
+	// WatchdogPenaltySecs is the virtual delay before a preempted job
+	// rejoins the queue. Defaults to 5s.
+	WatchdogPenaltySecs float64
+	// AgingRounds, when > 0, wraps the scheduler in a starvation guard: a
+	// pending job passed over for more than AgingRounds consecutive
+	// arbitration rounds is forced a minimal grant. Zero leaves the policy
+	// unwrapped.
+	AgingRounds int
 }
 
 // DefaultAQPExecConfig mirrors the paper's 20-thread server, scaled to a
@@ -81,12 +103,18 @@ type AQPExecutor struct {
 	jobs    []*AQPJob
 	pending []*AQPJob
 	running map[string]*AQPJob
+	// limbo counts jobs in neither queue: preempted or crashed, waiting
+	// out a penalty/recovery delay before re-enqueueing. Admission counts
+	// them — they still occupy a slot of the bounded active set.
+	limbo int
 
 	runningEstMem float64
 	arbPending    bool
 	terminalCount int
 	storeErr      error
 	rec           RecoveryStats
+	overload      OverloadStats
+	guard         *StarvationGuardAQP
 
 	// ownsEngine marks an executor with a private engine (it may Stop the
 	// engine when its workload completes); onDone notifies a composing
@@ -118,7 +146,10 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 	if cfg.CrashRecoverySecs <= 0 {
 		cfg.CrashRecoverySecs = 2
 	}
-	return &AQPExecutor{
+	if cfg.WatchdogPenaltySecs <= 0 {
+		cfg.WatchdogPenaltySecs = 5
+	}
+	e := &AQPExecutor{
 		eng:     eng,
 		pool:    cluster.NewCPUPool(cfg.Threads, cfg.MemMB),
 		sched:   sched,
@@ -126,6 +157,11 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 		cfg:     cfg,
 		running: make(map[string]*AQPJob),
 	}
+	if cfg.AgingRounds > 0 {
+		e.guard = NewStarvationGuardAQP(sched, cfg.AgingRounds)
+		e.sched = e.guard
+	}
+	return e
 }
 
 // Engine exposes the virtual clock (tests and metric snapshots use it).
@@ -136,6 +172,19 @@ func (e *AQPExecutor) Jobs() []*AQPJob { return e.jobs }
 
 // Recovery reports the executor's fault-recovery counters.
 func (e *AQPExecutor) Recovery() RecoveryStats { return e.rec }
+
+// Overload reports the executor's overload-protection counters.
+func (e *AQPExecutor) Overload() OverloadStats {
+	o := e.overload
+	if e.guard != nil {
+		o.ForcedGrants = e.guard.ForcedGrants()
+	}
+	return o
+}
+
+// Admission exposes the configured admission controller (nil when
+// admission is disabled).
+func (e *AQPExecutor) Admission() *admission.Controller { return e.cfg.Admission }
 
 // Submit schedules a job's arrival at the given virtual time.
 func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
@@ -158,7 +207,10 @@ func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 		j.arrival = e.eng.Now()
 		j.arrived = true
 		j.status = StatusPending
-		e.pending = append(e.pending, j)
+		if e.cfg.Admission != nil && !e.admit(j) {
+			return
+		}
+		e.enqueue(j)
 		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
 		// Deadline watchdog: a job still waiting in the queue when its
 		// deadline passes is terminated right there, not at some later
@@ -174,12 +226,148 @@ func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 	})
 }
 
+// admit runs the admission decision for an arriving job, reporting
+// whether the job entered the wait queue. Refused jobs (and shed victims)
+// terminate immediately with StatusRejected/StatusShed.
+func (e *AQPExecutor) admit(j *AQPJob) bool {
+	ctrl := e.cfg.Admission
+	depth := len(e.pending) + len(e.running) + e.limbo
+	dec := ctrl.Decide(admission.Request{
+		ID:                j.ID(),
+		QueueDepth:        depth,
+		EstCompletionSecs: e.estCompletionSecs(j),
+		RemainingSecs:     j.DeadlineSecs(),
+	})
+	switch dec.Verdict {
+	case admission.DegradeBestEffort:
+		j.bestEffort = true
+		e.overload.Degraded++
+		return true
+	case admission.RejectJob:
+		e.rejectJob(j, StatusRejected, dec.Reason)
+		return false
+	case admission.ShedVictim:
+		v := e.shedVictim(j)
+		if v == nil {
+			ctrl.ResolveShed(false)
+			e.rejectJob(j, StatusRejected, "queue-full no-victim")
+			return false
+		}
+		ctrl.ResolveShed(true)
+		e.removePending(v)
+		e.rejectJob(v, StatusShed, fmt.Sprintf("for %s", j.ID()))
+		return true
+	default:
+		return true
+	}
+}
+
+// estCompletionSecs estimates an arrival's queueing delay plus first
+// service under the current load: the queued and running jobs' next-epoch
+// costs spread over the whole pool, plus the arrival's own first epoch.
+func (e *AQPExecutor) estCompletionSecs(j *AQPJob) float64 {
+	var backlog float64
+	for _, p := range e.pending {
+		backlog += p.nextEpochSecsGuess()
+	}
+	for _, r := range e.running {
+		backlog += r.nextEpochSecsGuess()
+	}
+	return backlog/float64(e.pool.TotalThreads()) + j.nextEpochSecsGuess()
+}
+
+// shedVictim picks the queued job with strictly lower value than the
+// arrival, preferring best-effort jobs, then lower attainment progress,
+// then later deadlines (less urgent), with the ID as the deterministic
+// final tiebreak. It returns nil when the arrival itself is the cheapest
+// job in sight — evicting an equal-value job would just churn the queue.
+func (e *AQPExecutor) shedVictim(arrival *AQPJob) *AQPJob {
+	var victim *AQPJob
+	for _, p := range e.pending {
+		if victim == nil || aqpLessValuable(p, victim) {
+			victim = p
+		}
+	}
+	if victim != nil && aqpLessValuable(victim, arrival) {
+		return victim
+	}
+	return nil
+}
+
+// aqpLessValuable orders jobs by shedding preference: best-effort first,
+// then lower attainment progress (less sunk work toward completion), then
+// later absolute deadline (less urgent), then larger ID.
+func aqpLessValuable(a, b *AQPJob) bool {
+	if a.bestEffort != b.bestEffort {
+		return a.bestEffort
+	}
+	pa, pb := a.AttainmentProgress(), b.AttainmentProgress()
+	if pa != pb {
+		return pa < pb
+	}
+	da := a.arrival.Seconds() + a.DeadlineSecs()
+	db := b.arrival.Seconds() + b.DeadlineSecs()
+	if da != db {
+		return da > db
+	}
+	return a.id > b.id
+}
+
+// rejectJob terminates a job outside the normal stop path: refused at the
+// admission gate (StatusRejected) or evicted from the queue
+// (StatusShed). No history is recorded — the job never produced a curve
+// worth learning from.
+func (e *AQPExecutor) rejectJob(j *AQPJob, status JobStatus, detail string) {
+	kind := TraceReject
+	if status == StatusShed {
+		kind = TraceShed
+		e.overload.Shed++
+	} else {
+		e.overload.Rejected++
+	}
+	if e.cfg.Store != nil {
+		e.cfg.Store.Remove(j.ID())
+	}
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
+	j.status = status
+	j.endTime = e.eng.Now()
+	e.terminalCount++
+	if e.terminalCount == len(e.jobs) {
+		if e.ownsEngine {
+			e.eng.Stop()
+		} else if e.onDone != nil {
+			e.onDone()
+		}
+	}
+}
+
+// enqueue appends to the wait queue, tracking its high-water mark.
+func (e *AQPExecutor) enqueue(j *AQPJob) {
+	e.pending = append(e.pending, j)
+	if d := len(e.pending); d > e.overload.MaxPendingDepth {
+		e.overload.MaxPendingDepth = d
+	}
+}
+
+// Validate checks the configuration invariants Run enforces, for drivers
+// (the serving mode) that advance the engine incrementally instead of
+// calling Run.
+func (e *AQPExecutor) Validate() error {
+	if e.cfg.Faults.Enabled() && e.cfg.Store == nil {
+		return errors.New("core: AQP fault injection requires a CheckpointStore (recovery replays persisted state)")
+	}
+	if e.cfg.WatchdogSlack > 0 && e.cfg.Store == nil {
+		return errors.New("core: AQP epoch watchdog requires a CheckpointStore (preemption rolls back to persisted state)")
+	}
+	return nil
+}
+
 // Run drives the simulation until every submitted job is terminal (or no
 // events remain, which means the workload deadlocked — reported as an
 // error).
 func (e *AQPExecutor) Run() error {
-	if e.cfg.Faults.Enabled() && e.cfg.Store == nil {
-		return errors.New("core: AQP fault injection requires a CheckpointStore (recovery replays persisted state)")
+	if err := e.Validate(); err != nil {
+		return err
 	}
 	e.eng.Run()
 	if e.storeErr != nil {
@@ -298,14 +486,62 @@ func (e *AQPExecutor) startEpoch(g AQPGrant) {
 	// job's progress-runtime curve shares units with the single-threaded
 	// historical curves.
 	normWork := workSecs * aqp.Speedup(g.Threads)
+	// Epoch watchdog: a runaway epoch (the cost model gone degenerate, a
+	// stuck data source, pathological pressure) is cut short once it
+	// exceeds slack × the job's predicted epoch cost. Strikes double the
+	// budget so a genuinely long epoch eventually completes.
+	watchAt := math.Inf(1)
+	if e.cfg.WatchdogSlack > 0 {
+		budget := e.cfg.WatchdogSlack * j.nextEpochSecsGuess() * math.Pow(2, float64(j.watchdogStrikes))
+		if epochSecs > budget {
+			watchAt = budget
+		}
+	}
 	// The injector may interrupt the epoch mid-flight: the worker dies,
 	// its in-flight results are lost, and the job rolls back to its last
-	// valid checkpoint at the next grant.
-	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed {
+	// valid checkpoint at the next grant. The injector's draw comes first
+	// so arming the watchdog never perturbs the fault sequence; an earlier
+	// crash wins over a later watchdog preemption.
+	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed && after <= watchAt {
 		e.eng.Schedule(after, func() { e.crashEpoch(j, after) })
 		return
 	}
+	if !math.IsInf(watchAt, 1) {
+		e.eng.Schedule(watchAt, func() { e.preemptEpoch(j, watchAt) })
+		return
+	}
 	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, epochSecs, normWork) })
+}
+
+// preemptEpoch handles the watchdog firing wastedSecs into a running
+// epoch: the epoch's in-flight results are lost, resources free
+// immediately, and the job rejoins the queue after the penalty delay with
+// a forced rollback to its last valid checkpoint (like a crash, minus the
+// failure-detection machinery).
+func (e *AQPExecutor) preemptEpoch(j *AQPJob, wastedSecs float64) {
+	e.pool.Release(j.ID())
+	delete(e.running, j.ID())
+	e.runningEstMem -= j.EstMemMB()
+	j.status = StatusPending
+	j.needsRestore = true
+	j.processingSecs += wastedSecs
+	j.watchdogStrikes++
+	e.overload.WatchdogPreemptions++
+	e.overload.WatchdogWastedSecs += wastedSecs
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(),
+		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	e.limbo++
+	e.eng.Schedule(e.cfg.WatchdogPenaltySecs, func() {
+		e.limbo--
+		// The deadline watchdog may have expired the job while it waited
+		// out the penalty.
+		if j.status.Terminal() {
+			return
+		}
+		e.enqueue(j)
+		e.scheduleArbitrate()
+	})
+	e.scheduleArbitrate()
 }
 
 // resumeJob replays the job's persisted state and returns the virtual
@@ -399,13 +635,15 @@ func (e *AQPExecutor) crashEpoch(j *AQPJob, wastedSecs float64) {
 	e.rec.WastedWorkSecs += wastedSecs
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(),
 		Detail: fmt.Sprintf("wasted=%.1fs", wastedSecs)})
+	e.limbo++
 	e.eng.Schedule(e.cfg.CrashRecoverySecs, func() {
+		e.limbo--
 		// The deadline watchdog may have expired the job while it was
 		// recovering.
 		if j.status.Terminal() {
 			return
 		}
-		e.pending = append(e.pending, j)
+		e.enqueue(j)
 		e.scheduleArbitrate()
 	})
 	e.scheduleArbitrate()
@@ -422,6 +660,7 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 	j.epochs++
 	j.processingSecs += epochSecs
 	j.normSecs += normWork
+	j.watchdogStrikes = 0 // completed within budget
 	if j.crashPending {
 		j.crashPending = false
 		e.rec.Recovered++
@@ -456,7 +695,7 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 		e.finishJob(j, StatusExpired)
 	default:
 		j.status = StatusPending
-		e.pending = append(e.pending, j)
+		e.enqueue(j)
 		// Persist the deferred job's state; if it is re-granted this very
 		// instant the checkpoint is simply never replayed.
 		if e.cfg.Store != nil {

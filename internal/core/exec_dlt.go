@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"rotary/internal/admission"
 	"rotary/internal/cluster"
 	"rotary/internal/criteria"
 	"rotary/internal/dlt"
@@ -37,6 +39,18 @@ type DLTExecConfig struct {
 	CrashRecoverySecs float64
 	// Tracer, when set, records the arbitration timeline.
 	Tracer *Tracer
+	// Admission, when set, gates arrivals exactly as on the AQP side: see
+	// AQPExecConfig.Admission.
+	Admission *admission.Controller
+	// WatchdogSlack arms the epoch watchdog (see
+	// AQPExecConfig.WatchdogSlack); requires a Store. Zero disables it.
+	WatchdogSlack float64
+	// WatchdogPenaltySecs is the re-queue delay after a watchdog
+	// preemption. Defaults to 5s.
+	WatchdogPenaltySecs float64
+	// AgingRounds, when > 0, wraps the scheduler in a starvation guard
+	// (see AQPExecConfig.AgingRounds).
+	AgingRounds int
 }
 
 // DefaultDLTExecConfig mirrors the paper's 4 × 8 GB testbed.
@@ -66,6 +80,10 @@ type DLTExecutor struct {
 	jobs    []*DLTJob
 	pending []*DLTJob
 	running map[string]*DLTJob
+	// limbo counts jobs in neither queue: preempted or crashed, waiting
+	// out a penalty/recovery delay before re-enqueueing. Admission counts
+	// them — they still occupy a slot of the bounded active set.
+	limbo int
 
 	// roundRunning counts the jobs still mid-epoch in the current
 	// scheduling round. Algorithm 3 is round-based: every round rebuilds
@@ -82,6 +100,8 @@ type DLTExecutor struct {
 	oomEvents     int
 	storeErr      error
 	rec           RecoveryStats
+	overload      OverloadStats
+	guard         *StarvationGuardDLT
 
 	ownsEngine bool
 	onDone     func()
@@ -110,7 +130,10 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 	if cfg.CrashRecoverySecs <= 0 {
 		cfg.CrashRecoverySecs = 2
 	}
-	return &DLTExecutor{
+	if cfg.WatchdogPenaltySecs <= 0 {
+		cfg.WatchdogPenaltySecs = 5
+	}
+	e := &DLTExecutor{
 		eng:           eng,
 		gpus:          cluster.NewUniformGPUCluster(cfg.GPUs, cfg.GPUMemMB),
 		sched:         sched,
@@ -120,6 +143,11 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 		running:       make(map[string]*DLTJob),
 		deviceLastJob: make(map[int]string),
 	}
+	if cfg.AgingRounds > 0 {
+		e.guard = NewStarvationGuardDLT(sched, cfg.AgingRounds)
+		e.sched = e.guard
+	}
+	return e
 }
 
 // Engine exposes the virtual clock.
@@ -137,6 +165,19 @@ func (e *DLTExecutor) OOMEvents() int { return e.oomEvents }
 // Recovery reports the executor's fault-recovery counters.
 func (e *DLTExecutor) Recovery() RecoveryStats { return e.rec }
 
+// Overload reports the executor's overload-protection counters.
+func (e *DLTExecutor) Overload() OverloadStats {
+	o := e.overload
+	if e.guard != nil {
+		o.ForcedGrants = e.guard.ForcedGrants()
+	}
+	return o
+}
+
+// Admission exposes the configured admission controller (nil when
+// admission is disabled).
+func (e *DLTExecutor) Admission() *admission.Controller { return e.cfg.Admission }
+
 // Submit schedules a job's arrival.
 func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
 	if e.cfg.Store != nil && j.pristine == nil {
@@ -151,16 +192,140 @@ func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
 		j.arrival = e.eng.Now()
 		j.arrived = true
 		j.status = StatusPending
-		e.pending = append(e.pending, j)
+		if e.cfg.Admission != nil && !e.admit(j) {
+			return
+		}
+		e.enqueue(j)
 		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
 		e.scheduleArbitrate()
 	})
+}
+
+// admit runs the admission decision for an arriving job, reporting
+// whether the job entered the wait queue (see AQPExecutor.admit).
+func (e *DLTExecutor) admit(j *DLTJob) bool {
+	ctrl := e.cfg.Admission
+	depth := len(e.pending) + len(e.running) + e.limbo
+	remaining := math.Inf(1)
+	if secs, ok := j.crit.Deadline.DeadlineSeconds(); ok {
+		remaining = secs
+	}
+	dec := ctrl.Decide(admission.Request{
+		ID:                j.ID(),
+		QueueDepth:        depth,
+		EstCompletionSecs: e.estCompletionSecs(j),
+		RemainingSecs:     remaining,
+	})
+	switch dec.Verdict {
+	case admission.DegradeBestEffort:
+		j.bestEffort = true
+		e.overload.Degraded++
+		return true
+	case admission.RejectJob:
+		e.rejectJob(j, StatusRejected, dec.Reason)
+		return false
+	case admission.ShedVictim:
+		v := e.shedVictim(j)
+		if v == nil {
+			ctrl.ResolveShed(false)
+			e.rejectJob(j, StatusRejected, "queue-full no-victim")
+			return false
+		}
+		ctrl.ResolveShed(true)
+		e.removePending(v)
+		e.rejectJob(v, StatusShed, fmt.Sprintf("for %s", j.ID()))
+		return true
+	default:
+		return true
+	}
+}
+
+// estCompletionSecs estimates an arrival's queueing delay plus first
+// epoch under the current load, spread over the device fleet.
+func (e *DLTExecutor) estCompletionSecs(j *DLTJob) float64 {
+	var backlog float64
+	for _, p := range e.pending {
+		backlog += p.nextEpochSecsGuess()
+	}
+	for _, r := range e.running {
+		backlog += r.nextEpochSecsGuess()
+	}
+	return backlog/float64(e.gpus.Size()) + j.nextEpochSecsGuess()
+}
+
+// shedVictim picks the queued job with strictly lower value than the
+// arrival (see AQPExecutor.shedVictim).
+func (e *DLTExecutor) shedVictim(arrival *DLTJob) *DLTJob {
+	var victim *DLTJob
+	for _, p := range e.pending {
+		if victim == nil || dltLessValuable(p, victim) {
+			victim = p
+		}
+	}
+	if victim != nil && dltLessValuable(victim, arrival) {
+		return victim
+	}
+	return nil
+}
+
+// dltLessValuable orders jobs by shedding preference: best-effort first,
+// then lower attainment progress, then larger epoch bound (less urgent),
+// then larger ID.
+func dltLessValuable(a, b *DLTJob) bool {
+	if a.bestEffort != b.bestEffort {
+		return a.bestEffort
+	}
+	pa, pb := a.AttainmentProgress(nil), b.AttainmentProgress(nil)
+	if pa != pb {
+		return pa < pb
+	}
+	if a.MaxEpochs() != b.MaxEpochs() {
+		return a.MaxEpochs() > b.MaxEpochs()
+	}
+	return a.id > b.id
+}
+
+// rejectJob terminates a job outside the normal stop path (see
+// AQPExecutor.rejectJob).
+func (e *DLTExecutor) rejectJob(j *DLTJob, status JobStatus, detail string) {
+	kind := TraceReject
+	if status == StatusShed {
+		kind = TraceShed
+		e.overload.Shed++
+	} else {
+		e.overload.Rejected++
+	}
+	if e.cfg.Store != nil {
+		e.cfg.Store.Remove(j.ID())
+	}
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
+	j.status = status
+	j.endTime = e.eng.Now()
+	e.terminalCount++
+	if e.terminalCount == len(e.jobs) {
+		if e.ownsEngine {
+			e.eng.Stop()
+		} else if e.onDone != nil {
+			e.onDone()
+		}
+	}
+}
+
+// enqueue appends to the wait queue, tracking its high-water mark.
+func (e *DLTExecutor) enqueue(j *DLTJob) {
+	e.pending = append(e.pending, j)
+	if d := len(e.pending); d > e.overload.MaxPendingDepth {
+		e.overload.MaxPendingDepth = d
+	}
 }
 
 // Run drives the simulation until every job is terminal.
 func (e *DLTExecutor) Run() error {
 	if e.cfg.Faults.Enabled() && e.cfg.Store == nil {
 		return errors.New("core: DLT fault injection requires a CheckpointStore (recovery replays persisted state)")
+	}
+	if e.cfg.WatchdogSlack > 0 && e.cfg.Store == nil {
+		return errors.New("core: DLT epoch watchdog requires a CheckpointStore (preemption rolls back to persisted state)")
 	}
 	e.eng.Run()
 	if e.storeErr != nil {
@@ -246,7 +411,7 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 			e.roundRunning--
 			j.status = StatusPending
 			j.processingSecs += waste
-			e.pending = append(e.pending, j)
+			e.enqueue(j)
 			e.scheduleArbitrate()
 		})
 		return
@@ -276,11 +441,53 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 	_, trainSecs := j.job.TrainEpoch()
 	epochSecs += trainSecs
 	start := e.eng.Now()
-	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed {
+	// Epoch watchdog (see the AQP side): preempt a runaway epoch at
+	// slack × predicted cost, doubling per strike. The injector's draw
+	// comes first so arming the watchdog never perturbs the fault
+	// sequence; an earlier crash wins.
+	watchAt := math.Inf(1)
+	if e.cfg.WatchdogSlack > 0 {
+		budget := e.cfg.WatchdogSlack * j.nextEpochSecsGuess() * math.Pow(2, float64(j.watchdogStrikes))
+		if epochSecs > budget {
+			watchAt = budget
+		}
+	}
+	if after, crashed := e.cfg.Faults.EpochCrash(epochSecs); crashed && after <= watchAt {
 		e.eng.Schedule(after, func() { e.crashEpoch(j, p.Device, after) })
 		return
 	}
+	if !math.IsInf(watchAt, 1) {
+		e.eng.Schedule(watchAt, func() { e.preemptEpoch(j, p.Device, watchAt) })
+		return
+	}
 	e.eng.Schedule(epochSecs, func() { e.finishEpoch(j, p.Device, start, epochSecs, firstPlacement || resumed) })
+}
+
+// preemptEpoch handles the watchdog firing wastedSecs into a running
+// epoch: results lost, device freed (it stays healthy — this is not a
+// fault), job re-queued after the penalty with a forced rollback.
+func (e *DLTExecutor) preemptEpoch(j *DLTJob, device int, wastedSecs float64) {
+	e.gpus.Release(j.ID())
+	delete(e.running, j.ID())
+	e.roundRunning--
+	j.status = StatusPending
+	j.needsRestore = true
+	j.processingSecs += wastedSecs
+	j.watchdogStrikes++
+	e.overload.WatchdogPreemptions++
+	e.overload.WatchdogWastedSecs += wastedSecs
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(), Device: device,
+		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	e.limbo++
+	e.eng.Schedule(e.cfg.WatchdogPenaltySecs, func() {
+		e.limbo--
+		if j.status.Terminal() {
+			return
+		}
+		e.enqueue(j)
+		e.scheduleArbitrate()
+	})
+	e.scheduleArbitrate()
 }
 
 // resumeDLT replays the trainer's persisted state, returning any injected
@@ -362,11 +569,13 @@ func (e *DLTExecutor) crashEpoch(j *DLTJob, device int, wastedSecs float64) {
 		e.gpus.SetDown(device, false)
 		e.scheduleArbitrate()
 	})
+	e.limbo++
 	e.eng.Schedule(e.cfg.CrashRecoverySecs, func() {
+		e.limbo--
 		if j.status.Terminal() {
 			return
 		}
-		e.pending = append(e.pending, j)
+		e.enqueue(j)
 		e.scheduleArbitrate()
 	})
 	e.scheduleArbitrate()
@@ -391,6 +600,7 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 	j.lastDevice = device
 	j.epochs++
 	j.processingSecs += epochSecs
+	j.watchdogStrikes = 0 // completed within budget
 	if j.crashPending {
 		j.crashPending = false
 		e.rec.Recovered++
@@ -419,7 +629,7 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 		e.finishJob(j, StatusExpired)
 	default:
 		j.status = StatusPending
-		e.pending = append(e.pending, j)
+		e.enqueue(j)
 		if e.cfg.Store != nil {
 			if data, err := j.job.Checkpoint(); err != nil {
 				e.storeErr = fmt.Errorf("core: checkpoint %s: %w", j.ID(), err)

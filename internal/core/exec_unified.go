@@ -248,6 +248,13 @@ func (u *UnifiedExecutor) Recovery() RecoveryStats {
 	return u.aqp.Recovery().Add(u.dlt.Recovery())
 }
 
+// Overload reports the cluster-wide overload-protection counters
+// (AQP + DLT): watchdog preemptions, admission effects, forced grants,
+// and the deeper of the two wait-queue high-water marks.
+func (u *UnifiedExecutor) Overload() OverloadStats {
+	return u.aqp.Overload().Add(u.dlt.Overload())
+}
+
 // Run drives the mixed workload to completion.
 func (u *UnifiedExecutor) Run() error {
 	if u.aqp.cfg.Faults.Enabled() && u.aqp.cfg.Store == nil {
@@ -255,6 +262,12 @@ func (u *UnifiedExecutor) Run() error {
 	}
 	if u.dlt.cfg.Faults.Enabled() && u.dlt.cfg.Store == nil {
 		return errors.New("core: DLT fault injection requires a CheckpointStore")
+	}
+	if u.aqp.cfg.WatchdogSlack > 0 && u.aqp.cfg.Store == nil {
+		return errors.New("core: AQP epoch watchdog requires a CheckpointStore")
+	}
+	if u.dlt.cfg.WatchdogSlack > 0 && u.dlt.cfg.Store == nil {
+		return errors.New("core: DLT epoch watchdog requires a CheckpointStore")
 	}
 	u.eng.Run()
 	var errs []error

@@ -68,6 +68,16 @@ type AQPJob struct {
 	crashedSince        sim.Time
 	deferredPenaltySecs float64
 
+	// Overload state. bestEffort marks a job the admission controller
+	// admitted under the Degrade policy (deadline infeasible at arrival);
+	// it runs normally but is first in line for shedding.
+	// watchdogStrikes counts consecutive watchdog preemptions; each strike
+	// doubles the next epoch's budget so a genuinely long epoch eventually
+	// completes instead of livelocking against the watchdog. Strikes reset
+	// when an epoch completes within budget.
+	bestEffort      bool
+	watchdogStrikes int
+
 	// realtimeCurve is the recorded (processing-seconds, estimated
 	// accuracy) series fed to the progress estimator.
 	realtimeCurve []estimate.Point
@@ -142,12 +152,18 @@ type JobStatus int
 // Job statuses. A job stops as AttainedStop when the system believes its
 // criterion is met, ConvergedStop when the envelope (AQP) or delta check
 // (DLT) declares convergence, Expired when its deadline passes first.
+// Under admission control a job may instead terminate Rejected (refused
+// at the gate — deadline infeasible or queue full) or Shed (admitted but
+// later evicted from the queue for a higher-value arrival); both are
+// terminal and must stay ≥ StatusAttainedStop so Terminal() holds.
 const (
 	StatusPending JobStatus = iota
 	StatusRunning
 	StatusAttainedStop
 	StatusConvergedStop
 	StatusExpired
+	StatusRejected
+	StatusShed
 )
 
 // String names the status.
@@ -163,6 +179,10 @@ func (s JobStatus) String() string {
 		return "converged"
 	case StatusExpired:
 		return "expired"
+	case StatusRejected:
+		return "rejected"
+	case StatusShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("JobStatus(%d)", int(s))
 	}
@@ -262,6 +282,10 @@ func (j *AQPJob) SetEpochBatches(n int) {
 
 // Status returns the job's current status.
 func (j *AQPJob) Status() JobStatus { return j.status }
+
+// BestEffort reports whether the admission controller degraded the job to
+// best-effort service (deadline infeasible at arrival).
+func (j *AQPJob) BestEffort() bool { return j.bestEffort }
 
 // Arrival returns the job's arrival time; valid once arrived.
 func (j *AQPJob) Arrival() sim.Time { return j.arrival }

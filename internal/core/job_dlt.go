@@ -40,6 +40,12 @@ type DLTJob struct {
 	crashedSince        sim.Time
 	deferredPenaltySecs float64
 
+	// Overload state, mirroring AQPJob: bestEffort marks a Degrade-policy
+	// admission, watchdogStrikes doubles the watchdog budget per
+	// consecutive preemption (reset on a completed epoch).
+	bestEffort      bool
+	watchdogStrikes int
+
 	// convergedAtEpoch records the first epoch at which the delta check
 	// fired (0 = never) — the metrics' convergence-line.
 	convergedAtEpoch int
@@ -94,6 +100,24 @@ func (j *DLTJob) SimilarityQuery() estimate.DLTQuery { return j.query }
 
 // Status returns the job's current status.
 func (j *DLTJob) Status() JobStatus { return j.status }
+
+// BestEffort reports whether the admission controller degraded the job to
+// best-effort service.
+func (j *DLTJob) BestEffort() bool { return j.bestEffort }
+
+// nextEpochSecsGuess projects the next epoch's training time from the
+// job's own history, falling back to the trainer's nominal per-epoch cost
+// — the watchdog's budget input.
+func (j *DLTJob) nextEpochSecsGuess() float64 {
+	if j.epochs > 0 {
+		return j.processingSecs / float64(j.epochs)
+	}
+	per := float64(j.job.StepsPerEpoch()) * j.job.StepSeconds()
+	if per <= 0 {
+		per = 60
+	}
+	return per
+}
 
 // Arrival returns the arrival time (valid once arrived).
 func (j *DLTJob) Arrival() sim.Time { return j.arrival }

@@ -72,3 +72,213 @@ type DLTScheduler interface {
 	// Place produces this round's placements onto the free devices.
 	Place(ctx *DLTContext) []DLTPlacement
 }
+
+// StarvationGuardAQP wraps any AQP policy with aging: a pending job the
+// inner policy passes over for more than MaxSkippedRounds consecutive
+// arbitration rounds is forced a minimal one-thread grant, so every
+// admitted job eventually runs under any policy. Priority-ordered
+// policies (EDF under a stream of tight deadlines, LAF under a steady
+// supply of low-accuracy arrivals) otherwise starve the tail of the
+// queue indefinitely under sustained overload.
+//
+// The forced grant reserves no memory (the job may induce pressure — the
+// deliberate cost of liveness) and is funded, in order of preference, by
+// leftover free threads, by stripping one thread from the widest grant,
+// or by displacing the inner policy's last (lowest-priority) grant.
+type StarvationGuardAQP struct {
+	inner AQPScheduler
+	// maxSkipped is the consecutive-rounds-passed-over threshold.
+	maxSkipped int
+	skipped    map[string]int
+	forced     int
+}
+
+// NewStarvationGuardAQP wraps inner; maxSkipped < 1 defaults to 8.
+func NewStarvationGuardAQP(inner AQPScheduler, maxSkipped int) *StarvationGuardAQP {
+	if maxSkipped < 1 {
+		maxSkipped = 8
+	}
+	return &StarvationGuardAQP{inner: inner, maxSkipped: maxSkipped, skipped: make(map[string]int)}
+}
+
+// Name implements AQPScheduler.
+func (g *StarvationGuardAQP) Name() string { return g.inner.Name() + "+aging" }
+
+// ForcedGrants reports how many grants the guard forced.
+func (g *StarvationGuardAQP) ForcedGrants() int { return g.forced }
+
+// Assign implements AQPScheduler.
+func (g *StarvationGuardAQP) Assign(ctx *AQPContext) []AQPGrant {
+	grants := g.inner.Assign(ctx)
+	granted := make(map[string]bool, len(grants))
+	for _, gr := range grants {
+		granted[gr.Job.ID()] = true
+	}
+	// Pick the most-starved passed-over job; ties break by ID for
+	// determinism. Counters are read as "what this round would bring
+	// them to" but committed only against the FINAL grant list below —
+	// a job whose grant the forced one displaces must keep aging, or
+	// the guard robs the same near-granted job every round while
+	// resetting its counter and starves it indefinitely.
+	var starving *AQPJob
+	starvingCount := 0
+	for _, j := range ctx.Pending {
+		if granted[j.ID()] {
+			continue
+		}
+		c := g.skipped[j.ID()] + 1
+		if c <= g.maxSkipped {
+			continue
+		}
+		if starving == nil || c > starvingCount ||
+			(c == starvingCount && j.ID() < starving.ID()) {
+			starving, starvingCount = j, c
+		}
+	}
+	if starving != nil {
+		forced := AQPGrant{Job: starving, Threads: 1}
+		used := 0
+		for _, gr := range grants {
+			used += gr.Threads
+		}
+		wi := -1
+		for i, gr := range grants {
+			if gr.Threads > 1 && (wi < 0 || gr.Threads >= grants[wi].Threads) {
+				wi = i
+			}
+		}
+		applied := true
+		switch {
+		case used < ctx.FreeThreads:
+			grants = append(grants, forced)
+		case wi >= 0:
+			grants[wi].Threads--
+			grants = append(grants, forced)
+		case len(grants) > 0 && starvingCount > g.skipped[grants[len(grants)-1].Job.ID()]+1:
+			// Displace the inner policy's last grant — but only when the
+			// forced job is strictly more starved than the job it robs.
+			// An unconditional displacement robs the top-ranked (often
+			// equally starved) job every single-thread round, and the
+			// guard becomes the starvation it exists to prevent.
+			grants[len(grants)-1] = forced
+		default:
+			applied = false
+		}
+		if applied {
+			g.forced++
+		}
+	}
+	// Commit aging against what is actually granted this round.
+	final := make(map[string]bool, len(grants))
+	for _, gr := range grants {
+		final[gr.Job.ID()] = true
+	}
+	seen := make(map[string]bool, len(ctx.Pending))
+	for _, j := range ctx.Pending {
+		seen[j.ID()] = true
+		if final[j.ID()] {
+			delete(g.skipped, j.ID())
+		} else {
+			g.skipped[j.ID()]++
+		}
+	}
+	for id := range g.skipped {
+		if !seen[id] {
+			delete(g.skipped, id) // granted, terminal, or shed: no longer pending
+		}
+	}
+	return grants
+}
+
+// StarvationGuardDLT wraps any DLT policy with the same aging rule: a
+// pending job passed over for more than MaxSkippedRounds consecutive
+// rounds is forced onto a device — a free one the inner policy left
+// idle, else the device of the inner policy's last placement.
+type StarvationGuardDLT struct {
+	inner      DLTScheduler
+	maxSkipped int
+	skipped    map[string]int
+	forced     int
+}
+
+// NewStarvationGuardDLT wraps inner; maxSkipped < 1 defaults to 8.
+func NewStarvationGuardDLT(inner DLTScheduler, maxSkipped int) *StarvationGuardDLT {
+	if maxSkipped < 1 {
+		maxSkipped = 8
+	}
+	return &StarvationGuardDLT{inner: inner, maxSkipped: maxSkipped, skipped: make(map[string]int)}
+}
+
+// Name implements DLTScheduler.
+func (g *StarvationGuardDLT) Name() string { return g.inner.Name() + "+aging" }
+
+// ForcedGrants reports how many placements the guard forced.
+func (g *StarvationGuardDLT) ForcedGrants() int { return g.forced }
+
+// Place implements DLTScheduler.
+func (g *StarvationGuardDLT) Place(ctx *DLTContext) []DLTPlacement {
+	placements := g.inner.Place(ctx)
+	placed := make(map[string]bool, len(placements))
+	for _, p := range placements {
+		placed[p.Job.ID()] = true
+	}
+	// Same commit-against-final-placements rule as the AQP guard: a job
+	// whose placement the forced one displaces keeps aging.
+	var starving *DLTJob
+	starvingCount := 0
+	for _, j := range ctx.Pending {
+		if placed[j.ID()] {
+			continue
+		}
+		c := g.skipped[j.ID()] + 1
+		if c <= g.maxSkipped {
+			continue
+		}
+		if starving == nil || c > starvingCount ||
+			(c == starvingCount && j.ID() < starving.ID()) {
+			starving, starvingCount = j, c
+		}
+	}
+	if starving != nil {
+		usedDev := make(map[int]bool, len(placements))
+		for _, p := range placements {
+			usedDev[p.Device] = true
+		}
+		forcedOn := -1
+		for _, d := range ctx.FreeGPUs {
+			if !usedDev[d.ID] {
+				forcedOn = d.ID
+				break
+			}
+		}
+		switch {
+		case forcedOn >= 0:
+			placements = append(placements, DLTPlacement{Job: starving, Device: forcedOn})
+			g.forced++
+		case len(placements) > 0 && starvingCount > g.skipped[placements[len(placements)-1].Job.ID()]+1:
+			// Same strictly-more-starved rule as the AQP guard: never rob
+			// a placement from a job as starved as the forced one.
+			placements[len(placements)-1] = DLTPlacement{Job: starving, Device: placements[len(placements)-1].Device}
+			g.forced++
+		}
+	}
+	final := make(map[string]bool, len(placements))
+	for _, p := range placements {
+		final[p.Job.ID()] = true
+	}
+	seen := make(map[string]bool, len(ctx.Pending))
+	for _, j := range ctx.Pending {
+		seen[j.ID()] = true
+		if final[j.ID()] {
+			delete(g.skipped, j.ID())
+		} else {
+			g.skipped[j.ID()]++
+		}
+	}
+	for id := range g.skipped {
+		if !seen[id] {
+			delete(g.skipped, id)
+		}
+	}
+	return placements
+}

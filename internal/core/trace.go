@@ -28,6 +28,14 @@ const (
 	// from-scratch restart after an unrecoverable checkpoint.
 	TraceCrash
 	TraceRestart
+	// TraceReject, TraceShed, and TraceWatchdog extend the lifecycle under
+	// overload: Reject refuses an arrival at the admission gate, Shed
+	// evicts a queued job to admit a higher-value arrival, Watchdog
+	// preempts a running epoch that exceeded its virtual-time budget (the
+	// job re-queues with a penalty and rolls back at its next grant).
+	TraceReject
+	TraceShed
+	TraceWatchdog
 )
 
 // String names the event kind.
@@ -53,6 +61,12 @@ func (k TraceKind) String() string {
 		return "crash"
 	case TraceRestart:
 		return "restart"
+	case TraceReject:
+		return "reject"
+	case TraceShed:
+		return "shed"
+	case TraceWatchdog:
+		return "watchdog"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

@@ -56,8 +56,19 @@ func (a *AccuracyProgress) EstimateAt(query, class string, batchRows int, realti
 	if len(hist) == 0 && len(realtime) < 2 {
 		return 0, false
 	}
+	if countFinite(hist)+countFinite(realtime) == 0 {
+		// An all-NaN series fits the zero line, which would masquerade
+		// as a confident "no progress" estimate.
+		return 0, false
+	}
 	line := JointFit(hist, realtime)
 	est := line.At(atSecs)
+	// A degenerate fit (NaN/Inf coefficients survive clamping — NaN fails
+	// both comparisons) must report unknown, not poison the arbiter; the
+	// caller falls back to the job's own envelope-based real-time curve.
+	if !finite(est) {
+		return 0, false
+	}
 	if est < 0 {
 		est = 0
 	}

@@ -30,8 +30,14 @@ func NewEnvelope(window int) *Envelope {
 // Window reports the configured window length.
 func (e *Envelope) Window() int { return e.window }
 
-// Observe appends one per-epoch aggregation result.
+// Observe appends one per-epoch aggregation result. Non-finite values
+// (a divide-by-zero aggregate over an empty partial group) are dropped
+// without counting: one NaN in the window would otherwise pin Ratio at 0
+// (NaN fails every comparison) and permanently block convergence.
 func (e *Envelope) Observe(v float64) {
+	if !finite(v) {
+		return
+	}
 	e.total++
 	e.vals = append(e.vals, v)
 	if len(e.vals) > e.window {

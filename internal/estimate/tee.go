@@ -80,6 +80,13 @@ func (t *TEE) EstimateEpochs(q DLTQuery, realtime []float64, targetAcc float64) 
 	if !ok {
 		return 0, false
 	}
+	// A near-flat fitted slope can put the crossing astronomically far
+	// out; clamp before the int conversion so the estimate saturates
+	// instead of overflowing (the caller treats huge estimates as
+	// near-zero progress either way).
+	if x > 1e9 {
+		x = 1e9
+	}
 	e := int(math.Ceil(x))
 	if e <= len(rt) {
 		e = len(rt) + 1

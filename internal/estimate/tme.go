@@ -54,8 +54,19 @@ func (t *TME) EstimateMB(dataset string, paramsM float64, batchSize int) (float6
 	for i, rec := range recs {
 		points[i] = Point{X: float64(rec.BatchSize), Y: rec.PeakMemMB}
 	}
+	if countFinite(points) == 0 {
+		// Corrupt history (NaN peak memory) would otherwise fit the zero
+		// line and report padding-only as a confident estimate.
+		return 0, false
+	}
 	line := FitWLS(points, ws)
 	est := line.At(float64(batchSize))
+	// A degenerate fit (all history non-finite, or a non-finite batch
+	// size) must report unknown so the caller takes its documented
+	// conservative-default fallback rather than reserving NaN megabytes.
+	if !finite(est) {
+		return 0, false
+	}
 	if est < 0 {
 		est = 0
 	}

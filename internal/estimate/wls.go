@@ -25,18 +25,45 @@ func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
 
 // XFor solves for the x at which the line reaches y, reporting false when
 // the slope is non-positive (the line never gets there) — the erroneous-
-// estimation regime Fig. 11 exercises.
+// estimation regime Fig. 11 exercises — or when the fit itself is
+// degenerate (non-finite coefficients or solution).
 func (l Line) XFor(y float64) (float64, bool) {
-	if l.Slope <= 1e-12 {
+	if !(l.Slope > 1e-12) { // NaN slopes fail this too
 		return 0, false
 	}
-	return (y - l.Intercept) / l.Slope, true
+	x := (y - l.Intercept) / l.Slope
+	if !finite(x) {
+		return 0, false
+	}
+	return x, true
+}
+
+// finite reports whether v is neither NaN nor ±Inf — the package-wide
+// guard against degenerate fits leaking into arbitration decisions.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// countFinite reports how many points have both coordinates finite.
+// FitWLS over zero finite points returns the zero line, which evaluates
+// to a plausible-looking 0 — estimators use this to tell "the fit says
+// zero" from "there was no usable data at all".
+func countFinite(pts []Point) int {
+	n := 0
+	for _, p := range pts {
+		if finite(p.X) && finite(p.Y) {
+			n++
+		}
+	}
+	return n
 }
 
 // FitWLS fits y = a + b·x by weighted least squares (the paper cites Kay's
-// classical WLS). Zero or negative weights drop the point. With fewer than
-// two distinct x values the fit degenerates to a flat line through the
-// weighted mean.
+// classical WLS). Zero, negative, or non-finite weights drop the point,
+// as do non-finite coordinates — one NaN observation (a degenerate
+// envelope ratio, a log of zero) must not poison the whole fit. With
+// fewer than two distinct x values the fit degenerates to a flat line
+// through the weighted mean.
 func FitWLS(points []Point, weights []float64) Line {
 	if len(points) != len(weights) {
 		panic("estimate: points/weights length mismatch")
@@ -44,7 +71,7 @@ func FitWLS(points []Point, weights []float64) Line {
 	var sw, swx, swy, swxx, swxy float64
 	for i, p := range points {
 		w := weights[i]
-		if w <= 0 {
+		if w <= 0 || !finite(w) || !finite(p.X) || !finite(p.Y) {
 			continue
 		}
 		sw += w

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"rotary/internal/admission"
 	"rotary/internal/core"
 	"rotary/internal/sim"
 )
@@ -129,6 +130,31 @@ func TestRenderLineChartOverlapGlyph(t *testing.T) {
 	out := RenderLineChart("", []Series{a, b}, 20, 6)
 	if !strings.Contains(out, "#") {
 		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+}
+
+func TestRenderOverload(t *testing.T) {
+	as := admission.Stats{
+		Submitted: 10, Admitted: 6, Rejected: 2, Shed: 1, Degraded: 1,
+		QueueFullRejections: 2, MaxQueueDepth: 4,
+	}
+	os := core.OverloadStats{
+		WatchdogPreemptions: 3, WatchdogWastedSecs: 12.5,
+		Rejected: 2, Shed: 1, Degraded: 1, ForcedGrants: 5, MaxPendingDepth: 4,
+	}
+	out := RenderOverload("aqp", as, os)
+	for _, want := range []string{
+		"overload report: aqp", "submitted=10", "admitted=6",
+		"queue-full-rejections=2", "max-depth=4", "preemptions=3",
+		"wasted=12.5s", "forced-grants=5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// No controller configured ⇒ the admission line is suppressed.
+	if quiet := RenderOverload("dlt", admission.Stats{}, os); strings.Contains(quiet, "admission:") {
+		t.Errorf("zero admission stats still rendered an admission line:\n%s", quiet)
 	}
 }
 

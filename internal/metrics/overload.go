@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"rotary/internal/admission"
+	"rotary/internal/core"
+)
+
+// RenderOverload renders one executor's overload-protection report: the
+// admission controller's verdict counters followed by the executor-side
+// watchdog, shedding, and starvation-aging effects. Pass a zero
+// admission.Stats when no controller was configured — the admission line
+// is suppressed so the report reads like RenderRecovery with a store
+// absent.
+func RenderOverload(label string, as admission.Stats, os core.OverloadStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overload report: %s\n", label)
+	if as.Submitted > 0 {
+		fmt.Fprintf(&b, " admission: submitted=%d admitted=%d rejected=%d shed=%d degraded=%d queue-full-rejections=%d\n",
+			as.Submitted, as.Admitted, as.Rejected, as.Shed, as.Degraded, as.QueueFullRejections)
+	}
+	fmt.Fprintf(&b, " queue: max-depth=%d (admission high-water=%d)\n",
+		os.MaxPendingDepth, as.MaxQueueDepth)
+	fmt.Fprintf(&b, " watchdog: preemptions=%d wasted=%.1fs\n",
+		os.WatchdogPreemptions, os.WatchdogWastedSecs)
+	fmt.Fprintf(&b, " outcomes: rejected=%d shed=%d degraded=%d forced-grants=%d\n",
+		os.Rejected, os.Shed, os.Degraded, os.ForcedGrants)
+	return b.String()
+}

@@ -1,0 +1,435 @@
+// Package serve hosts the long-lived serving mode: a wall-clock driver
+// around the virtual-time AQP arbiter. Clients submit completion-criteria
+// statements (Fig. 3 syntax, e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS")
+// over a Unix socket carrying one JSON object per line; the server admits
+// or refuses them through the admission controller, arbitrates them on
+// the shared virtual clock, and reports status and overload counters on
+// demand.
+//
+// The engine stays single-threaded: one driver goroutine owns the engine
+// and executor exclusively. Connection handlers never touch either — they
+// forward requests over a channel and relay the reply. Wall-clock pacing
+// maps real time onto the virtual clock at a configurable rate; a drain
+// (the SIGTERM path) stops accepting work and fast-forwards virtual time
+// until every in-flight job reaches a terminal status, which each job's
+// deadline watchdog guarantees is a bounded wait.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"rotary/internal/admission"
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/metrics"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Socket is the Unix socket path to listen on.
+	Socket string
+	// Pace is how many virtual seconds elapse per wall-clock second.
+	// Zero freezes the clock between requests — virtual time then only
+	// advances on submit, advance, and drain (the deterministic-test
+	// mode).
+	Pace float64
+	// Tick is the wall-clock pacing granularity. Defaults to 50 ms.
+	Tick time.Duration
+	// BatchRows is the default per-step batch size for submissions that
+	// do not specify one.
+	BatchRows int
+}
+
+// Message is one client request line.
+type Message struct {
+	// Op selects the operation: "submit", "status", "stats", "advance",
+	// or "drain".
+	Op string `json:"op"`
+	// ID names the job for submit (optional; generated when empty) and
+	// status.
+	ID string `json:"id,omitempty"`
+	// Statement is the submit payload: a query name with an appended
+	// Fig. 3 accuracy criterion, e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS".
+	Statement string `json:"statement,omitempty"`
+	// BatchRows overrides the server's default batch size for this job.
+	BatchRows int `json:"batch_rows,omitempty"`
+	// Seconds is the advance payload: virtual seconds to fast-forward.
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// Response is one server reply line.
+type Response struct {
+	OK         bool    `json:"ok"`
+	Error      string  `json:"error,omitempty"`
+	ID         string  `json:"id,omitempty"`
+	Status     string  `json:"status,omitempty"`
+	Accuracy   float64 `json:"accuracy,omitempty"`
+	Progress   float64 `json:"progress,omitempty"`
+	BestEffort bool    `json:"best_effort,omitempty"`
+	VirtualNow float64 `json:"virtual_now,omitempty"`
+	Jobs       int     `json:"jobs,omitempty"`
+	Terminal   int     `json:"terminal,omitempty"`
+	Report     string  `json:"report,omitempty"`
+}
+
+type request struct {
+	msg   Message
+	reply chan Response
+}
+
+// Server is the live arbiter.
+type Server struct {
+	cfg  Config
+	exec *core.AQPExecutor
+	cat  *tpch.Catalog
+
+	reqCh   chan request
+	drainCh chan chan Response
+	doneCh  chan struct{}
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+	final Response
+}
+
+// New builds a server over an executor and the catalog its jobs bind to.
+// The executor must not be Run — the server drives its engine itself.
+func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error) {
+	if cfg.Socket == "" {
+		return nil, errors.New("serve: socket path required")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 50 * time.Millisecond
+	}
+	if cfg.Pace < 0 {
+		cfg.Pace = 0
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = workload.RecommendedBatchRows(cat)
+	}
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		exec:    exec,
+		cat:     cat,
+		reqCh:   make(chan request),
+		drainCh: make(chan chan Response),
+		doneCh:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve listens on the configured socket and blocks until a drain
+// completes (a client "drain" op or a Drain call, typically from the
+// SIGTERM handler).
+func (s *Server) Serve() error {
+	ln, err := net.Listen("unix", s.cfg.Socket)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.drive()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed by drain
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+	<-s.doneCh
+	// Unblock idle readers without cutting off in-flight replies: a
+	// handler mid-write finishes, then its next read fails and it closes
+	// its own connection.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Drain initiates a graceful drain from outside the protocol (the
+// SIGTERM handler): stop accepting, fast-forward the in-flight jobs to
+// termination, shut down. It returns the final drain response; if the
+// server is already draining it reports that without blocking.
+func (s *Server) Drain() Response {
+	rc := make(chan Response, 1)
+	select {
+	case s.drainCh <- rc:
+		return <-rc
+	case <-s.doneCh:
+		return s.Final()
+	}
+}
+
+// Final reports the drain response once the server has drained (zero
+// Response before then) — the shutdown report main prints after Serve
+// returns.
+func (s *Server) Final() Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.final
+}
+
+// drive is the single goroutine that owns the engine and executor.
+func (s *Server) drive() {
+	defer close(s.doneCh)
+	var tickC <-chan time.Time
+	if s.cfg.Pace > 0 {
+		ticker := time.NewTicker(s.cfg.Tick)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	last := time.Now()
+	eng := s.exec.Engine()
+	for {
+		select {
+		case r := <-s.reqCh:
+			if r.msg.Op == "drain" {
+				r.reply <- s.drainNow()
+				return
+			}
+			r.reply <- s.handle(r.msg)
+		case rc := <-s.drainCh:
+			rc <- s.drainNow()
+			return
+		case <-tickC:
+			now := time.Now()
+			dt := now.Sub(last).Seconds() * s.cfg.Pace
+			last = now
+			eng.RunUntil(eng.Now() + sim.Time(dt))
+		}
+	}
+}
+
+// drainNow stops the listener and fast-forwards virtual time until every
+// submitted job is terminal. Every admitted job carries a deadline
+// watchdog event, so the event queue cannot run dry before the jobs do —
+// but if it somehow does, the failure is reported, not hidden.
+func (s *Server) drainNow() Response {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	eng := s.exec.Engine()
+	for s.terminalCount() < len(s.exec.Jobs()) && eng.Step() {
+	}
+	resp := s.statsResponse()
+	resp.Status = "drained"
+	if left := len(s.exec.Jobs()) - s.terminalCount(); left > 0 {
+		resp.OK = false
+		resp.Error = fmt.Sprintf("serve: drain left %d jobs unterminated", left)
+	}
+	s.mu.Lock()
+	s.final = resp
+	s.mu.Unlock()
+	return resp
+}
+
+func (s *Server) terminalCount() int {
+	n := 0
+	for _, j := range s.exec.Jobs() {
+		if j.Status().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// handle executes one request against the executor (driver goroutine
+// only).
+func (s *Server) handle(m Message) Response {
+	switch m.Op {
+	case "submit":
+		return s.submit(m)
+	case "status":
+		return s.status(m)
+	case "stats":
+		return s.statsResponse()
+	case "advance":
+		if m.Seconds < 0 {
+			return Response{Error: "serve: advance seconds must be >= 0"}
+		}
+		eng := s.exec.Engine()
+		eng.RunUntil(eng.Now() + sim.Time(m.Seconds))
+		return Response{OK: true, VirtualNow: eng.Now().Seconds()}
+	default:
+		return Response{Error: fmt.Sprintf("serve: unknown op %q", m.Op)}
+	}
+}
+
+// submit parses the statement, binds the job, and pushes it through the
+// admission gate at the current virtual instant. The arrival (and its
+// admission verdict) is forced to fire before replying, so the response
+// carries the decision.
+func (s *Server) submit(m Message) Response {
+	cmd, crit, err := criteria.Parse(m.Statement)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	if crit.Kind != criteria.Accuracy {
+		return Response{Error: `serve: serving mode requires an accuracy criterion (e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS")`}
+	}
+	deadline, ok := crit.Deadline.DeadlineSeconds()
+	if !ok {
+		return Response{Error: "serve: AQP deadlines must be wall-time, not epochs"}
+	}
+	query := strings.ToLower(strings.TrimSpace(cmd))
+	cls, err := tpch.ClassOf(query)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	id := m.ID
+	if id == "" {
+		id = fmt.Sprintf("srv-%03d", len(s.exec.Jobs()))
+	}
+	for _, j := range s.exec.Jobs() {
+		if j.ID() == id {
+			return Response{Error: fmt.Sprintf("serve: duplicate job id %q", id)}
+		}
+	}
+	batch := m.BatchRows
+	if batch <= 0 {
+		batch = s.cfg.BatchRows
+	}
+	j, err := workload.BuildAQPJob(s.cat, workload.AQPSpec{
+		ID:           id,
+		Query:        query,
+		Class:        cls,
+		Accuracy:     crit.Threshold,
+		DeadlineSecs: deadline,
+		BatchRows:    batch,
+	})
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	eng := s.exec.Engine()
+	s.exec.Submit(j, eng.Now())
+	// Fire the arrival and its same-instant arbitration so the reply
+	// reports the admission verdict.
+	eng.RunUntil(eng.Now())
+	st := j.Status()
+	resp := Response{
+		ID:         id,
+		Status:     st.String(),
+		BestEffort: j.BestEffort(),
+		VirtualNow: eng.Now().Seconds(),
+	}
+	switch st {
+	case core.StatusRejected, core.StatusShed:
+		resp.Error = "serve: admission refused: " + st.String()
+	default:
+		resp.OK = true
+	}
+	return resp
+}
+
+func (s *Server) status(m Message) Response {
+	for _, j := range s.exec.Jobs() {
+		if j.ID() != m.ID {
+			continue
+		}
+		return Response{
+			OK:         true,
+			ID:         j.ID(),
+			Status:     j.Status().String(),
+			Accuracy:   j.EstimatedAccuracy(),
+			Progress:   j.AttainmentProgress(),
+			BestEffort: j.BestEffort(),
+			VirtualNow: s.exec.Engine().Now().Seconds(),
+		}
+	}
+	return Response{Error: fmt.Sprintf("serve: unknown job %q", m.ID)}
+}
+
+func (s *Server) statsResponse() Response {
+	var as admission.Stats
+	if ctrl := s.exec.Admission(); ctrl != nil {
+		as = ctrl.Stats()
+	}
+	return Response{
+		OK:         true,
+		Jobs:       len(s.exec.Jobs()),
+		Terminal:   s.terminalCount(),
+		VirtualNow: s.exec.Engine().Now().Seconds(),
+		Report:     metrics.RenderOverload("serve", as, s.exec.Overload()),
+	}
+}
+
+// serveConn reads JSON lines, forwards each to the driver, and writes the
+// reply. Oversized or malformed lines get an error response instead of
+// killing the connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m Message
+		var resp Response
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			resp = Response{Error: "serve: bad request: " + err.Error()}
+		} else {
+			resp = s.dispatch(m)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch forwards one message to the driver goroutine, handling the
+// races around drain: the driver may exit between the send and the
+// reply.
+func (s *Server) dispatch(m Message) Response {
+	r := request{msg: m, reply: make(chan Response, 1)}
+	select {
+	case s.reqCh <- r:
+	case <-s.doneCh:
+		return Response{Error: "serve: server draining"}
+	}
+	select {
+	case resp := <-r.reply:
+		return resp
+	case <-s.doneCh:
+		// The driver may have replied just before exiting.
+		select {
+		case resp := <-r.reply:
+			return resp
+		default:
+			return Response{Error: "serve: server draining"}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rotary/internal/admission"
+	"rotary/internal/baselines"
+	"rotary/internal/core"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// client is a line-oriented test client over the Unix socket.
+type client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+func dial(t *testing.T, socket string) *client {
+	t.Helper()
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, sc: bufio.NewScanner(conn), enc: json.NewEncoder(conn)}
+}
+
+func (c *client) call(t *testing.T, m Message) Response {
+	t.Helper()
+	if err := c.enc.Encode(m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if !c.sc.Scan() {
+		t.Fatalf("no reply: %v", c.sc.Err())
+	}
+	var r Response
+	if err := json.Unmarshal(c.sc.Bytes(), &r); err != nil {
+		t.Fatalf("bad reply %q: %v", c.sc.Text(), err)
+	}
+	return r
+}
+
+func newTestServer(t *testing.T, admit *admission.Controller) (*Server, string) {
+	t.Helper()
+	ds := tpch.Generate(0.005, 1)
+	cat := tpch.NewCatalog(ds, 1)
+	cfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	cfg.Admission = admit
+	exec := core.NewAQPExecutor(cfg, baselines.RoundRobinAQP{}, nil)
+	socket := filepath.Join(t.TempDir(), "rotary.sock")
+	// Pace 0: virtual time advances only on submit/advance/drain, so the
+	// test is deterministic regardless of wall-clock scheduling.
+	srv, err := New(Config{Socket: socket, Pace: 0}, exec, cat)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv, socket
+}
+
+func serveAsync(t *testing.T, srv *Server) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	// Wait for the socket to appear.
+	for {
+		conn, err := net.Dial("unix", srv.cfg.Socket)
+		if err == nil {
+			conn.Close()
+			return &wg
+		}
+	}
+}
+
+func TestSubmitStatusDrain(t *testing.T) {
+	srv, socket := newTestServer(t, nil)
+	wg := serveAsync(t, srv)
+	c := dial(t, socket)
+
+	sub := c.call(t, Message{Op: "submit", ID: "job-a", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if !sub.OK {
+		t.Fatalf("submit refused: %+v", sub)
+	}
+	st := c.call(t, Message{Op: "status", ID: "job-a"})
+	if !st.OK || st.Status == "" {
+		t.Fatalf("status: %+v", st)
+	}
+	// Advance far past the deadline: the job must be terminal.
+	adv := c.call(t, Message{Op: "advance", Seconds: 2000})
+	if !adv.OK || adv.VirtualNow < 2000 {
+		t.Fatalf("advance: %+v", adv)
+	}
+	st = c.call(t, Message{Op: "status", ID: "job-a"})
+	for _, bad := range []string{"waiting", "pending", "running"} {
+		if st.Status == bad {
+			t.Fatalf("job still %s after its deadline", bad)
+		}
+	}
+	stats := c.call(t, Message{Op: "stats"})
+	if !stats.OK || stats.Jobs != 1 || stats.Terminal != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if !strings.Contains(stats.Report, "overload report: serve") {
+		t.Fatalf("stats report missing overload section:\n%s", stats.Report)
+	}
+
+	dr := c.call(t, Message{Op: "drain"})
+	if !dr.OK || dr.Status != "drained" {
+		t.Fatalf("drain: %+v", dr)
+	}
+	wg.Wait()
+	// A second drain (the SIGTERM handler losing the race with a client
+	// drain) must not hang.
+	if r := srv.Drain(); !r.OK {
+		t.Fatalf("second drain: %+v", r)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv, socket := newTestServer(t, nil)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+
+	cases := []struct {
+		name string
+		msg  Message
+		want string
+	}{
+		{"no criteria", Message{Op: "submit", Statement: "q1"}, "no completion-criteria clause"},
+		{"runtime criterion", Message{Op: "submit", Statement: "q1 FOR 10 MINUTES"}, "accuracy criterion"},
+		{"epoch deadline", Message{Op: "submit", Statement: "q1 ACC MIN 60% WITHIN 5 EPOCHS"}, "wall-time"},
+		{"unknown query", Message{Op: "submit", Statement: "q99 ACC MIN 60% WITHIN 900 SECONDS"}, "q99"},
+		{"bad op", Message{Op: "frobnicate"}, "unknown op"},
+		{"negative advance", Message{Op: "advance", Seconds: -1}, ">= 0"},
+	}
+	for _, tc := range cases {
+		r := c.call(t, tc.msg)
+		if r.OK || !strings.Contains(r.Error, tc.want) {
+			t.Errorf("%s: got %+v, want error containing %q", tc.name, r, tc.want)
+		}
+	}
+
+	ok := c.call(t, Message{Op: "submit", ID: "dup", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if !ok.OK {
+		t.Fatalf("submit: %+v", ok)
+	}
+	if r := c.call(t, Message{Op: "submit", ID: "dup", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); r.OK || !strings.Contains(r.Error, "duplicate") {
+		t.Errorf("duplicate id accepted: %+v", r)
+	}
+	if r := c.call(t, Message{Op: "status", ID: "ghost"}); r.OK || !strings.Contains(r.Error, "unknown job") {
+		t.Errorf("ghost status: %+v", r)
+	}
+}
+
+func TestAdmissionRefusalOverSocket(t *testing.T) {
+	ctrl := admission.NewController(admission.Config{
+		MaxQueueDepth: 1,
+		Policy:        admission.Reject,
+	})
+	srv, socket := newTestServer(t, ctrl)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+
+	// With a 20-thread pool only one q1 runs at a time; the first fills
+	// the active set, the second arrival finds it at the bound.
+	first := c.call(t, Message{Op: "submit", ID: "a", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if !first.OK {
+		t.Fatalf("first submit refused: %+v", first)
+	}
+	second := c.call(t, Message{Op: "submit", ID: "b", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if second.OK {
+		t.Fatalf("second submit admitted past the bound: %+v", second)
+	}
+	if second.Status != "rejected" {
+		t.Fatalf("refused submit status %q, want rejected", second.Status)
+	}
+	st := ctrl.Stats()
+	if st.Submitted != 2 || st.Rejected != 1 {
+		t.Fatalf("controller stats %+v", st)
+	}
+}
+
+func TestDrainBySignalPath(t *testing.T) {
+	srv, socket := newTestServer(t, nil)
+	wg := serveAsync(t, srv)
+	c := dial(t, socket)
+	if r := c.call(t, Message{Op: "submit", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); !r.OK {
+		t.Fatalf("submit: %+v", r)
+	}
+	// The out-of-band Drain (what the SIGTERM handler calls) must finish
+	// the in-flight job and report it terminal.
+	r := srv.Drain()
+	if !r.OK || r.Status != "drained" {
+		t.Fatalf("drain: %+v", r)
+	}
+	if r.Terminal != r.Jobs || r.Jobs != 1 {
+		t.Fatalf("drain left work: %+v", r)
+	}
+	wg.Wait()
+	// Post-drain requests get a clean refusal or a closed connection —
+	// never a hang.
+	if err := c.enc.Encode(Message{Op: "stats"}); err == nil && c.sc.Scan() {
+		var resp Response
+		if jerr := json.Unmarshal(c.sc.Bytes(), &resp); jerr == nil && resp.OK {
+			t.Fatalf("post-drain request served: %+v", resp)
+		}
+	}
+}

@@ -38,6 +38,7 @@
 package rotary
 
 import (
+	"rotary/internal/admission"
 	"rotary/internal/aqp"
 	"rotary/internal/baselines"
 	"rotary/internal/cluster"
@@ -48,6 +49,7 @@ import (
 	"rotary/internal/faults"
 	"rotary/internal/hpo"
 	"rotary/internal/metrics"
+	"rotary/internal/serve"
 	"rotary/internal/sim"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
@@ -421,3 +423,83 @@ type (
 	// CPUPool is the Rotary-AQP resource substrate.
 	CPUPool = cluster.CPUPool
 )
+
+// Overload protection: admission control, bounded queues, shedding, and
+// the epoch watchdog (see DESIGN.md §8).
+type (
+	// AdmissionController gates arriving jobs on deadline feasibility and
+	// a bounded wait queue, applying a backpressure Policy at the bound.
+	AdmissionController = admission.Controller
+	// AdmissionConfig parameterizes an AdmissionController.
+	AdmissionConfig = admission.Config
+	// AdmissionPolicy selects the backpressure response at the bound:
+	// reject, shed the lowest-value queued job, or degrade to best-effort.
+	AdmissionPolicy = admission.Policy
+	// AdmissionStats counts an admission controller's verdicts.
+	AdmissionStats = admission.Stats
+	// OverloadStats counts an executor's overload-protection events
+	// (watchdog preemptions, sheds, rejections, forced grants).
+	OverloadStats = core.OverloadStats
+	// StarvationGuardAQP wraps any AQP policy with aging so every
+	// admitted job is eventually granted (AQPExecConfig.AgingRounds
+	// installs it automatically).
+	StarvationGuardAQP = core.StarvationGuardAQP
+	// StarvationGuardDLT is the DLT-side aging wrapper.
+	StarvationGuardDLT = core.StarvationGuardDLT
+)
+
+// Overload-protection constructors, policies, and errors.
+var (
+	// NewAdmissionController builds a controller from an AdmissionConfig.
+	NewAdmissionController = admission.NewController
+	// ParseAdmissionPolicy parses "reject", "shed", or "degrade".
+	ParseAdmissionPolicy = admission.ParsePolicy
+	// NewStarvationGuardAQP and NewStarvationGuardDLT wrap a policy with
+	// aging explicitly (executors install them via AgingRounds).
+	NewStarvationGuardAQP = core.NewStarvationGuardAQP
+	NewStarvationGuardDLT = core.NewStarvationGuardDLT
+	// RenderOverload renders an executor's overload-protection report.
+	RenderOverload = metrics.RenderOverload
+	// ErrAdmissionRejected: estimated completion cannot meet the deadline.
+	ErrAdmissionRejected = admission.ErrAdmissionRejected
+	// ErrQueueFull: the wait queue is at its configured bound.
+	ErrQueueFull = admission.ErrQueueFull
+)
+
+// Backpressure policies at the admission bound.
+const (
+	// AdmitReject refuses the arrival outright.
+	AdmitReject = admission.Reject
+	// AdmitShedLowestValue evicts the lowest-value queued job instead,
+	// when one exists with lower value than the arrival.
+	AdmitShedLowestValue = admission.ShedLowestValue
+	// AdmitDegradeBestEffort admits the arrival without its deadline
+	// guarantee.
+	AdmitDegradeBestEffort = admission.DegradeBestEffort
+)
+
+// Terminal statuses introduced by overload protection.
+const (
+	// StatusRejected: refused at the admission gate.
+	StatusRejected = core.StatusRejected
+	// StatusShed: evicted from the queue to admit a higher-value arrival.
+	StatusShed = core.StatusShed
+)
+
+// Live serving mode (cmd/rotary-serve): a long-lived arbiter over a Unix
+// socket speaking one JSON object per line, pacing the virtual clock
+// against wall-clock time, with graceful drain.
+type (
+	// Server is the serving-mode daemon around an AQPExecutor.
+	Server = serve.Server
+	// ServeConfig sets the socket path, wall-clock pace, and batch size.
+	ServeConfig = serve.Config
+	// ServeMessage is one client request line.
+	ServeMessage = serve.Message
+	// ServeResponse is one reply line.
+	ServeResponse = serve.Response
+)
+
+// NewServer validates the executor configuration and builds a serving-
+// mode daemon; Serve listens until a drain request or signal.
+var NewServer = serve.New
