@@ -35,6 +35,8 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 0, "fault-injection seed (0 = reuse -seed)")
 		faultRate = flag.Float64("fault-rate", 0,
 			"total per-opportunity fault probability (crashes + checkpoint I/O faults); 0 disables injection")
+		traceOut   = flag.String("trace-out", "", "stream every trace event as JSON lines to this file")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics registry (Prometheus text format) to this file")
 	)
 	flag.Parse()
 	if err := cliutil.ValidateAll(
@@ -132,9 +134,17 @@ func main() {
 		fmt.Printf("fault injection armed: rate=%g seed=%d\n", *faultRate, fseed)
 	}
 	var tracer *rotary.Tracer
-	if *trace > 0 {
+	if *trace > 0 || *traceOut != "" {
 		tracer = &rotary.Tracer{}
 		execCfg.Tracer = tracer
+	}
+	if *traceOut != "" {
+		sink, err := rotary.OpenJSONLSink(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+		tracer.SetSink(sink)
 	}
 	exec := rotary.NewAQPExecutor(execCfg, sched, repo)
 	for _, spec := range specs {
@@ -172,8 +182,14 @@ func main() {
 		fmt.Println()
 		fmt.Print(rotary.RenderRecovery(sched.Name(), exec.Recovery(), execCfg.Store.Health()))
 	}
-	if tracer != nil {
+	if tracer != nil && *trace > 0 {
 		fmt.Printf("\nlast %d arbitration events:\n%s", *trace, tracer.Render(*trace))
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(rotary.DefaultMetrics().RenderText(true)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"rotary"
 	"rotary/internal/cliutil"
 	"rotary/internal/experiments"
 )
@@ -66,6 +67,8 @@ func main() {
 		aqpJobs    = flag.Int("aqp-jobs", 30, "AQP workload size")
 		dltJobs    = flag.Int("dlt-jobs", 30, "DLT workload size")
 		seed       = flag.Uint64("seed", 1, "base random seed")
+		traceOut   = flag.String("trace-out", "", "stream every executor trace event across all experiments as JSON lines to this file")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics registry (Prometheus text format) to this file")
 	)
 	flag.Parse()
 	if err := cliutil.ValidateAll(
@@ -77,6 +80,20 @@ func main() {
 		log.Println(err)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		sink, err := rotary.OpenJSONLSink(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+		// Experiment helpers build executors internally; the default tracer
+		// lets every one of them stream into the single JSONL sink without
+		// retaining events in memory (capacity 1 keeps the ring trivial).
+		tracer := rotary.NewTracer(1)
+		tracer.SetSink(sink)
+		rotary.SetDefaultTracer(tracer)
 	}
 
 	cfg := experiments.Config{SF: *sf, Seed: *seed, Runs: *runs, AQPJobs: *aqpJobs, DLTJobs: *dltJobs}
@@ -111,5 +128,11 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(rotary.DefaultMetrics().RenderText(true)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 }

@@ -14,7 +14,14 @@
 //	{"op":"submit","id":"j1","statement":"q5 ACC MIN 80% WITHIN 900 SECONDS"}
 //	{"op":"status","id":"j1"}
 //	{"op":"stats"}
+//	{"op":"metrics"}            — Prometheus text exposition of the obs registry
+//	{"op":"trace-tail","n":20}  — last n trace-ring events plus the overwrite count
+//	{"op":"health"}             — liveness probe: job totals and the virtual clock
 //	{"op":"drain"}
+//
+// Observability: -http starts a debug listener serving /metrics
+// (Prometheus text) and net/http/pprof; -trace-out streams every trace
+// event as JSONL while -trace-ring bounds in-memory retention.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"rotary/internal/admission"
 	"rotary/internal/cliutil"
 	"rotary/internal/core"
+	"rotary/internal/obs"
 	"rotary/internal/serve"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
@@ -49,6 +57,9 @@ func main() {
 		slack      = flag.Float64("slack-factor", 1, "deadline feasibility slack: refuse when slack × estimated completion exceeds the deadline (0 disables)")
 		wdSlack    = flag.Float64("watchdog-slack", 4, "epoch watchdog slack over the predicted epoch cost (0 disables)")
 		aging      = flag.Int("aging", 8, "starvation guard: force a minimal grant after this many consecutive skips (0 disables)")
+		httpAddr   = flag.String("http", "", "debug HTTP listener address serving /metrics and pprof (e.g. 127.0.0.1:6060; empty disables)")
+		traceRing  = flag.Int("trace-ring", 4096, "bound on in-memory trace events; older events are overwritten (0 = unbounded)")
+		traceOut   = flag.String("trace-out", "", "stream every trace event as JSON lines to this file")
 	)
 	flag.Parse()
 	if err := cliutil.ValidateAll(
@@ -58,6 +69,7 @@ func main() {
 		cliutil.NonNegative("-slack-factor", *slack),
 		cliutil.NonNegative("-watchdog-slack", *wdSlack),
 		cliutil.MinInt("-aging", *aging, 0),
+		cliutil.MinInt("-trace-ring", *traceRing, 0),
 	); err != nil {
 		log.Println(err)
 		flag.Usage()
@@ -95,7 +107,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	tracer := core.NewTracer(*traceRing)
+	if *traceOut != "" {
+		sink, err := obs.OpenJSONLSink(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+		tracer.SetSink(sink)
+	}
+
 	execCfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	execCfg.Tracer = tracer
 	execCfg.Admission = admission.NewController(admission.Config{
 		MaxQueueDepth: *queueBound,
 		SlackFactor:   *slack,
@@ -120,6 +143,14 @@ func main() {
 	srv, err := serve.New(serve.Config{Socket: *socket, Pace: *pace}, exec, cat)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		dbg, err := obs.StartDebug(*httpAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug HTTP on http://%s (/metrics, /debug/pprof)\n", dbg.Addr())
 	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)

@@ -22,11 +22,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rotary-unified: ")
 	var (
-		threshold = flag.Float64("threshold", 0.5, "cluster-wide fairness threshold T in [0, 1]")
-		aqpJobs   = flag.Int("aqp-jobs", 10, "AQP workload size")
-		dltJobs   = flag.Int("dlt-jobs", 10, "DLT workload size")
-		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		threshold  = flag.Float64("threshold", 0.5, "cluster-wide fairness threshold T in [0, 1]")
+		aqpJobs    = flag.Int("aqp-jobs", 10, "AQP workload size")
+		dltJobs    = flag.Int("dlt-jobs", 10, "DLT workload size")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		traceOut   = flag.String("trace-out", "", "stream every trace event (both substrates) as JSON lines to this file")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics registry (Prometheus text format) to this file")
 	)
 	flag.Parse()
 	if err := cliutil.ValidateAll(
@@ -49,6 +51,19 @@ func main() {
 	}
 	if err := rotary.SeedDLTHistory(repo, 30, 30, *seed); err != nil {
 		log.Fatal(err)
+	}
+
+	if *traceOut != "" {
+		sink, err := rotary.OpenJSONLSink(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+		// Both substrates adopt the default tracer, so one JSONL stream
+		// carries the unified run's full arbitration timeline.
+		tracer := rotary.NewTracer(0)
+		tracer.SetSink(sink)
+		rotary.SetDefaultTracer(tracer)
 	}
 
 	u := rotary.NewUnifiedExecutor(rotary.UnifiedExecConfig{
@@ -102,4 +117,10 @@ func main() {
 	}
 	fmt.Printf("\nattained: %d/%d AQP, %d/%d DLT; makespan %.0f virtual minutes\n",
 		aqpDone, len(u.AQPJobs()), dltDone, len(u.DLTJobs()), u.Engine().Now().Minutes())
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(rotary.DefaultMetrics().RenderText(true)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
 }

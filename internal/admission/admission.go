@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rotary/internal/obs"
 )
 
 // Typed refusal causes. Callers match with errors.Is.
@@ -95,6 +97,9 @@ type Config struct {
 	SlackFactor float64
 	// Policy is the backpressure response. See the Policy constants.
 	Policy Policy
+	// Obs selects the metrics registry the controller's verdict counters
+	// live in. Nil uses the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 // Verdict is the controller's decision for one arrival.
@@ -176,6 +181,35 @@ type Stats struct {
 type Controller struct {
 	cfg   Config
 	stats Stats
+	met   ctrlMetrics
+}
+
+// ctrlMetrics mirrors Stats into the obs registry: verdict counters plus
+// the queue-depth gauge sampled at decision time. Handles are nil-safe.
+type ctrlMetrics struct {
+	submitted  *obs.Counter
+	admitted   *obs.Counter
+	rejected   *obs.Counter
+	shed       *obs.Counter
+	degraded   *obs.Counter
+	queueFull  *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+func newCtrlMetrics(reg *obs.Registry) ctrlMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	const p = "rotary_admission_"
+	return ctrlMetrics{
+		submitted:  reg.Counter(p+"submitted_total", "arrivals presented to the admission gate"),
+		admitted:   reg.Counter(p+"admitted_total", "arrivals admitted (including degraded and shed-admitted)"),
+		rejected:   reg.Counter(p+"rejected_total", "arrivals refused"),
+		shed:       reg.Counter(p+"shed_total", "queued jobs evicted to admit an arrival"),
+		degraded:   reg.Counter(p+"degraded_total", "deadline-infeasible arrivals admitted best-effort"),
+		queueFull:  reg.Counter(p+"queue_full_rejections_total", "refusals at the queue bound"),
+		queueDepth: reg.Gauge(p+"queue_depth", "active-set size observed at the last decision"),
+	}
 }
 
 // NewController validates and applies the config.
@@ -186,7 +220,7 @@ func NewController(cfg Config) *Controller {
 	if cfg.MaxQueueDepth < 0 {
 		cfg.MaxQueueDepth = 0
 	}
-	return &Controller{cfg: cfg}
+	return &Controller{cfg: cfg, met: newCtrlMetrics(cfg.Obs)}
 }
 
 // Config returns the applied configuration.
@@ -202,6 +236,8 @@ func (c *Controller) Stats() Stats { return c.stats }
 // except ShedLowestValue.
 func (c *Controller) Decide(r Request) Decision {
 	c.stats.Submitted++
+	c.met.submitted.Inc()
+	c.met.queueDepth.Set(float64(r.QueueDepth))
 	if r.QueueDepth > c.stats.MaxQueueDepth {
 		c.stats.MaxQueueDepth = r.QueueDepth
 	}
@@ -211,6 +247,7 @@ func (c *Controller) Decide(r Request) Decision {
 		c.cfg.SlackFactor*r.EstCompletionSecs > r.RemainingSecs {
 		if c.cfg.Policy != Degrade {
 			c.stats.Rejected++
+			c.met.rejected.Inc()
 			return Decision{
 				Verdict: RejectJob,
 				Err: fmt.Errorf("admission: %s: estimated completion %.0fs × slack %.2g exceeds remaining %.0fs: %w",
@@ -227,6 +264,8 @@ func (c *Controller) Decide(r Request) Decision {
 		}
 		c.stats.Rejected++
 		c.stats.QueueFullRejections++
+		c.met.rejected.Inc()
+		c.met.queueFull.Inc()
 		return Decision{
 			Verdict: RejectJob,
 			Err: fmt.Errorf("admission: %s: active set %d at bound %d: %w",
@@ -238,9 +277,12 @@ func (c *Controller) Decide(r Request) Decision {
 	if degraded {
 		c.stats.Degraded++
 		c.stats.Admitted++
+		c.met.degraded.Inc()
+		c.met.admitted.Inc()
 		return Decision{Verdict: DegradeBestEffort, Reason: "deadline-infeasible"}
 	}
 	c.stats.Admitted++
+	c.met.admitted.Inc()
 	return Decision{Verdict: Admit}
 }
 
@@ -252,9 +294,13 @@ func (c *Controller) ResolveShed(shed bool) {
 	if shed {
 		c.stats.Shed++
 		c.stats.Admitted++
+		c.met.shed.Inc()
+		c.met.admitted.Inc()
 	} else {
 		c.stats.Rejected++
 		c.stats.QueueFullRejections++
+		c.met.rejected.Inc()
+		c.met.queueFull.Inc()
 	}
 }
 

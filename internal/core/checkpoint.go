@@ -11,8 +11,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"rotary/internal/faults"
+	"rotary/internal/obs"
 )
 
 // Typed checkpoint errors. Callers branch on these with errors.Is to pick
@@ -141,6 +143,7 @@ type CheckpointStore struct {
 	diskBytes                 int64
 	health                    StoreHealth
 	closed                    bool
+	met                       *storeMetrics
 }
 
 // NewCheckpointStore creates a store spilling to dir, keeping up to
@@ -162,9 +165,22 @@ func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
 		lruIdx:           make(map[string]*list.Element),
 		maxRetries:       3,
 		retryBackoffSecs: 1.0,
+		met:              newStoreMetrics(nil),
 	}
 	s.health.Swept = s.sweep()
+	s.met.swept.Add(int64(s.health.Swept))
 	return s, nil
+}
+
+// SetObs moves the store's metrics onto reg (nil restores the process
+// default registry) and replays the startup sweep count there. Call it
+// before the store sees traffic — earlier activity stays on the previous
+// registry.
+func (s *CheckpointStore) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = newStoreMetrics(reg)
+	s.met.swept.Add(int64(s.health.Swept))
 }
 
 // sweep removes leftover *.ckpt and *.ckpt.tmp files and reports how many
@@ -223,6 +239,7 @@ func (s *CheckpointStore) Save(id string, data []byte) error {
 		return fmt.Errorf("core: save checkpoint %s: store closed", id)
 	}
 	s.writes++
+	s.met.writes.Inc()
 	if s.memorySlots > 0 {
 		if el, ok := s.lruIdx[id]; ok {
 			s.lru.MoveToFront(el)
@@ -260,10 +277,12 @@ func (s *CheckpointStore) writeFile(id string, data []byte) error {
 		case faults.Transient:
 			if attempt < s.maxRetries {
 				s.health.Retries++
+				s.met.retries.Inc()
 				s.penaltySecs += s.retryBackoffSecs * float64(int(1)<<attempt)
 				continue
 			}
 			s.health.TransientFailures++
+			s.met.transient.Inc()
 			return fmt.Errorf("core: write checkpoint %s: %w", id, ErrTransient)
 		case faults.Corrupt:
 			// Flip one payload byte in a copy; the header CRC was computed
@@ -278,6 +297,7 @@ func (s *CheckpointStore) writeFile(id string, data []byte) error {
 
 	final := s.path(id)
 	tmp := final + ".tmp"
+	ioStart := time.Now()
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
@@ -306,6 +326,8 @@ func (s *CheckpointStore) writeFile(id string, data []byte) error {
 		_ = d.Close()
 	}
 	s.diskBytes += int64(len(frame))
+	s.met.frameBytes.Observe(float64(len(frame)))
+	s.met.writeLatency.Observe(time.Since(ioStart).Seconds())
 	return nil
 }
 
@@ -323,6 +345,7 @@ func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err err
 	}
 	if d, ok := s.memory[id]; ok {
 		s.memHits++
+		s.met.memHits.Inc()
 		s.lru.MoveToFront(s.lruIdx[id])
 		return d, true, nil
 	}
@@ -331,16 +354,19 @@ func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err err
 		case faults.Transient:
 			if attempt < s.maxRetries {
 				s.health.Retries++
+				s.met.retries.Inc()
 				s.penaltySecs += s.retryBackoffSecs * float64(int(1)<<attempt)
 				continue
 			}
 			s.health.TransientFailures++
+			s.met.transient.Inc()
 			return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, ErrTransient)
 		case faults.Slow:
 			s.penaltySecs += s.injector.SlowDelaySecs()
 		}
 		break
 	}
+	ioStart := time.Now()
 	frame, err := os.ReadFile(s.path(id))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -348,12 +374,15 @@ func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err err
 		}
 		return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, err)
 	}
+	s.met.readLatency.Observe(time.Since(ioStart).Seconds())
 	payload, err := decodeCheckpointFrame(frame)
 	if err != nil {
 		s.health.CorruptDetected++
+		s.met.corrupt.Inc()
 		return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, err)
 	}
 	s.diskHits++
+	s.met.diskHits.Inc()
 	return payload, false, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"rotary/internal/cluster"
 	"rotary/internal/estimate"
 	"rotary/internal/faults"
+	"rotary/internal/obs"
 	"rotary/internal/sim"
 )
 
@@ -32,8 +33,13 @@ type AQPExecConfig struct {
 	// checkpointing with an optional memory materialization tier. Resumes
 	// served from the memory tier skip the virtual disk-replay cost.
 	Store *CheckpointStore
-	// Tracer, when set, records the arbitration timeline.
+	// Tracer, when set, records the arbitration timeline. Nil adopts the
+	// process default tracer if one was installed (SetDefaultTracer).
 	Tracer *Tracer
+	// Obs selects the metrics registry the executor's counters live in.
+	// Nil uses the process-wide obs.Default() — instrumentation is always
+	// on; a private registry isolates a run (replay tests do this).
+	Obs *obs.Registry
 	// Faults, when set, deals deterministic worker crashes into running
 	// epochs (checkpoint I/O faults are dealt by arming the Store with the
 	// same injector). Fault injection requires a Store: recovery replays
@@ -115,6 +121,7 @@ type AQPExecutor struct {
 	rec           RecoveryStats
 	overload      OverloadStats
 	guard         *StarvationGuardAQP
+	met           *execMetrics
 
 	// ownsEngine marks an executor with a private engine (it may Stop the
 	// engine when its workload completes); onDone notifies a composing
@@ -149,6 +156,9 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 	if cfg.WatchdogPenaltySecs <= 0 {
 		cfg.WatchdogPenaltySecs = 5
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = defaultTracer
+	}
 	e := &AQPExecutor{
 		eng:     eng,
 		pool:    cluster.NewCPUPool(cfg.Threads, cfg.MemMB),
@@ -156,6 +166,7 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 		repo:    repo,
 		cfg:     cfg,
 		running: make(map[string]*AQPJob),
+		met:     newExecMetrics(cfg.Obs, "aqp"),
 	}
 	if cfg.AgingRounds > 0 {
 		e.guard = NewStarvationGuardAQP(sched, cfg.AgingRounds)
@@ -166,6 +177,10 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 
 // Engine exposes the virtual clock (tests and metric snapshots use it).
 func (e *AQPExecutor) Engine() *sim.Engine { return e.eng }
+
+// Tracer exposes the configured tracer (nil when tracing is disabled);
+// the serving mode's trace-tail op reads it.
+func (e *AQPExecutor) Tracer() *Tracer { return e.cfg.Tracer }
 
 // Jobs returns every submitted job.
 func (e *AQPExecutor) Jobs() []*AQPJob { return e.jobs }
@@ -207,6 +222,7 @@ func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 		j.arrival = e.eng.Now()
 		j.arrived = true
 		j.status = StatusPending
+		e.met.arrivals.Inc()
 		if e.cfg.Admission != nil && !e.admit(j) {
 			return
 		}
@@ -242,6 +258,7 @@ func (e *AQPExecutor) admit(j *AQPJob) bool {
 	case admission.DegradeBestEffort:
 		j.bestEffort = true
 		e.overload.Degraded++
+		e.met.degraded.Inc()
 		return true
 	case admission.RejectJob:
 		e.rejectJob(j, StatusRejected, dec.Reason)
@@ -322,8 +339,10 @@ func (e *AQPExecutor) rejectJob(j *AQPJob, status JobStatus, detail string) {
 	if status == StatusShed {
 		kind = TraceShed
 		e.overload.Shed++
+		e.met.shed.Inc()
 	} else {
 		e.overload.Rejected++
+		e.met.rejected.Inc()
 	}
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
@@ -331,6 +350,7 @@ func (e *AQPExecutor) rejectJob(j *AQPJob, status JobStatus, detail string) {
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
 	j.status = status
 	j.endTime = e.eng.Now()
+	e.met.outcome(status)
 	e.terminalCount++
 	if e.terminalCount == len(e.jobs) {
 		if e.ownsEngine {
@@ -347,6 +367,7 @@ func (e *AQPExecutor) enqueue(j *AQPJob) {
 	if d := len(e.pending); d > e.overload.MaxPendingDepth {
 		e.overload.MaxPendingDepth = d
 	}
+	e.met.pendingJobs.Set(float64(len(e.pending)))
 }
 
 // Validate checks the configuration invariants Run enforces, for drivers
@@ -436,6 +457,8 @@ func (e *AQPExecutor) startEpoch(g AQPGrant) {
 	j.status = StatusRunning
 	e.running[j.ID()] = j
 	e.runningEstMem += j.EstMemMB()
+	e.met.grants.Inc()
+	e.met.runningJobs.Set(float64(len(e.running)))
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceGrant, Job: j.ID(), Threads: g.Threads})
 
 	// Memory-oversubscription pressure: if the running jobs' true
@@ -522,11 +545,13 @@ func (e *AQPExecutor) preemptEpoch(j *AQPJob, wastedSecs float64) {
 	e.pool.Release(j.ID())
 	delete(e.running, j.ID())
 	e.runningEstMem -= j.EstMemMB()
+	e.met.runningJobs.Set(float64(len(e.running)))
 	j.status = StatusPending
 	j.needsRestore = true
 	j.processingSecs += wastedSecs
 	j.watchdogStrikes++
 	e.overload.WatchdogPreemptions++
+	e.met.watchdogPreempts.Inc()
 	e.overload.WatchdogWastedSecs += wastedSecs
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(),
 		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
@@ -552,6 +577,7 @@ func (e *AQPExecutor) resumeJob(j *AQPJob) float64 {
 	state := j.query.StateMemMB()
 	cost := 2 * (e.cfg.CheckpointBaseSecs + state*e.cfg.CheckpointSecsPerMB)
 	if e.cfg.Store == nil {
+		e.met.resumes.Inc()
 		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
 		return cost
 	}
@@ -567,7 +593,9 @@ func (e *AQPExecutor) resumeJob(j *AQPJob) float64 {
 			j.needsRestore = false
 			if rollingBack {
 				e.rec.Rollbacks++
+				e.met.rollbacks.Inc()
 			}
+			e.met.resumes.Inc()
 			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
 				Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
 			return cost
@@ -597,6 +625,7 @@ func (e *AQPExecutor) scratchRestart(j *AQPJob, cause error) error {
 	e.cfg.Store.Remove(j.ID())
 	j.resetForScratchRestart()
 	e.rec.ScratchRestarts++
+	e.met.scratchRestarts.Inc()
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceRestart, Job: j.ID(),
 		Detail: restartCause(cause)})
 	return nil
@@ -624,6 +653,7 @@ func (e *AQPExecutor) crashEpoch(j *AQPJob, wastedSecs float64) {
 	e.pool.Release(j.ID())
 	delete(e.running, j.ID())
 	e.runningEstMem -= j.EstMemMB()
+	e.met.runningJobs.Set(float64(len(e.running)))
 	j.status = StatusPending
 	j.needsRestore = true
 	j.processingSecs += wastedSecs
@@ -632,6 +662,7 @@ func (e *AQPExecutor) crashEpoch(j *AQPJob, wastedSecs float64) {
 		j.crashedSince = e.eng.Now()
 	}
 	e.rec.Crashes++
+	e.met.crashes.Inc()
 	e.rec.WastedWorkSecs += wastedSecs
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(),
 		Detail: fmt.Sprintf("wasted=%.1fs", wastedSecs)})
@@ -655,6 +686,9 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 	e.pool.Release(j.ID())
 	delete(e.running, j.ID())
 	e.runningEstMem -= j.EstMemMB()
+	e.met.runningJobs.Set(float64(len(e.running)))
+	e.met.epochs.Inc()
+	e.met.epochSecs.Observe(epochSecs)
 	j.everRan = true
 	j.lastRelease = e.eng.Now()
 	j.epochs++
@@ -664,6 +698,7 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 	if j.crashPending {
 		j.crashPending = false
 		e.rec.Recovered++
+		e.met.recovered.Inc()
 		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
 	}
 	j.observeEpoch(e.eng.Now())
@@ -717,6 +752,7 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 				}
 			} else {
 				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
+				e.met.checkpoints.Inc()
 				e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCheckpoint, Job: j.ID()})
 			}
 		}
@@ -738,6 +774,7 @@ func (e *AQPExecutor) finishJob(j *AQPJob, status JobStatus) {
 	j.status = status
 	j.endTime = e.eng.Now()
 	j.stopAcc = j.query.Accuracy()
+	e.met.outcome(status)
 	e.terminalCount++
 	if e.terminalCount == len(e.jobs) {
 		// Workload complete: drop leftover watchdog timers so the clock
@@ -763,6 +800,7 @@ func (e *AQPExecutor) removePending(j *AQPJob) {
 	for i, p := range e.pending {
 		if p == j {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.met.pendingJobs.Set(float64(len(e.pending)))
 			return
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"rotary/internal/dlt"
 	"rotary/internal/estimate"
 	"rotary/internal/faults"
+	"rotary/internal/obs"
 	"rotary/internal/sim"
 )
 
@@ -37,8 +38,12 @@ type DLTExecConfig struct {
 	// job rejoining the pending queue. Defaults to 2s. The device itself
 	// stays down for the injector's repair delay.
 	CrashRecoverySecs float64
-	// Tracer, when set, records the arbitration timeline.
+	// Tracer, when set, records the arbitration timeline. Nil adopts the
+	// process default tracer if one was installed (SetDefaultTracer).
 	Tracer *Tracer
+	// Obs selects the metrics registry (see AQPExecConfig.Obs). Nil uses
+	// the process-wide obs.Default().
+	Obs *obs.Registry
 	// Admission, when set, gates arrivals exactly as on the AQP side: see
 	// AQPExecConfig.Admission.
 	Admission *admission.Controller
@@ -102,6 +107,7 @@ type DLTExecutor struct {
 	rec           RecoveryStats
 	overload      OverloadStats
 	guard         *StarvationGuardDLT
+	met           *execMetrics
 
 	ownsEngine bool
 	onDone     func()
@@ -133,6 +139,9 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 	if cfg.WatchdogPenaltySecs <= 0 {
 		cfg.WatchdogPenaltySecs = 5
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = defaultTracer
+	}
 	e := &DLTExecutor{
 		eng:           eng,
 		gpus:          cluster.NewUniformGPUCluster(cfg.GPUs, cfg.GPUMemMB),
@@ -142,6 +151,7 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 		cfg:           cfg,
 		running:       make(map[string]*DLTJob),
 		deviceLastJob: make(map[int]string),
+		met:           newExecMetrics(cfg.Obs, "dlt"),
 	}
 	if cfg.AgingRounds > 0 {
 		e.guard = NewStarvationGuardDLT(sched, cfg.AgingRounds)
@@ -152,6 +162,9 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 
 // Engine exposes the virtual clock.
 func (e *DLTExecutor) Engine() *sim.Engine { return e.eng }
+
+// Tracer exposes the configured tracer (nil when tracing is disabled).
+func (e *DLTExecutor) Tracer() *Tracer { return e.cfg.Tracer }
 
 // Jobs returns every submitted job.
 func (e *DLTExecutor) Jobs() []*DLTJob { return e.jobs }
@@ -192,6 +205,7 @@ func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
 		j.arrival = e.eng.Now()
 		j.arrived = true
 		j.status = StatusPending
+		e.met.arrivals.Inc()
 		if e.cfg.Admission != nil && !e.admit(j) {
 			return
 		}
@@ -220,6 +234,7 @@ func (e *DLTExecutor) admit(j *DLTJob) bool {
 	case admission.DegradeBestEffort:
 		j.bestEffort = true
 		e.overload.Degraded++
+		e.met.degraded.Inc()
 		return true
 	case admission.RejectJob:
 		e.rejectJob(j, StatusRejected, dec.Reason)
@@ -292,8 +307,10 @@ func (e *DLTExecutor) rejectJob(j *DLTJob, status JobStatus, detail string) {
 	if status == StatusShed {
 		kind = TraceShed
 		e.overload.Shed++
+		e.met.shed.Inc()
 	} else {
 		e.overload.Rejected++
+		e.met.rejected.Inc()
 	}
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
@@ -301,6 +318,7 @@ func (e *DLTExecutor) rejectJob(j *DLTJob, status JobStatus, detail string) {
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
 	j.status = status
 	j.endTime = e.eng.Now()
+	e.met.outcome(status)
 	e.terminalCount++
 	if e.terminalCount == len(e.jobs) {
 		if e.ownsEngine {
@@ -317,6 +335,7 @@ func (e *DLTExecutor) enqueue(j *DLTJob) {
 	if d := len(e.pending); d > e.overload.MaxPendingDepth {
 		e.overload.MaxPendingDepth = d
 	}
+	e.met.pendingJobs.Set(float64(len(e.pending)))
 }
 
 // Run drives the simulation until every job is terminal.
@@ -394,6 +413,8 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 	j.status = StatusRunning
 	e.running[j.ID()] = j
 	e.roundRunning++
+	e.met.grants.Inc()
+	e.met.runningJobs.Set(float64(len(e.running)))
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TracePlace, Job: j.ID(), Device: p.Device})
 
 	actualMB := j.job.PeakMemoryMB()
@@ -401,6 +422,7 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 		// Out of memory: the epoch aborts after the allocation failure;
 		// the job pays a fraction of an epoch and returns to the queue.
 		e.oomEvents++
+		e.met.ooms.Inc()
 		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceOOM, Job: j.ID(), Device: p.Device,
 			Detail: fmt.Sprintf("need=%.0fMB", actualMB)})
 		e.deviceLastJob[p.Device] = j.ID()
@@ -409,6 +431,7 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 			e.gpus.Release(j.ID())
 			delete(e.running, j.ID())
 			e.roundRunning--
+			e.met.runningJobs.Set(float64(len(e.running)))
 			j.status = StatusPending
 			j.processingSecs += waste
 			e.enqueue(j)
@@ -470,11 +493,13 @@ func (e *DLTExecutor) preemptEpoch(j *DLTJob, device int, wastedSecs float64) {
 	e.gpus.Release(j.ID())
 	delete(e.running, j.ID())
 	e.roundRunning--
+	e.met.runningJobs.Set(float64(len(e.running)))
 	j.status = StatusPending
 	j.needsRestore = true
 	j.processingSecs += wastedSecs
 	j.watchdogStrikes++
 	e.overload.WatchdogPreemptions++
+	e.met.watchdogPreempts.Inc()
 	e.overload.WatchdogWastedSecs += wastedSecs
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(), Device: device,
 		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
@@ -503,7 +528,9 @@ func (e *DLTExecutor) resumeDLT(j *DLTJob) float64 {
 			j.needsRestore = false
 			if rollingBack {
 				e.rec.Rollbacks++
+				e.met.rollbacks.Inc()
 			}
+			e.met.resumes.Inc()
 			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID()})
 			return extra
 		}
@@ -536,6 +563,7 @@ func (e *DLTExecutor) scratchRestartDLT(j *DLTJob, cause error) error {
 	j.lastRelease = 0
 	j.lastDevice = -1
 	e.rec.ScratchRestarts++
+	e.met.scratchRestarts.Inc()
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceRestart, Job: j.ID(),
 		Detail: restartCause(cause)})
 	return nil
@@ -549,6 +577,7 @@ func (e *DLTExecutor) crashEpoch(j *DLTJob, device int, wastedSecs float64) {
 	e.gpus.Release(j.ID())
 	delete(e.running, j.ID())
 	e.roundRunning--
+	e.met.runningJobs.Set(float64(len(e.running)))
 	j.status = StatusPending
 	j.needsRestore = true
 	j.processingSecs += wastedSecs
@@ -557,6 +586,7 @@ func (e *DLTExecutor) crashEpoch(j *DLTJob, device int, wastedSecs float64) {
 		j.crashedSince = e.eng.Now()
 	}
 	e.rec.Crashes++
+	e.met.crashes.Inc()
 	e.rec.WastedWorkSecs += wastedSecs
 	// The device's hot state is gone and the device itself leaves the
 	// rotation until repaired.
@@ -594,6 +624,9 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 	e.gpus.Release(j.ID())
 	delete(e.running, j.ID())
 	e.roundRunning--
+	e.met.runningJobs.Set(float64(len(e.running)))
+	e.met.epochs.Inc()
+	e.met.epochSecs.Observe(epochSecs)
 	now := e.eng.Now()
 	j.everRan = true
 	j.lastRelease = now
@@ -604,6 +637,7 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 	if j.crashPending {
 		j.crashPending = false
 		e.rec.Recovered++
+		e.met.recovered.Inc()
 		e.rec.RecoveryLatencySecs += (now - j.crashedSince).Seconds()
 	}
 	e.recordPlacement(j, device, start, now)
@@ -647,6 +681,7 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 				}
 			} else {
 				j.deferredPenaltySecs += e.cfg.Store.TakePenaltySecs()
+				e.met.checkpoints.Inc()
 				e.cfg.Tracer.Emit(TraceEvent{At: now, Kind: TraceCheckpoint, Job: j.ID()})
 			}
 		}
@@ -676,6 +711,7 @@ func (e *DLTExecutor) finishJob(j *DLTJob, status JobStatus) {
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
 	j.status = status
 	j.endTime = e.eng.Now()
+	e.met.outcome(status)
 	e.terminalCount++
 	if e.terminalCount == len(e.jobs) {
 		// Workload complete: drop leftover watchdog timers so the clock
@@ -714,6 +750,7 @@ func (e *DLTExecutor) removePending(j *DLTJob) {
 	for i, p := range e.pending {
 		if p == j {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.met.pendingJobs.Set(float64(len(e.pending)))
 			return
 		}
 	}

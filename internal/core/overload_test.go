@@ -9,6 +9,7 @@ import (
 	"rotary/internal/core"
 	"rotary/internal/estimate"
 	"rotary/internal/faults"
+	"rotary/internal/obs"
 	"rotary/internal/sim"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
@@ -26,6 +27,9 @@ type overloadRun struct {
 	tracer *core.Tracer
 	ctrl   *admission.Controller
 	jobs   []*core.AQPJob
+	// reg is the run's private metrics registry, so the obs-agreement
+	// assertions see exactly this run's counters.
+	reg *obs.Registry
 }
 
 const overloadQueueBound = 4
@@ -40,10 +44,13 @@ func runOverloadAQP(t *testing.T, cat *tpch.Catalog, seed uint64) overloadRun {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	store.SetObs(reg)
 	ctrl := admission.NewController(admission.Config{
 		MaxQueueDepth: overloadQueueBound,
 		SlackFactor:   1,
 		Policy:        admission.ShedLowestValue,
+		Obs:           reg,
 	})
 	tracer := &core.Tracer{}
 	cfg := core.DefaultAQPExecConfig(1e6)
@@ -56,6 +63,7 @@ func runOverloadAQP(t *testing.T, cat *tpch.Catalog, seed uint64) overloadRun {
 	cfg.WatchdogSlack = 0.5
 	cfg.AgingRounds = 4
 	cfg.Tracer = tracer
+	cfg.Obs = reg
 	in := faults.New(faults.Recoverable(seed, 0.05))
 	store.SetFaults(in)
 	cfg.Faults = in
@@ -81,7 +89,7 @@ func runOverloadAQP(t *testing.T, cat *tpch.Catalog, seed uint64) overloadRun {
 	if err := exec.Run(); err != nil {
 		t.Fatalf("seed %d: overload run: %v", seed, err)
 	}
-	return overloadRun{exec: exec, tracer: tracer, ctrl: ctrl, jobs: jobs}
+	return overloadRun{exec: exec, tracer: tracer, ctrl: ctrl, jobs: jobs, reg: reg}
 }
 
 func TestOverloadOpenLoopSurvives(t *testing.T) {
@@ -226,5 +234,68 @@ func TestOverloadDLTSurvives(t *testing.T) {
 		if ov := exec.Overload(); ov.MaxPendingDepth > 6 {
 			t.Errorf("seed %d: DLT queue high-water %d exceeds bound 6", seed, ov.MaxPendingDepth)
 		}
+	}
+}
+
+// TestOverloadObsCountersAgree checks the always-on metrics against the
+// run's authoritative ledgers: executor OverloadStats, admission Stats,
+// and the job outcomes themselves. Any drift means an instrumentation
+// site was missed or double-counted.
+func TestOverloadObsCountersAgree(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	run := runOverloadAQP(t, cat, chaosSeeds[0])
+	get := func(name string) float64 {
+		t.Helper()
+		v, ok := run.reg.Value(name)
+		if !ok {
+			t.Fatalf("metric %s never registered", name)
+		}
+		return v
+	}
+
+	ov := run.exec.Overload()
+	ast := run.ctrl.Stats()
+	if ov.WatchdogPreemptions == 0 || ast.Rejected == 0 {
+		t.Fatalf("overload run triggered no defences (preempts=%d rejected=%d); agreement test is vacuous",
+			ov.WatchdogPreemptions, ast.Rejected)
+	}
+	for name, want := range map[string]int{
+		"rotary_aqp_watchdog_preemptions_total": ov.WatchdogPreemptions,
+		"rotary_aqp_rejected_total":             ov.Rejected,
+		"rotary_aqp_shed_total":                 ov.Shed,
+		"rotary_aqp_degraded_total":             ov.Degraded,
+		"rotary_aqp_arrivals_total":             len(run.jobs),
+		"rotary_admission_submitted_total":      ast.Submitted,
+		"rotary_admission_admitted_total":       ast.Admitted,
+		"rotary_admission_rejected_total":       ast.Rejected,
+		"rotary_admission_shed_total":           ast.Shed,
+		"rotary_admission_degraded_total":       ast.Degraded,
+		"rotary_admission_queue_full_rejections_total": ast.QueueFullRejections,
+	} {
+		if got := get(name); got != float64(want) {
+			t.Errorf("%s = %v, ledger says %d", name, got, want)
+		}
+	}
+	// Terminal accounting: every job ends exactly once, and the per-status
+	// outcome counters partition the stop total.
+	stops := get("rotary_aqp_stops_total")
+	if int(stops) != len(run.jobs) {
+		t.Errorf("stops_total = %v, want %d (every job terminal exactly once)", stops, len(run.jobs))
+	}
+	var byStatus float64
+	for _, status := range []string{"attained", "converged", "expired", "rejected", "shed"} {
+		if v, ok := run.reg.Value(fmt.Sprintf("rotary_aqp_job_outcomes_total{status=%q}", status)); ok {
+			byStatus += v
+		}
+	}
+	if byStatus != stops {
+		t.Errorf("per-status outcomes sum to %v, stops_total is %v", byStatus, stops)
+	}
+	// Gauges settle at zero once the run drains.
+	if v := get("rotary_aqp_pending_jobs"); v != 0 {
+		t.Errorf("pending_jobs gauge = %v after drain", v)
+	}
+	if v := get("rotary_aqp_running_jobs"); v != 0 {
+		t.Errorf("running_jobs gauge = %v after drain", v)
 	}
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"rotary/internal/obs"
 	"rotary/internal/sim"
 )
 
@@ -84,31 +86,136 @@ type TraceEvent struct {
 	Detail  string
 }
 
-// Tracer records the arbitration timeline of an executor run. A nil
-// Tracer is a no-op, so executors emit unconditionally through Emit. The
-// zero value is ready to use. Tracer is not safe for concurrent use —
-// each executor run owns its tracer (executors are single-threaded over
-// the virtual clock).
-type Tracer struct {
-	events []TraceEvent
+// record converts the event to the sink-facing wire form.
+func (ev TraceEvent) record(seq uint64) obs.TraceRecord {
+	return obs.TraceRecord{
+		Seq:     seq,
+		At:      ev.At.Seconds(),
+		Kind:    ev.Kind.String(),
+		Job:     ev.Job,
+		Threads: ev.Threads,
+		Device:  ev.Device,
+		Detail:  ev.Detail,
+	}
 }
 
-// Emit appends an event; nil receivers drop it.
+// Tracer records the arbitration timeline of an executor run. A nil
+// Tracer is a no-op, so executors emit unconditionally through Emit.
+//
+// The zero value keeps the historical batch-run behaviour: an unbounded
+// in-memory timeline. NewTracer(capacity) instead bounds memory with a
+// ring that keeps the most recent capacity events and counts what it
+// overwrote in Dropped() — the required shape for long-lived daemons
+// (rotary-serve), where an unbounded slice is a slow leak. Every event,
+// kept or dropped, can additionally be streamed through SetSink.
+//
+// Tracer is safe for concurrent use; in the common single-executor run
+// the mutex is uncontended.
+type Tracer struct {
+	mu       sync.Mutex
+	events   []TraceEvent
+	capacity int    // 0 = unbounded
+	head     int    // ring write position once len(events) == capacity
+	dropped  uint64 // events overwritten by the ring
+	seq      uint64 // total events emitted, also the sink sequence number
+	sink     obs.TraceSink
+	sinkErr  error
+}
+
+// NewTracer returns a tracer bounded to the given capacity; capacity <= 0
+// means unbounded (the zero-value behaviour).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// SetSink tees every subsequent event into sink (nil detaches). The
+// first sink error is retained in SinkErr and stops further writes.
+func (t *Tracer) SetSink(sink obs.TraceSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = sink
+	t.sinkErr = nil
+	t.mu.Unlock()
+}
+
+// SinkErr reports the first error returned by the attached sink, if any.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Capacity reports the ring bound (0 = unbounded).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// Dropped reports how many events the bounded ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Emit appends an event; nil receivers drop it. With a bounded tracer the
+// oldest in-memory event is overwritten once the ring is full (the sink,
+// if any, still sees every event in order).
 func (t *Tracer) Emit(ev TraceEvent) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink != nil && t.sinkErr == nil {
+		if err := t.sink.WriteTrace(ev.record(t.seq)); err != nil {
+			t.sinkErr = err
+		}
+	}
+	t.seq++
+	if t.capacity <= 0 {
+		t.events = append(t.events, ev)
+		return
+	}
+	if len(t.events) < t.capacity {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % t.capacity
+	t.dropped++
 }
 
-// Events returns the recorded timeline in order.
+// snapshot reassembles the timeline in emission order.
+func (t *Tracer) snapshot() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
+
+// Events returns the recorded timeline in order (for a bounded tracer,
+// the most recent Capacity events).
 func (t *Tracer) Events() []TraceEvent {
 	if t == nil {
 		return nil
 	}
-	out := make([]TraceEvent, len(t.events))
-	copy(out, t.events)
-	return out
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshot()
 }
 
 // JobEvents returns the timeline of a single job.
@@ -117,7 +224,7 @@ func (t *Tracer) JobEvents(jobID string) []TraceEvent {
 		return nil
 	}
 	var out []TraceEvent
-	for _, ev := range t.events {
+	for _, ev := range t.Events() {
 		if ev.Job == jobID {
 			out = append(out, ev)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"rotary/internal/criteria"
 	"rotary/internal/dlt"
 	"rotary/internal/estimate"
+	"rotary/internal/obs"
+	"rotary/internal/sim"
 	"rotary/internal/tpch"
 )
 
@@ -117,5 +120,108 @@ func TestNilTracerIsNoOp(t *testing.T) {
 	tr.Emit(core.TraceEvent{Kind: core.TraceArrive, Job: "x"})
 	if tr.Events() != nil || tr.JobEvents("x") != nil {
 		t.Error("nil tracer retained events")
+	}
+}
+
+// captureSink records every TraceRecord it is handed.
+type captureSink struct {
+	recs []obs.TraceRecord
+}
+
+func (s *captureSink) WriteTrace(r obs.TraceRecord) error { s.recs = append(s.recs, r); return nil }
+func (s *captureSink) Flush() error                       { return nil }
+
+func TestTracerBoundedRing(t *testing.T) {
+	sink := &captureSink{}
+	tr := core.NewTracer(3)
+	tr.SetSink(sink)
+	for i := 0; i < 10; i++ {
+		tr.Emit(core.TraceEvent{At: sim.Time(i), Kind: core.TraceGrant, Job: "j", Threads: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring held %d events, want capacity 3", len(evs))
+	}
+	// The ring keeps the newest events in emit order.
+	for i, ev := range evs {
+		if want := 7 + i; ev.Threads != want {
+			t.Errorf("ring[%d].Threads = %d, want %d", i, ev.Threads, want)
+		}
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("Dropped() = %d, want 7", tr.Dropped())
+	}
+	// The sink saw everything, with monotone sequence numbers, before any
+	// overwrite happened.
+	if len(sink.recs) != 10 {
+		t.Fatalf("sink saw %d records, want all 10", len(sink.recs))
+	}
+	for i, r := range sink.recs {
+		if r.Seq != uint64(i) || r.Threads != i {
+			t.Errorf("sink[%d] = seq %d threads %d", i, r.Seq, r.Threads)
+		}
+	}
+	if tr.Capacity() != 3 {
+		t.Errorf("Capacity() = %d", tr.Capacity())
+	}
+	// Render of a wrapped ring stays well-formed (no blank rows).
+	if out := tr.Render(5); strings.Count(out, "\n") != 3 {
+		t.Errorf("render of 3-slot ring:\n%s", out)
+	}
+}
+
+func TestTracerZeroValueStaysUnbounded(t *testing.T) {
+	tr := &core.Tracer{}
+	for i := 0; i < 500; i++ {
+		tr.Emit(core.TraceEvent{At: sim.Time(i), Kind: core.TraceArrive})
+	}
+	if len(tr.Events()) != 500 || tr.Dropped() != 0 {
+		t.Fatalf("zero-value tracer dropped events: len=%d dropped=%d", len(tr.Events()), tr.Dropped())
+	}
+}
+
+// TestTraceTelemetryReplayStable runs the same seeded workload twice with
+// full telemetry on — private registries, bounded rings, JSONL sinks —
+// and demands bit-identical streams: observability must not perturb (or
+// be perturbed by) the virtual-time schedule.
+func TestTraceTelemetryReplayStable(t *testing.T) {
+	run := func() (sinkBytes string, render string, dropped uint64, metricsText string) {
+		reg := obs.NewRegistry()
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf, 8)
+		tr := core.NewTracer(16)
+		tr.SetSink(sink)
+		cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+		cfg := core.DefaultAQPExecConfig(1e6)
+		cfg.Threads = 2
+		cfg.Tracer = tr
+		cfg.Obs = reg
+		exec := core.NewAQPExecutor(cfg, fifoAQP{reserve: true}, nil)
+		exec.Submit(buildJob(t, cat, "a", "q6", 0.9, 1e6), 0)
+		exec.Submit(buildJob(t, cat, "b", "q12", 0.9, 1e6), 5)
+		if err := exec.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), tr.Render(10), tr.Dropped(), reg.RenderText(false)
+	}
+	s1, r1, d1, m1 := run()
+	s2, r2, d2, m2 := run()
+	if s1 != s2 {
+		t.Errorf("JSONL trace streams differ between identical seeded runs")
+	}
+	if s1 == "" || !strings.Contains(s1, `"kind":"arrive"`) {
+		t.Errorf("trace stream missing arrivals:\n%.300s", s1)
+	}
+	if r1 != r2 || d1 != d2 {
+		t.Errorf("ring state differs: dropped %d vs %d", d1, d2)
+	}
+	if m1 != m2 {
+		t.Errorf("deterministic metrics rendering differs:\n--- first ---\n%s\n--- second ---\n%s", m1, m2)
+	}
+	if !strings.Contains(m1, "rotary_aqp_arrivals_total 2") {
+		t.Errorf("metrics missing arrivals counter:\n%s", m1)
 	}
 }

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -163,14 +164,21 @@ func RenderAQPOverheads(reports []AQPReport) string {
 	return b.String()
 }
 
-// Bar renders a crude horizontal bar for terminal output.
+// Bar renders a crude horizontal bar for terminal output. Non-finite
+// inputs render empty: NaN slips past ordered comparisons and int(NaN)
+// is implementation-defined, so it must be refused before the division —
+// a NaN ratio would otherwise feed strings.Repeat a garbage count.
 func Bar(value, max float64, width int) string {
-	if max <= 0 || value < 0 {
+	if math.IsNaN(max) || math.IsInf(max, 0) || max <= 0 ||
+		math.IsNaN(value) || math.IsInf(value, 0) || value < 0 {
 		return ""
 	}
 	n := int(value / max * float64(width))
 	if n > width {
 		n = width
+	}
+	if n < 0 {
+		n = 0
 	}
 	return strings.Repeat("█", n)
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -149,6 +150,19 @@ func RenderDLTSnapshots(policy string, snaps []DLTSnapshot) string {
 func RenderGantt(jobs []*core.DLTJob, devices int, horizon sim.Time, slots int) string {
 	if slots <= 0 {
 		slots = 60
+	}
+	// A zero/negative/NaN horizon would make slotLen 0 and every slot
+	// index int(±Inf) — auto-fit to the latest placement instead, falling
+	// back to one second when no job ever ran.
+	if h := horizon.Seconds(); h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+		horizon = sim.Time(1)
+		for _, j := range jobs {
+			for _, p := range j.Placements() {
+				if p.End > horizon {
+					horizon = p.End
+				}
+			}
+		}
 	}
 	slotLen := horizon.Seconds() / float64(slots)
 	grid := make([][]string, devices)

@@ -1,14 +1,18 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"rotary/internal/admission"
+	"rotary/internal/baselines"
 	"rotary/internal/core"
+	"rotary/internal/estimate"
 	"rotary/internal/sim"
+	"rotary/internal/workload"
 )
 
 func TestSummarizeQuantiles(t *testing.T) {
@@ -172,6 +176,82 @@ func TestRenderRecovery(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarNonFiniteInputs(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	// NaN passes `value < 0` (every ordered comparison with NaN is false)
+	// and int(NaN) is implementation-defined — all non-finite inputs must
+	// render empty rather than panic strings.Repeat.
+	for _, tc := range [][2]float64{{nan, 10}, {1, nan}, {nan, nan}, {inf, 10}, {1, inf}, {-inf, 10}, {1, -inf}} {
+		if got := Bar(tc[0], tc[1], 10); got != "" {
+			t.Errorf("Bar(%v, %v, 10) = %q, want empty", tc[0], tc[1], got)
+		}
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Errorf("zero bar %q, want empty", got)
+	}
+}
+
+// TestRenderGanttDegenerateHorizon replays the divide-by-zero hazard: a
+// zero horizon made slotLen 0, so every placement's slot index became
+// int(±Inf). The chart must instead auto-fit to the latest placement and
+// still show every job's track.
+func TestRenderGanttDegenerateHorizon(t *testing.T) {
+	repo := estimate.NewRepository()
+	if err := workload.SeedDLTHistory(repo, 8, 10, 3); err != nil {
+		t.Fatalf("seed history: %v", err)
+	}
+	specs, err := workload.GenerateDLT(workload.DefaultDLTWorkload(2, 7))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	exec := core.NewDLTExecutor(core.DefaultDLTExecConfig(), baselines.SRF{}, repo)
+	for _, spec := range specs {
+		j, err := workload.BuildDLTJob(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.ID, err)
+		}
+		exec.Submit(j, 0)
+	}
+	if err := exec.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	placed := 0
+	for _, j := range exec.Jobs() {
+		placed += len(j.Placements())
+	}
+	if placed == 0 {
+		t.Fatalf("fixture produced no placements; the regression needs at least one")
+	}
+	for _, horizon := range []sim.Time{0, -5, sim.Time(math.NaN()), sim.Time(math.Inf(1))} {
+		g := RenderGantt(exec.Jobs(), 4, horizon, 20)
+		if !strings.Contains(g, "gpu0") || !strings.Contains(g, " 0") {
+			t.Fatalf("horizon %v: malformed gantt:\n%s", horizon, g)
+		}
+		if !strings.Contains(g, " 1") {
+			t.Errorf("horizon %v: auto-fit chart lost job tracks:\n%s", horizon, g)
+		}
+	}
+	// A sane horizon still renders as before.
+	if g := RenderGantt(exec.Jobs(), 4, exec.Engine().Now(), 20); !strings.Contains(g, "gpu0") {
+		t.Fatalf("normal horizon broken:\n%s", g)
+	}
+}
+
+// TestRenderLineChartSinglePoint guards the companion degenerate-range
+// case: one point collapses both axis ranges, which the renderer must
+// widen rather than divide by zero.
+func TestRenderLineChartSinglePoint(t *testing.T) {
+	out := RenderLineChart("single", []Series{{Name: "s", Points: []XY{{X: 3, Y: 0.7}}}}, 30, 8)
+	if !strings.Contains(out, "single") || !strings.Contains(out, "*") {
+		t.Fatalf("single-point chart missing plot:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+			t.Fatalf("non-finite label leaked: %q", line)
 		}
 	}
 }

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("test_total", "a counter"); same != c {
+		t.Fatal("re-registering a counter must return the shared handle")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	if v, ok := r.Value("test_total"); !ok || v != 5 {
+		t.Fatalf("Value(test_total) = %g,%v", v, ok)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_secs", "", []float64{1})
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must be inert")
+	}
+	if reg.RenderText(true) != "" {
+		t.Fatal("nil registry must render empty")
+	}
+	var sink *JSONLSink
+	if err := sink.WriteTrace(TraceRecord{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_secs", "latency", []float64{1, 2, 5})
+	// le semantics: a value exactly on a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4.9, 5, 100, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	text := r.RenderText(false)
+	for _, line := range []string{
+		`lat_secs_bucket{le="1"} 2`,
+		`lat_secs_bucket{le="2"} 4`,
+		`lat_secs_bucket{le="5"} 6`,
+		`lat_secs_bucket{le="+Inf"} 8`,
+		`lat_secs_count 8`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Fatalf("render missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			h := r.Histogram("conc_secs", "", []float64{0.1, 1, 10})
+			g := r.Gauge(fmt.Sprintf(`conc_gauge{worker="%d"}`, i), "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 100)
+				g.Set(float64(j))
+				if j%100 == 0 {
+					_ = r.RenderText(true)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, _ := r.Value("conc_total"); got != 8000 {
+		t.Fatalf("conc_total = %g, want 8000", got)
+	}
+	h := r.Histogram("conc_secs", "", []float64{0.1, 1, 10})
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// expositionLine matches one valid Prometheus text-format line.
+var expositionLine = regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|[+-]Inf|NaN))$`)
+
+func TestRenderTextWellFormedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Counter("a_total", "first").Inc()
+	r.Counter(`a_labeled_total{op="x"}`, "labeled").Inc()
+	r.Gauge("c_gauge", "gauge").Set(0.125)
+	r.WallGauge("wall_gauge", "wall").Set(42)
+	r.Histogram("d_secs", "hist", []float64{1, 10}).Observe(3)
+
+	det := r.RenderText(false)
+	if strings.Contains(det, "wall_gauge") {
+		t.Fatal("deterministic render must exclude wall metrics")
+	}
+	all := r.RenderText(true)
+	if !strings.Contains(all, "wall_gauge 42") {
+		t.Fatalf("full render missing wall gauge:\n%s", all)
+	}
+	for _, line := range strings.Split(strings.TrimRight(all, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	if det != r.RenderText(false) {
+		t.Fatal("render must be stable across calls")
+	}
+	// Sorted: a_labeled_total before a_total? Names sort lexically; what
+	// matters is stability and that each family's header precedes samples.
+	if !strings.Contains(all, "# TYPE a_total counter\na_total 1") {
+		t.Fatalf("family header must immediately precede its sample:\n%s", all)
+	}
+}
+
+func TestJSONLSinkFlushOnDrain(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, 1000) // flushEvery larger than writes: only Flush drains
+	for i := 0; i < 5; i++ {
+		if err := s.WriteTrace(TraceRecord{Seq: uint64(i), Kind: "grant", Job: "j1", At: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("sink flushed early: %d bytes before Flush", buf.Len())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	var rec TraceRecord
+	if err := json.Unmarshal([]byte(lines[3]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 3 || rec.Kind != "grant" || rec.Job != "j1" || rec.At != 3 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+	if s.Written() != 5 {
+		t.Fatalf("Written = %d, want 5", s.Written())
+	}
+}
+
+func TestJSONLSinkPeriodicFlush(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, 2)
+	s.WriteTrace(TraceRecord{Seq: 0})
+	if buf.Len() != 0 {
+		t.Fatal("flushed before reaching flushEvery")
+	}
+	s.WriteTrace(TraceRecord{Seq: 1})
+	if buf.Len() == 0 {
+		t.Fatal("no flush at flushEvery boundary")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONLSink(&failWriter{n: 10}, 1)
+	var firstErr error
+	for i := 0; i < 10 && firstErr == nil; i++ {
+		firstErr = s.WriteTrace(TraceRecord{Detail: strings.Repeat("x", 64)})
+	}
+	if firstErr == nil {
+		t.Fatal("expected a write error")
+	}
+	if err := s.WriteTrace(TraceRecord{}); err != firstErr {
+		t.Fatalf("error not sticky: %v vs %v", err, firstErr)
+	}
+}
+
+func TestDebugServerMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dbg_total", "debug counter").Add(7)
+	d, err := StartDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		if !expositionLine.MatchString(sc.Text()) {
+			t.Fatalf("malformed line %q", sc.Text())
+		}
+		if sc.Text() == "dbg_total 7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dbg_total 7 not served")
+	}
+	hz, err := http.Get("http://" + d.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+}

@@ -4,7 +4,11 @@
 // over a Unix socket carrying one JSON object per line; the server admits
 // or refuses them through the admission controller, arbitrates them on
 // the shared virtual clock, and reports status and overload counters on
-// demand.
+// demand. Beyond submit/status/stats/advance/drain, the protocol exposes
+// live observability ops: "metrics" returns the Prometheus text rendering
+// of the obs registry, "trace-tail" returns the last N events of the
+// executor's bounded trace ring (with the overwrite count), and "health"
+// is a cheap liveness probe reporting job counts and the virtual clock.
 //
 // The engine stays single-threaded: one driver goroutine owns the engine
 // and executor exclusively. Connection handlers never touch either — they
@@ -29,6 +33,7 @@ import (
 	"rotary/internal/core"
 	"rotary/internal/criteria"
 	"rotary/internal/metrics"
+	"rotary/internal/obs"
 	"rotary/internal/sim"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
@@ -48,12 +53,17 @@ type Config struct {
 	// BatchRows is the default per-step batch size for submissions that
 	// do not specify one.
 	BatchRows int
+	// Obs selects the metrics registry served by the "metrics" op (and
+	// holding the server's own request counters). Nil uses the
+	// process-wide obs.Default(), which the executor's and admission
+	// controller's counters also land on by default.
+	Obs *obs.Registry
 }
 
 // Message is one client request line.
 type Message struct {
 	// Op selects the operation: "submit", "status", "stats", "advance",
-	// or "drain".
+	// "metrics", "trace-tail", "health", or "drain".
 	Op string `json:"op"`
 	// ID names the job for submit (optional; generated when empty) and
 	// status.
@@ -65,6 +75,13 @@ type Message struct {
 	BatchRows int `json:"batch_rows,omitempty"`
 	// Seconds is the advance payload: virtual seconds to fast-forward.
 	Seconds float64 `json:"seconds,omitempty"`
+	// Wall selects whether the "metrics" op includes wall-clock-derived
+	// metrics. The default false keeps the response deterministic for a
+	// seeded run (golden comparisons rely on this).
+	Wall bool `json:"wall,omitempty"`
+	// N bounds the "trace-tail" op: how many trailing trace events to
+	// render (default 32).
+	N int `json:"n,omitempty"`
 }
 
 // Response is one server reply line.
@@ -80,6 +97,9 @@ type Response struct {
 	Jobs       int     `json:"jobs,omitempty"`
 	Terminal   int     `json:"terminal,omitempty"`
 	Report     string  `json:"report,omitempty"`
+	// Dropped reports the tracer ring's overwritten-event count
+	// (trace-tail and health ops).
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 type request struct {
@@ -92,6 +112,8 @@ type Server struct {
 	cfg  Config
 	exec *core.AQPExecutor
 	cat  *tpch.Catalog
+	reg  *obs.Registry
+	met  *serveMetrics
 
 	reqCh   chan request
 	drainCh chan chan Response
@@ -122,15 +144,58 @@ func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error)
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	return &Server{
 		cfg:     cfg,
 		exec:    exec,
 		cat:     cat,
+		reg:     reg,
+		met:     newServeMetrics(reg),
 		reqCh:   make(chan request),
 		drainCh: make(chan chan Response),
 		doneCh:  make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// serveMetrics holds the server's own obs handles: per-op request
+// counters, the virtual-clock position, and the pacing-drift gauge.
+type serveMetrics struct {
+	requests map[string]*obs.Counter
+	other    *obs.Counter
+	// paceDrift is wall-class: how many wall-clock seconds the virtual
+	// clock lagged the ideal pace line at the last tick, measured before
+	// the tick's catch-up. Healthy scheduling keeps it near the tick
+	// interval; growth means the driver cannot keep pace.
+	paceDrift  *obs.Gauge
+	virtualNow *obs.Gauge
+}
+
+// serveOps are the protocol operations with pre-registered counters;
+// anything else lands on op="other".
+var serveOps = []string{"submit", "status", "stats", "advance", "metrics", "trace-tail", "health", "drain"}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{requests: make(map[string]*obs.Counter, len(serveOps))}
+	for _, op := range serveOps {
+		m.requests[op] = reg.Counter(fmt.Sprintf("rotary_serve_requests_total{op=%q}", op), "client requests by operation")
+	}
+	m.other = reg.Counter(`rotary_serve_requests_total{op="other"}`, "client requests by operation")
+	m.paceDrift = reg.WallGauge("rotary_serve_pace_drift_secs",
+		"wall seconds the virtual clock lagged the pace line at the last tick (pre catch-up)")
+	m.virtualNow = reg.Gauge("rotary_serve_virtual_now_secs", "virtual clock position")
+	return m
+}
+
+func (m *serveMetrics) count(op string) {
+	if c, ok := m.requests[op]; ok {
+		c.Inc()
+		return
+	}
+	m.other.Inc()
 }
 
 // Serve listens on the configured socket and blocks until a drain
@@ -193,6 +258,15 @@ func (s *Server) Final() Response {
 }
 
 // drive is the single goroutine that owns the engine and executor.
+//
+// Pacing uses a fixed start anchor: every tick advances the clock to
+// base + Pace × (wall elapsed since anchor). The previous per-tick
+// time.Now() deltas let each tick's scheduler lateness compound into
+// permanent drift; against a fixed anchor a late tick is self-correcting
+// — the next target already includes the time the tick missed. External
+// clock jumps (the advance op, a submit's same-instant arbitration past
+// the pace line) re-anchor so pacing resumes from the new position
+// instead of freezing until wall time catches up.
 func (s *Server) drive() {
 	defer close(s.doneCh)
 	var tickC <-chan time.Time
@@ -201,24 +275,35 @@ func (s *Server) drive() {
 		defer ticker.Stop()
 		tickC = ticker.C
 	}
-	last := time.Now()
 	eng := s.exec.Engine()
+	anchor := time.Now()
+	base := eng.Now()
+	target := func() sim.Time {
+		return base + sim.Time(time.Since(anchor).Seconds()*s.cfg.Pace)
+	}
 	for {
 		select {
 		case r := <-s.reqCh:
 			if r.msg.Op == "drain" {
+				s.met.count("drain")
 				r.reply <- s.drainNow()
 				return
 			}
 			r.reply <- s.handle(r.msg)
+			if eng.Now() > target() {
+				anchor = time.Now()
+				base = eng.Now()
+			}
 		case rc := <-s.drainCh:
 			rc <- s.drainNow()
 			return
 		case <-tickC:
-			now := time.Now()
-			dt := now.Sub(last).Seconds() * s.cfg.Pace
-			last = now
-			eng.RunUntil(eng.Now() + sim.Time(dt))
+			t := target()
+			if lag := (t - eng.Now()).Seconds(); lag > 0 {
+				s.met.paceDrift.Set(lag / s.cfg.Pace)
+				eng.RunUntil(t)
+			}
+			s.met.virtualNow.Set(eng.Now().Seconds())
 		}
 	}
 }
@@ -261,6 +346,8 @@ func (s *Server) terminalCount() int {
 // handle executes one request against the executor (driver goroutine
 // only).
 func (s *Server) handle(m Message) Response {
+	s.met.count(m.Op)
+	defer s.met.virtualNow.Set(s.exec.Engine().Now().Seconds())
 	switch m.Op {
 	case "submit":
 		return s.submit(m)
@@ -275,6 +362,41 @@ func (s *Server) handle(m Message) Response {
 		eng := s.exec.Engine()
 		eng.RunUntil(eng.Now() + sim.Time(m.Seconds))
 		return Response{OK: true, VirtualNow: eng.Now().Seconds()}
+	case "metrics":
+		// Wall metrics are excluded by default so a seeded run's response
+		// is replay-stable; {"op":"metrics","wall":true} includes them.
+		return Response{
+			OK:         true,
+			VirtualNow: s.exec.Engine().Now().Seconds(),
+			Report:     s.reg.RenderText(m.Wall),
+		}
+	case "trace-tail":
+		tr := s.exec.Tracer()
+		if tr == nil {
+			return Response{Error: "serve: tracing disabled (executor has no Tracer configured)"}
+		}
+		n := m.N
+		if n <= 0 {
+			n = 32
+		}
+		return Response{
+			OK:         true,
+			VirtualNow: s.exec.Engine().Now().Seconds(),
+			Report:     tr.Render(n),
+			Dropped:    tr.Dropped(),
+		}
+	case "health":
+		resp := Response{
+			OK:         true,
+			Status:     "healthy",
+			Jobs:       len(s.exec.Jobs()),
+			Terminal:   s.terminalCount(),
+			VirtualNow: s.exec.Engine().Now().Seconds(),
+		}
+		if tr := s.exec.Tracer(); tr != nil {
+			resp.Dropped = tr.Dropped()
+		}
+		return resp
 	default:
 		return Response{Error: fmt.Sprintf("serve: unknown op %q", m.Op)}
 	}

@@ -8,10 +8,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rotary/internal/admission"
 	"rotary/internal/baselines"
 	"rotary/internal/core"
+	"rotary/internal/obs"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
 )
@@ -219,5 +221,185 @@ func TestDrainBySignalPath(t *testing.T) {
 		if jerr := json.Unmarshal(c.sc.Bytes(), &resp); jerr == nil && resp.OK {
 			t.Fatalf("post-drain request served: %+v", resp)
 		}
+	}
+}
+
+// newObsTestServer builds a pace-0 server whose executor, admission
+// controller, and request counters all land on a private registry, with a
+// bounded trace ring — the full observability surface, isolated from
+// other tests sharing obs.Default().
+func newObsTestServer(t *testing.T, ringCap int) (*Server, string, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ds := tpch.Generate(0.005, 1)
+	cat := tpch.NewCatalog(ds, 1)
+	cfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	cfg.Obs = reg
+	cfg.Tracer = core.NewTracer(ringCap)
+	cfg.Admission = admission.NewController(admission.Config{Obs: reg})
+	exec := core.NewAQPExecutor(cfg, baselines.RoundRobinAQP{}, nil)
+	socket := filepath.Join(t.TempDir(), "rotary.sock")
+	srv, err := New(Config{Socket: socket, Pace: 0, Obs: reg}, exec, cat)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv, socket, reg
+}
+
+// runSeededSession drives one fixed request sequence and returns the
+// metrics op's Report.
+func runSeededSession(t *testing.T, ringCap int) string {
+	t.Helper()
+	srv, socket, _ := newObsTestServer(t, ringCap)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+	if r := c.call(t, Message{Op: "submit", ID: "g1", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); !r.OK {
+		t.Fatalf("submit: %+v", r)
+	}
+	if r := c.call(t, Message{Op: "advance", Seconds: 2000}); !r.OK {
+		t.Fatalf("advance: %+v", r)
+	}
+	m := c.call(t, Message{Op: "metrics"})
+	if !m.OK {
+		t.Fatalf("metrics: %+v", m)
+	}
+	return m.Report
+}
+
+// TestMetricsOpGoldenAndDeterministic replays the same seeded pace-0
+// session twice against private registries: the metrics responses must be
+// byte-identical (wall-clock metrics are excluded by default), and the
+// exposition must carry the counters the session provably produced.
+func TestMetricsOpGoldenAndDeterministic(t *testing.T) {
+	a := runSeededSession(t, 64)
+	b := runSeededSession(t, 64)
+	if a != b {
+		t.Fatalf("metrics op not replay-stable:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	for _, want := range []string{
+		`rotary_serve_requests_total{op="submit"} 1`,
+		`rotary_serve_requests_total{op="advance"} 1`,
+		`rotary_serve_requests_total{op="metrics"} 1`,
+		"rotary_admission_submitted_total 1",
+		"rotary_admission_admitted_total 1",
+		"rotary_aqp_arrivals_total 1",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("metrics report missing %q", want)
+		}
+	}
+	if strings.Contains(a, "rotary_serve_pace_drift_secs") {
+		t.Errorf("wall-class gauge leaked into the default (deterministic) metrics view")
+	}
+	wall := runSeededSessionWall(t)
+	if !strings.Contains(wall, "rotary_serve_pace_drift_secs") {
+		t.Errorf("wall=true metrics view missing the wall-class drift gauge:\n%s", wall)
+	}
+}
+
+func runSeededSessionWall(t *testing.T) string {
+	t.Helper()
+	srv, socket, _ := newObsTestServer(t, 64)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+	m := c.call(t, Message{Op: "metrics", Wall: true})
+	if !m.OK {
+		t.Fatalf("metrics wall: %+v", m)
+	}
+	return m.Report
+}
+
+// TestTraceTailAndHealthOps exercises the live-introspection ops: the
+// trace tail must serve the bounded ring's recent events plus the
+// overwrite count, and health must report job totals and the clock.
+func TestTraceTailAndHealthOps(t *testing.T) {
+	srv, socket, reg := newObsTestServer(t, 4)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+
+	if r := c.call(t, Message{Op: "submit", ID: "t1", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); !r.OK {
+		t.Fatalf("submit: %+v", r)
+	}
+	if r := c.call(t, Message{Op: "advance", Seconds: 2000}); !r.OK {
+		t.Fatalf("advance: %+v", r)
+	}
+
+	tail := c.call(t, Message{Op: "trace-tail", N: 2})
+	if !tail.OK || tail.Report == "" {
+		t.Fatalf("trace-tail: %+v", tail)
+	}
+	if tail.Dropped == 0 {
+		t.Fatalf("a full session through a 4-slot ring reported zero overwrites")
+	}
+	if lines := strings.Count(strings.TrimRight(tail.Report, "\n"), "\n") + 1; lines > 2 {
+		t.Fatalf("trace-tail n=2 returned %d lines:\n%s", lines, tail.Report)
+	}
+
+	h := c.call(t, Message{Op: "health"})
+	if !h.OK || h.Status != "healthy" || h.Jobs != 1 || h.VirtualNow < 2000 {
+		t.Fatalf("health: %+v", h)
+	}
+	if h.Dropped != tail.Dropped {
+		t.Fatalf("health dropped %d != trace-tail dropped %d", h.Dropped, tail.Dropped)
+	}
+	if v, ok := reg.Value(`rotary_serve_requests_total{op="health"}`); !ok || v != 1 {
+		t.Fatalf("health request counter = %v, %v", v, ok)
+	}
+}
+
+// TestTraceTailWithoutTracer keeps the op a clean refusal, not a panic,
+// when the executor was built without tracing.
+func TestTraceTailWithoutTracer(t *testing.T) {
+	srv, socket := newTestServer(t, nil)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+	r := c.call(t, Message{Op: "trace-tail"})
+	if r.OK || !strings.Contains(r.Error, "tracing disabled") {
+		t.Fatalf("trace-tail without tracer: %+v", r)
+	}
+}
+
+// TestPacedDriveAnchoredClock runs a briefly paced server and checks the
+// fixed-anchor invariant: the virtual clock never outruns
+// Pace × wall-elapsed, yet makes real progress (the old per-tick-delta
+// scheme could drift on both sides under scheduler jitter). Bounds are
+// deliberately loose — this guards the anchoring logic, not timer
+// precision.
+func TestPacedDriveAnchoredClock(t *testing.T) {
+	reg := obs.NewRegistry()
+	ds := tpch.Generate(0.005, 1)
+	cat := tpch.NewCatalog(ds, 1)
+	cfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	cfg.Obs = reg
+	exec := core.NewAQPExecutor(cfg, baselines.RoundRobinAQP{}, nil)
+	socket := filepath.Join(t.TempDir(), "rotary.sock")
+	const pace = 100.0
+	srv, err := New(Config{Socket: socket, Pace: pace, Tick: 5 * time.Millisecond, Obs: reg}, exec, cat)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	start := time.Now()
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+	c := dial(t, socket)
+
+	time.Sleep(150 * time.Millisecond)
+	h := c.call(t, Message{Op: "health"})
+	elapsed := time.Since(start).Seconds()
+	if !h.OK {
+		t.Fatalf("health: %+v", h)
+	}
+	if h.VirtualNow > pace*elapsed+1e-6 {
+		t.Fatalf("virtual clock %.3fs outran the pace line %.3fs", h.VirtualNow, pace*elapsed)
+	}
+	if h.VirtualNow < pace*0.150*0.1 {
+		t.Fatalf("virtual clock %.3fs made almost no progress over %.0fms wall", h.VirtualNow, elapsed*1000)
+	}
+	if _, ok := reg.Value("rotary_serve_pace_drift_secs"); !ok {
+		t.Fatalf("paced run never set the drift gauge")
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"rotary/internal/faults"
 	"rotary/internal/hpo"
 	"rotary/internal/metrics"
+	"rotary/internal/obs"
 	"rotary/internal/serve"
 	"rotary/internal/sim"
 	"rotary/internal/tpch"
@@ -503,3 +504,40 @@ type (
 // NewServer validates the executor configuration and builds a serving-
 // mode daemon; Serve listens until a drain request or signal.
 var NewServer = serve.New
+
+// Observability: the always-on metrics registry and streaming trace
+// sinks behind every executor, plus the debug HTTP listener.
+type (
+	// MetricsRegistry holds a process's (or one run's) counters, gauges,
+	// and histograms; render with its RenderText method.
+	MetricsRegistry = obs.Registry
+	// TraceSink receives every trace event as it is emitted.
+	TraceSink = obs.TraceSink
+	// TraceRecord is the sink-side form of one trace event.
+	TraceRecord = obs.TraceRecord
+	// JSONLSink streams trace records as JSON lines with buffered flush.
+	JSONLSink = obs.JSONLSink
+	// DebugServer is the background HTTP listener serving /metrics and
+	// net/http/pprof.
+	DebugServer = obs.DebugServer
+)
+
+var (
+	// NewMetricsRegistry creates a private registry, isolating one run's
+	// telemetry from the process-wide default.
+	NewMetricsRegistry = obs.NewRegistry
+	// DefaultMetrics is the process-wide registry executors fall back to.
+	DefaultMetrics = obs.Default
+	// NewTracer builds a bounded trace ring holding the newest capacity
+	// events (0 = unbounded).
+	NewTracer = core.NewTracer
+	// SetDefaultTracer installs the tracer executors adopt when their
+	// config carries none; call before building executors.
+	SetDefaultTracer = core.SetDefaultTracer
+	// NewJSONLSink wraps a writer; OpenJSONLSink creates the file.
+	NewJSONLSink  = obs.NewJSONLSink
+	OpenJSONLSink = obs.OpenJSONLSink
+	// StartMetricsDebug serves /metrics and pprof on addr until Close
+	// (nil registry means the process-wide default).
+	StartMetricsDebug = obs.StartDebug
+)
