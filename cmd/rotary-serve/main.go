@@ -8,16 +8,26 @@
 // Usage:
 //
 //	rotary-serve -socket /tmp/rotary.sock [-pace 60] [-queue-bound 8] [-admission reject|shed|degrade]
+//	rotary-serve -socket /tmp/rotary.sock -journal /var/lib/rotary     # durable: survives kill -9
+//	rotary-serve -connect /tmp/rotary.sock                             # resilient client REPL
 //
 // Protocol: one JSON object per line, e.g.
 //
-//	{"op":"submit","id":"j1","statement":"q5 ACC MIN 80% WITHIN 900 SECONDS"}
+//	{"op":"submit","id":"j1","req_id":"r1","statement":"q5 ACC MIN 80% WITHIN 900 SECONDS"}
 //	{"op":"status","id":"j1"}
 //	{"op":"stats"}
 //	{"op":"metrics"}            — Prometheus text exposition of the obs registry
 //	{"op":"trace-tail","n":20}  — last n trace-ring events plus the overwrite count
-//	{"op":"health"}             — liveness probe: job totals and the virtual clock
+//	{"op":"health"}             — liveness probe: job totals, virtual clock, server epoch
+//	{"op":"resume"}             — restart-detection handshake (server epoch + recovered count)
 //	{"op":"drain"}
+//
+// Durability: -journal makes the arbiter crash-recoverable — every state
+// transition is fsynced to a write-ahead journal before the client sees
+// the reply, checkpoints persist under <dir>/ckpt, and a restart with the
+// same -journal replays the journal, re-registers every non-terminal job,
+// and resumes the virtual clock. Client mode (-connect) reads one JSON
+// request per stdin line and reconnects with backoff across restarts.
 //
 // Observability: -http starts a debug listener serving /metrics
 // (Prometheus text) and net/http/pprof; -trace-out streams every trace
@@ -25,11 +35,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +61,8 @@ func main() {
 	log.SetPrefix("rotary-serve: ")
 	var (
 		socket     = flag.String("socket", "/tmp/rotary.sock", "Unix socket path to listen on")
+		journalDir = flag.String("journal", "", "durability directory: write-ahead journal + persistent checkpoints; restart with the same directory to recover (empty = process-scoped)")
+		connect    = flag.String("connect", "", "client mode: connect to this socket and relay JSON requests from stdin (reconnects with backoff)")
 		sf         = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		policy     = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
@@ -62,6 +77,12 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "stream every trace event as JSON lines to this file")
 	)
 	flag.Parse()
+	if *connect != "" {
+		if err := runClient(*connect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := cliutil.ValidateAll(
 		cliutil.Positive("-sf", *sf),
 		cliutil.NonNegative("-pace", *pace),
@@ -125,7 +146,27 @@ func main() {
 		Policy:        admitPolicy,
 	})
 	execCfg.AgingRounds = *aging
-	if *wdSlack > 0 {
+	var jl *serve.Journal
+	if *journalDir != "" {
+		// Durable mode: journal plus a persistent checkpoint store whose
+		// sweep retains journal-referenced checkpoints, so recovered jobs
+		// reattach across restarts instead of restarting from scratch.
+		j, store, err := serve.OpenDurable(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer j.Close()
+		jl = j
+		execCfg.Store = store
+		if *wdSlack > 0 {
+			execCfg.WatchdogSlack = *wdSlack
+		}
+		rec := j.Recovered()
+		if n := len(rec.NonTerminal()); n > 0 || rec.DroppedBytes > 0 {
+			fmt.Printf("journal: server epoch %d, recovering %d live jobs at virtual %.0fs (%d corrupt tail bytes dropped)\n",
+				rec.ServerEpoch, n, rec.VirtualNow, rec.DroppedBytes)
+		}
+	} else if *wdSlack > 0 {
 		dir, err := os.MkdirTemp("", "rotary-serve-ckpt-*")
 		if err != nil {
 			log.Fatal(err)
@@ -140,7 +181,7 @@ func main() {
 	}
 	exec := core.NewAQPExecutor(execCfg, sched, repo)
 
-	srv, err := serve.New(serve.Config{Socket: *socket, Pace: *pace}, exec, cat)
+	srv, err := serve.New(serve.Config{Socket: *socket, Pace: *pace, Journal: jl}, exec, cat)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,4 +213,45 @@ func main() {
 	if !r.OK {
 		log.Fatal(r.Error)
 	}
+}
+
+// runClient is the resilient client REPL: one JSON request per stdin
+// line, relayed through the reconnecting client, one JSON reply per
+// stdout line. Restart detections are reported on stderr so piped output
+// stays clean. Submits should carry a req_id — the journal-backed dedupe
+// is what makes a retried submit idempotent when the daemon was killed
+// between applying it and replying.
+func runClient(socket string) error {
+	cl, err := serve.NewClient(serve.ClientConfig{Socket: socket})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	out := json.NewEncoder(os.Stdout)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	restarts := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m serve.Message
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			log.Printf("bad request: %v", err)
+			continue
+		}
+		resp, err := cl.Do(m)
+		if err != nil {
+			return err
+		}
+		if r := cl.Restarts(); r > restarts {
+			restarts = r
+			log.Printf("server restarted (epoch %d): journaled jobs recovered; retry lost submits with their req_id", cl.ServerEpoch())
+		}
+		if err := out.Encode(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }

@@ -87,6 +87,43 @@ func decodeCheckpointFrame(frame []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// AtomicWriteFile publishes data at path crash-safely: the bytes are
+// written to a same-directory temp file, fsynced, renamed over the final
+// path, and the directory is synced best-effort so the rename itself is
+// durable. A crash at any point leaves either the old file or the new one
+// — never a torn mix. The checkpoint store and the serve journal's
+// compaction both publish through it.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
 // StoreHealth counts the failure-path activity of a CheckpointStore: the
 // chaos suite and the recovery report read it.
 type StoreHealth struct {
@@ -125,6 +162,12 @@ type CheckpointStore struct {
 	mu  sync.Mutex
 	dir string
 
+	// retain, when set, exempts checkpoint ids from the startup sweep (and
+	// from Close's cleanup): a durable arbiter's journal references
+	// checkpoints across process restarts, and sweeping those would turn
+	// every daemon restart into a from-scratch replay.
+	retain func(id string) bool
+
 	memorySlots int
 	memory      map[string][]byte
 	lru         *list.List               // front = most recent
@@ -151,6 +194,17 @@ type CheckpointStore struct {
 // and stale checkpoint files left behind by a previous (possibly crashed)
 // run are swept away so completed workloads never leak disk across runs.
 func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
+	return NewCheckpointStoreRetaining(dir, memorySlots, nil)
+}
+
+// NewCheckpointStoreRetaining creates a store whose startup sweep (and
+// Close-time cleanup) spares checkpoints the retain predicate claims: the
+// durable serving mode passes the set of checkpoint ids its journal still
+// references for non-terminal jobs, so a daemon restart can reattach each
+// recovered job to its latest persisted state instead of replaying from
+// scratch. A nil predicate retains nothing (the one-run scratch semantics
+// of NewCheckpointStore).
+func NewCheckpointStoreRetaining(dir string, memorySlots int, retain func(id string) bool) (*CheckpointStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
 	}
@@ -159,6 +213,7 @@ func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
 	}
 	s := &CheckpointStore{
 		dir:              dir,
+		retain:           retain,
 		memorySlots:      memorySlots,
 		memory:           make(map[string][]byte),
 		lru:              list.New(),
@@ -185,7 +240,11 @@ func (s *CheckpointStore) SetObs(reg *obs.Registry) {
 
 // sweep removes leftover *.ckpt and *.ckpt.tmp files and reports how many
 // it deleted. Checkpoints are scratch state scoped to one run; anything
-// present at store creation is an orphan.
+// present at store creation is an orphan — except checkpoints the retain
+// predicate claims, which a durable journal still references for jobs a
+// restarted daemon will reattach. Torn temp files are always swept: the
+// atomic-write protocol means a .ckpt.tmp never holds the only copy of a
+// valid checkpoint.
 func (s *CheckpointStore) sweep() int {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -194,7 +253,12 @@ func (s *CheckpointStore) sweep() int {
 	n := 0
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || (!strings.HasSuffix(name, ".ckpt") && !strings.HasSuffix(name, ".ckpt.tmp")) {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := strings.CutSuffix(name, ".ckpt"); ok && s.retain != nil && s.retain(id) {
+			continue
+		} else if !ok && !strings.HasSuffix(name, ".ckpt.tmp") {
 			continue
 		}
 		if os.Remove(filepath.Join(s.dir, name)) == nil {
@@ -295,35 +359,9 @@ func (s *CheckpointStore) writeFile(id string, data []byte) error {
 		break
 	}
 
-	final := s.path(id)
-	tmp := final + ".tmp"
 	ioStart := time.Now()
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := AtomicWriteFile(s.path(id), frame); err != nil {
 		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
-	}
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: sync checkpoint %s: %w", id, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: close checkpoint %s: %w", id, err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: publish checkpoint %s: %w", id, err)
-	}
-	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
 	}
 	s.diskBytes += int64(len(frame))
 	s.met.frameBytes.Observe(float64(len(frame)))
@@ -426,8 +464,12 @@ func (s *CheckpointStore) Remove(id string) {
 // Close releases the store: the memory tier is dropped and every
 // remaining on-disk checkpoint is deleted (checkpoints are scratch state
 // scoped to one run — terminal jobs already removed theirs; whatever is
-// left belongs to jobs that will never resume). Operations after Close
-// fail. Close is idempotent.
+// left belongs to jobs that will never resume). Checkpoints claimed by the
+// retain predicate survive: a journal-referenced job may still reattach to
+// them after a restart. Note the memory tier is NOT flushed to disk first;
+// a durable configuration should use MemorySlots = 0 so every checkpoint
+// reaches disk at save time. Operations after Close fail. Close is
+// idempotent.
 func (s *CheckpointStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -447,7 +489,12 @@ func (s *CheckpointStore) Close() error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || (!strings.HasSuffix(name, ".ckpt") && !strings.HasSuffix(name, ".ckpt.tmp")) {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := strings.CutSuffix(name, ".ckpt"); ok && s.retain != nil && s.retain(id) {
+			continue
+		} else if !ok && !strings.HasSuffix(name, ".ckpt.tmp") {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && firstErr == nil {

@@ -203,6 +203,23 @@ func (e *AQPExecutor) Admission() *admission.Controller { return e.cfg.Admission
 
 // Submit schedules a job's arrival at the given virtual time.
 func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
+	e.register(j, at, false)
+}
+
+// Recover re-registers a journal-recovered job at the given virtual time:
+// the job passed admission in a previous daemon incarnation, so it
+// bypasses the gate and rejoins the wait queue directly. Its first grant
+// replays the latest durable checkpoint; if none survived the restart it
+// falls back to the pristine scratch restart with the usual RecoveryStats
+// accounting. bestEffort restores a Degrade admission verdict journaled
+// before the crash.
+func (e *AQPExecutor) Recover(j *AQPJob, at sim.Time, bestEffort bool) {
+	j.bestEffort = bestEffort
+	e.register(j, at, true)
+}
+
+// register is the shared arrival path behind Submit and Recover.
+func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 	if e.cfg.DataParallelism > 0 {
 		if q, ok := j.query.(interface{ SetMaxDataWidth(int) }); ok {
 			q.SetMaxDataWidth(e.cfg.DataParallelism)
@@ -223,11 +240,24 @@ func (e *AQPExecutor) Submit(j *AQPJob, at sim.Time) {
 		j.arrived = true
 		j.status = StatusPending
 		e.met.arrivals.Inc()
-		if e.cfg.Admission != nil && !e.admit(j) {
+		if recovered {
+			// Reattach to the persisted checkpoint at the first grant. With
+			// no store the fresh in-memory state is all there is, and the
+			// job simply replays from the beginning.
+			if e.cfg.Store != nil {
+				j.needsRestore = true
+			}
+			e.rec.Reattached++
+			e.met.reattached.Inc()
+		} else if e.cfg.Admission != nil && !e.admit(j) {
 			return
 		}
+		detail := ""
+		if recovered {
+			detail = "recovered"
+		}
 		e.enqueue(j)
-		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID(), Detail: detail})
 		// Deadline watchdog: a job still waiting in the queue when its
 		// deadline passes is terminated right there, not at some later
 		// epoch boundary.

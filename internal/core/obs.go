@@ -42,6 +42,7 @@ type execMetrics struct {
 	rollbacks        *obs.Counter
 	crashes          *obs.Counter
 	recovered        *obs.Counter
+	reattached       *obs.Counter
 	scratchRestarts  *obs.Counter
 	watchdogPreempts *obs.Counter
 	rejected         *obs.Counter
@@ -69,6 +70,7 @@ func newExecMetrics(reg *obs.Registry, sub string) *execMetrics {
 		rollbacks:        reg.Counter(p+"rollbacks_total", "forced rollbacks to a checkpoint after a crash or preemption"),
 		crashes:          reg.Counter(p+"crashes_total", "injected worker/device crashes"),
 		recovered:        reg.Counter(p+"recovered_total", "jobs that completed an epoch after a crash"),
+		reattached:       reg.Counter(p+"reattached_total", "journal-recovered jobs re-registered after a daemon restart"),
 		scratchRestarts:  reg.Counter(p+"scratch_restarts_total", "from-scratch restarts after an unusable checkpoint"),
 		watchdogPreempts: reg.Counter(p+"watchdog_preemptions_total", "epochs preempted by the watchdog"),
 		rejected:         reg.Counter(p+"rejected_total", "arrivals refused at the admission gate"),

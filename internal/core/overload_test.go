@@ -260,16 +260,16 @@ func TestOverloadObsCountersAgree(t *testing.T) {
 			ov.WatchdogPreemptions, ast.Rejected)
 	}
 	for name, want := range map[string]int{
-		"rotary_aqp_watchdog_preemptions_total": ov.WatchdogPreemptions,
-		"rotary_aqp_rejected_total":             ov.Rejected,
-		"rotary_aqp_shed_total":                 ov.Shed,
-		"rotary_aqp_degraded_total":             ov.Degraded,
-		"rotary_aqp_arrivals_total":             len(run.jobs),
-		"rotary_admission_submitted_total":      ast.Submitted,
-		"rotary_admission_admitted_total":       ast.Admitted,
-		"rotary_admission_rejected_total":       ast.Rejected,
-		"rotary_admission_shed_total":           ast.Shed,
-		"rotary_admission_degraded_total":       ast.Degraded,
+		"rotary_aqp_watchdog_preemptions_total":        ov.WatchdogPreemptions,
+		"rotary_aqp_rejected_total":                    ov.Rejected,
+		"rotary_aqp_shed_total":                        ov.Shed,
+		"rotary_aqp_degraded_total":                    ov.Degraded,
+		"rotary_aqp_arrivals_total":                    len(run.jobs),
+		"rotary_admission_submitted_total":             ast.Submitted,
+		"rotary_admission_admitted_total":              ast.Admitted,
+		"rotary_admission_rejected_total":              ast.Rejected,
+		"rotary_admission_shed_total":                  ast.Shed,
+		"rotary_admission_degraded_total":              ast.Degraded,
 		"rotary_admission_queue_full_rejections_total": ast.QueueFullRejections,
 	} {
 		if got := get(name); got != float64(want) {

@@ -23,6 +23,11 @@ type RecoveryStats struct {
 	// Recovered counts crashes whose job went on to complete another
 	// epoch.
 	Recovered int
+	// Reattached counts journal-recovered jobs re-registered with the
+	// executor after a daemon restart (each reattaches to its durable
+	// checkpoint at its first grant, or scratch-restarts when none
+	// survived).
+	Reattached int
 }
 
 // MeanRecoveryLatencySecs is the average crash-to-next-completed-epoch
@@ -44,5 +49,6 @@ func (r RecoveryStats) Add(o RecoveryStats) RecoveryStats {
 		WastedWorkSecs:      r.WastedWorkSecs + o.WastedWorkSecs,
 		RecoveryLatencySecs: r.RecoveryLatencySecs + o.RecoveryLatencySecs,
 		Recovered:           r.Recovered + o.Recovered,
+		Reattached:          r.Reattached + o.Reattached,
 	}
 }

@@ -23,6 +23,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"rotary/internal/sim"
@@ -128,10 +129,10 @@ func Recoverable(seed uint64, rate float64) Config {
 
 // Stats counts the faults an injector has dealt.
 type Stats struct {
-	Crashes    int
-	Transients int
+	Crashes     int
+	Transients  int
 	Corruptions int
-	SlowIOs    int
+	SlowIOs     int
 }
 
 // Injector deals deterministic faults from a seeded PRNG.
@@ -233,6 +234,43 @@ func (in *Injector) RepairSecs() float64 {
 		d = 1
 	}
 	return d
+}
+
+// CrashSchedule is a deterministic process-crash plan for the durable
+// serving mode's kill-restart chaos suite: a seeded sequence of virtual
+// times at which the arbiter daemon itself is killed (SIGKILL — no drain,
+// no flush beyond what each journal append already fsynced). Unlike the
+// Injector's per-opportunity draws, the schedule is fixed up front: the
+// test harness needs to know every kill point before the run starts so it
+// can drive the victim to exactly that virtual time, kill it, and restart
+// it from the journal.
+type CrashSchedule struct {
+	points []float64
+}
+
+// NewCrashSchedule draws kills daemon-kill points uniformly over
+// (0, horizonSecs), sorted ascending, from the seed. Equal seeds replay
+// identical schedules. A non-positive kills or horizon yields an empty
+// schedule.
+func NewCrashSchedule(seed uint64, horizonSecs float64, kills int) *CrashSchedule {
+	s := &CrashSchedule{}
+	if kills <= 0 || horizonSecs <= 0 {
+		return s
+	}
+	rng := sim.NewRand(seed ^ 0x1c11)
+	s.points = make([]float64, 0, kills)
+	for i := 0; i < kills; i++ {
+		s.points = append(s.points, rng.Range(0, 1)*horizonSecs)
+	}
+	sort.Float64s(s.points)
+	return s
+}
+
+// Points returns the kill times in ascending virtual-time order.
+func (s *CrashSchedule) Points() []float64 {
+	out := make([]float64, len(s.points))
+	copy(out, s.points)
+	return out
 }
 
 // Stats returns the counts of faults dealt so far.

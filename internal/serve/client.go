@@ -1,0 +1,185 @@
+// Resilient client: the connection layer that makes the durable arbiter
+// usable from a process that outlives daemon restarts. It reconnects
+// with capped exponential backoff when the socket drops (the daemon was
+// killed, is restarting, or has not bound yet), re-runs the resume
+// handshake on every new connection to detect restarts via the server
+// epoch, and retries the in-flight request on the fresh connection —
+// which is safe for submits exactly because the protocol dedupes
+// client-supplied req_ids against the journal.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ClientConfig parameterizes a resilient client.
+type ClientConfig struct {
+	// Socket is the server's Unix socket path.
+	Socket string
+	// DialTimeout bounds each connection attempt. Defaults to 1s.
+	DialTimeout time.Duration
+	// Backoff is the initial reconnect delay, doubling per failed attempt
+	// up to MaxBackoff. Defaults to 50ms.
+	Backoff time.Duration
+	// MaxBackoff caps the reconnect delay. Defaults to 2s.
+	MaxBackoff time.Duration
+	// Attempts bounds how many connections one request may be tried on
+	// before Do gives up (each attempt may first reconnect). Defaults
+	// to 8.
+	Attempts int
+}
+
+// Client is a reconnecting serve-protocol client. It is safe for
+// concurrent use; requests are serialized over one connection.
+type Client struct {
+	cfg ClientConfig
+
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+	// serverEpoch is the daemon incarnation last observed via the resume
+	// handshake; restarts counts the epoch changes the handshakes have
+	// witnessed.
+	serverEpoch int
+	restarts    int
+}
+
+// NewClient builds a client for the socket. No connection is made until
+// the first request.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Socket == "" {
+		return nil, fmt.Errorf("serve: client socket path required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 8
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// ServerEpoch returns the daemon incarnation last observed by the resume
+// handshake (0 before the first connection).
+func (c *Client) ServerEpoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverEpoch
+}
+
+// Restarts returns how many server restarts the client's handshakes have
+// detected so far.
+func (c *Client) Restarts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restarts
+}
+
+// Do sends one request and returns the reply, transparently reconnecting
+// (with capped exponential backoff) and retrying on connection failure.
+// A submit retried this way must carry a ReqID: the journal-backed
+// dedupe is what makes the retry idempotent when the original reply was
+// lost to a crash.
+func (c *Client) Do(m Message) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+		if err := c.connectLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTripLocked(m)
+		if err != nil {
+			lastErr = err
+			c.closeLocked()
+			continue
+		}
+		return resp, nil
+	}
+	return Response{}, fmt.Errorf("serve: request failed after %d attempts: %w", c.cfg.Attempts, lastErr)
+}
+
+// Close drops the connection (a later Do reconnects).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+func (c *Client) closeLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.sc = nil
+		c.enc = nil
+	}
+}
+
+// connectLocked dials if disconnected and runs the resume handshake on
+// every fresh connection, recording restart detections.
+func (c *Client) connectLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("unix", c.cfg.Socket, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	c.sc = sc
+	c.enc = json.NewEncoder(conn)
+	resp, err := c.roundTripLocked(Message{Op: "resume", ServerEpoch: c.serverEpoch})
+	if err != nil {
+		c.closeLocked()
+		return err
+	}
+	if resp.Code == CodeServerRestarted {
+		c.restarts++
+	}
+	if resp.ServerEpoch != 0 {
+		c.serverEpoch = resp.ServerEpoch
+	}
+	return nil
+}
+
+// roundTripLocked writes one request line and reads one reply line.
+func (c *Client) roundTripLocked(m Message) (Response, error) {
+	if err := c.enc.Encode(m); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, fmt.Errorf("serve: connection closed mid-request")
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(strings.TrimSpace(c.sc.Text())), &resp); err != nil {
+		return Response{}, fmt.Errorf("serve: bad reply: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,517 @@
+// Arbiter write-ahead journal: the durability layer that turns the
+// serving daemon from a process-scoped prototype into a crash-recoverable
+// arbiter. Every serve-state transition — submit, admission verdict,
+// grant, epoch completion, terminal status — is appended as one
+// CRC-framed JSON line and fsynced before the client sees the reply, so a
+// SIGKILL at any instant loses at most the transition in flight. On
+// restart the journal replays to the last durable state: the registry of
+// jobs, each job's latest status, the admission queue's arrival order,
+// and the virtual-clock position. Size-triggered compaction folds the log
+// into a single snapshot record published through the checkpoint store's
+// atomic-write machinery, so the journal stays bounded however long the
+// daemon lives.
+//
+// Corruption tolerance: a torn append (power cut mid-line) or a
+// bit-flipped tail is detected by the per-line CRC32 and the journal
+// degrades to its longest valid prefix — the damaged suffix is truncated
+// away and recovery proceeds from what was provably durable, instead of
+// refusing to start.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"rotary/internal/core"
+)
+
+// Journal record kinds, one per arbiter state transition.
+const (
+	// recServerEpoch marks a daemon boot: the server-epoch counter
+	// increments once per OpenJournal, and clients detect restarts by
+	// comparing it in the resume handshake.
+	recServerEpoch = "server-epoch"
+	// recSubmit logs an accepted submission before it reaches the
+	// executor (WAL ordering: log first, apply second).
+	recSubmit = "submit"
+	// recVerdict logs the admission decision: admitted, rejected, or
+	// degraded (admitted best-effort).
+	recVerdict = "verdict"
+	// recGrant logs a pending → running transition.
+	recGrant = "grant"
+	// recEpoch logs a completed running epoch (cumulative count).
+	recEpoch = "epoch"
+	// recTerminal logs a terminal status: attained, converged, expired,
+	// rejected, or shed.
+	recTerminal = "terminal"
+	// recClock periodically persists the virtual-clock position so a
+	// restart of an idle paced server does not rewind time to the last
+	// job transition.
+	recClock = "clock"
+	// recSnapshot is the compaction record: the full replayed state,
+	// folded into one line at the head of a fresh journal file.
+	recSnapshot = "snapshot"
+)
+
+// Record is one journal entry. At is the virtual time of the transition;
+// recovery resumes the clock at the maximum At seen in the valid prefix.
+type Record struct {
+	Kind        string      `json:"kind"`
+	ID          string      `json:"id,omitempty"`
+	ReqID       string      `json:"req_id,omitempty"`
+	Statement   string      `json:"stmt,omitempty"`
+	BatchRows   int         `json:"batch,omitempty"`
+	Status      string      `json:"status,omitempty"`
+	BestEffort  bool        `json:"best_effort,omitempty"`
+	Epochs      int         `json:"epochs,omitempty"`
+	At          float64     `json:"at"`
+	ServerEpoch int         `json:"server_epoch,omitempty"`
+	Jobs        []JobRecord `json:"jobs,omitempty"` // snapshot only
+}
+
+// JobRecord is one job's journaled lifecycle state: everything recovery
+// needs to rebuild the job and its queue position after a restart.
+type JobRecord struct {
+	ID         string  `json:"id"`
+	ReqID      string  `json:"req_id,omitempty"`
+	Statement  string  `json:"stmt"`
+	BatchRows  int     `json:"batch,omitempty"`
+	ArrivalAt  float64 `json:"arrival_at"`
+	Status     string  `json:"status"`
+	BestEffort bool    `json:"best_effort,omitempty"`
+	Epochs     int     `json:"epochs,omitempty"`
+}
+
+// terminalStatus reports whether a journaled status string is final.
+// "submitted" (logged, not yet admitted) and "pending"/"running" are
+// live; everything else recovery must not re-register.
+func terminalStatus(status string) bool {
+	switch status {
+	case "submitted", "pending", "running":
+		return false
+	default:
+		return true
+	}
+}
+
+// Recovered is the durable state replayed from the journal's valid
+// prefix at open time: what the previous daemon incarnation provably
+// committed.
+type Recovered struct {
+	// ServerEpoch is the new incarnation's epoch (previous epoch + 1).
+	ServerEpoch int
+	// VirtualNow is the virtual-clock position to resume from: the
+	// maximum transition time in the valid prefix.
+	VirtualNow float64
+	// Jobs lists every journaled job in original arrival order, each at
+	// its latest journaled status.
+	Jobs []JobRecord
+	// DroppedBytes counts corrupt or truncated tail bytes discarded at
+	// open (0 for a clean journal).
+	DroppedBytes int64
+}
+
+// NonTerminal returns the journaled jobs recovery must re-register, in
+// arrival order.
+func (r Recovered) NonTerminal() []JobRecord {
+	out := make([]JobRecord, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if !terminalStatus(j.Status) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Journal line format:
+//
+//	RJNL1 <crc32-hex8> <json-record>\n
+//
+// The CRC32 (IEEE) covers exactly the JSON payload bytes, reusing the
+// checkpoint frame's checksum discipline in a line-oriented shape: a
+// record whose prefix, checksum, or JSON fails to parse marks the end of
+// the journal's valid prefix.
+const journalMagic = "RJNL1"
+
+// journalFile is the journal's file name inside its directory.
+const journalFile = "serve.journal"
+
+// DefaultCompactBytes is the journal size that triggers compaction to a
+// snapshot record.
+const DefaultCompactBytes = 1 << 20
+
+// Journal is the arbiter's write-ahead log. Append is safe for
+// concurrent use, though the serving mode only writes from its single
+// driver goroutine.
+type Journal struct {
+	mu           sync.Mutex
+	dir          string
+	path         string
+	f            *os.File
+	size         int64
+	compactBytes int64
+
+	// Live replay state, mirrored on every append so compaction can fold
+	// the log into a snapshot without re-reading it.
+	jobs        map[string]*JobRecord
+	order       []string
+	serverEpoch int
+	virtualNow  float64
+
+	recovered   Recovered
+	appends     int64
+	compactions int64
+	closed      bool
+}
+
+// OpenJournal opens (creating if absent) the write-ahead journal under
+// dir, replays its valid prefix, truncates any corrupt tail, and stamps
+// the new daemon incarnation with an incremented server-epoch record.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	jl := &Journal{
+		dir:          dir,
+		path:         filepath.Join(dir, journalFile),
+		compactBytes: DefaultCompactBytes,
+		jobs:         make(map[string]*JobRecord),
+	}
+	dropped, err := jl.replayFile()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	jl.f = f
+	if st, err := f.Stat(); err == nil {
+		jl.size = st.Size()
+	}
+	jl.serverEpoch++
+	jl.recovered = Recovered{
+		ServerEpoch:  jl.serverEpoch,
+		VirtualNow:   jl.virtualNow,
+		Jobs:         jl.snapshotJobs(),
+		DroppedBytes: dropped,
+	}
+	if err := jl.Append(Record{Kind: recServerEpoch, ServerEpoch: jl.serverEpoch, At: jl.virtualNow}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return jl, nil
+}
+
+// replayFile reads the journal, applies every valid record, and truncates
+// the file to the longest valid prefix, reporting how many tail bytes
+// were dropped. A missing file is an empty journal.
+func (jl *Journal) replayFile() (dropped int64, err error) {
+	data, err := os.ReadFile(jl.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("serve: read journal: %w", err)
+	}
+	valid := int64(0)
+	r := bufio.NewReader(bytes.NewReader(data))
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr == io.EOF && len(line) == 0 {
+			break
+		}
+		// A line without its trailing newline is a torn append.
+		if rerr != nil {
+			break
+		}
+		rec, perr := parseJournalLine(line[:len(line)-1])
+		if perr != nil {
+			break
+		}
+		jl.apply(rec)
+		valid += int64(len(line))
+	}
+	dropped = int64(len(data)) - valid
+	if dropped > 0 {
+		if terr := os.Truncate(jl.path, valid); terr != nil {
+			return dropped, fmt.Errorf("serve: truncate corrupt journal tail: %w", terr)
+		}
+	}
+	return dropped, nil
+}
+
+// frameJournalLine renders one record as a CRC-framed line (including the
+// trailing newline).
+func frameJournalLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal journal record: %w", err)
+	}
+	line := make([]byte, 0, len(journalMagic)+10+len(payload)+1)
+	line = append(line, journalMagic...)
+	line = append(line, ' ')
+	line = append(line, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseJournalLine validates one framed line (without its newline) and
+// returns its record. Any deviation — bad magic, short line, checksum
+// mismatch, malformed JSON — is corruption.
+func parseJournalLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < len(journalMagic)+10 {
+		return rec, fmt.Errorf("serve: journal line too short (%d bytes)", len(line))
+	}
+	if string(line[:len(journalMagic)]) != journalMagic || line[len(journalMagic)] != ' ' {
+		return rec, fmt.Errorf("serve: bad journal magic %q", line[:len(journalMagic)])
+	}
+	crcHex := string(line[len(journalMagic)+1 : len(journalMagic)+9])
+	if line[len(journalMagic)+9] != ' ' {
+		return rec, fmt.Errorf("serve: malformed journal frame")
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("serve: bad journal checksum field: %w", err)
+	}
+	payload := line[len(journalMagic)+10:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return rec, fmt.Errorf("serve: journal CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("serve: journal record: %w", err)
+	}
+	return rec, nil
+}
+
+// apply folds one record into the live replay state. Shared by the open
+// replay and Append, so the in-memory mirror always equals what a fresh
+// replay of the file would produce.
+func (jl *Journal) apply(rec Record) {
+	if rec.At > jl.virtualNow {
+		jl.virtualNow = rec.At
+	}
+	switch rec.Kind {
+	case recServerEpoch:
+		if rec.ServerEpoch > jl.serverEpoch {
+			jl.serverEpoch = rec.ServerEpoch
+		}
+	case recSnapshot:
+		jl.jobs = make(map[string]*JobRecord, len(rec.Jobs))
+		jl.order = jl.order[:0]
+		for i := range rec.Jobs {
+			j := rec.Jobs[i]
+			jl.jobs[j.ID] = &j
+			jl.order = append(jl.order, j.ID)
+		}
+		if rec.ServerEpoch > jl.serverEpoch {
+			jl.serverEpoch = rec.ServerEpoch
+		}
+	case recSubmit:
+		if _, ok := jl.jobs[rec.ID]; !ok {
+			jl.jobs[rec.ID] = &JobRecord{
+				ID:        rec.ID,
+				ReqID:     rec.ReqID,
+				Statement: rec.Statement,
+				BatchRows: rec.BatchRows,
+				ArrivalAt: rec.At,
+				Status:    "submitted",
+			}
+			jl.order = append(jl.order, rec.ID)
+		}
+	case recVerdict:
+		if j, ok := jl.jobs[rec.ID]; ok {
+			switch rec.Status {
+			case "admitted":
+				j.Status = "pending"
+			case "degraded":
+				j.Status = "pending"
+				j.BestEffort = true
+			default: // rejected
+				j.Status = rec.Status
+			}
+		}
+	case recGrant:
+		if j, ok := jl.jobs[rec.ID]; ok && !terminalStatus(j.Status) {
+			j.Status = "running"
+		}
+	case recEpoch:
+		if j, ok := jl.jobs[rec.ID]; ok {
+			if rec.Epochs > j.Epochs {
+				j.Epochs = rec.Epochs
+			}
+			if !terminalStatus(j.Status) {
+				j.Status = "pending"
+			}
+		}
+	case recTerminal:
+		if j, ok := jl.jobs[rec.ID]; ok {
+			j.Status = rec.Status
+			if rec.Epochs > j.Epochs {
+				j.Epochs = rec.Epochs
+			}
+		}
+	}
+}
+
+// snapshotJobs copies the live job state in arrival order.
+func (jl *Journal) snapshotJobs() []JobRecord {
+	out := make([]JobRecord, 0, len(jl.order))
+	for _, id := range jl.order {
+		out = append(out, *jl.jobs[id])
+	}
+	return out
+}
+
+// Recovered returns the state replayed at open: the previous
+// incarnation's durable registry, queue order, and clock.
+func (jl *Journal) Recovered() Recovered {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.recovered
+}
+
+// ServerEpoch returns this incarnation's epoch.
+func (jl *Journal) ServerEpoch() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.serverEpoch
+}
+
+// Job returns the journaled record for one id — the status op's
+// fallback for jobs that went terminal before a restart and were
+// therefore never re-registered with the executor.
+func (jl *Journal) Job(id string) (JobRecord, bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	j, ok := jl.jobs[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return *j, true
+}
+
+// NonTerminalIDs returns the set of job ids the journal still references
+// as live — the checkpoint store's retention set across a restart.
+func (jl *Journal) NonTerminalIDs() map[string]bool {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	live := make(map[string]bool)
+	for id, j := range jl.jobs {
+		if !terminalStatus(j.Status) {
+			live[id] = true
+		}
+	}
+	return live
+}
+
+// Stats reports journal activity: records appended and compactions run
+// by this incarnation, and the current file size.
+func (jl *Journal) Stats() (appends, compactions, sizeBytes int64) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.appends, jl.compactions, jl.size
+}
+
+// Append durably logs the records: each is folded into the live state,
+// framed, written, and the batch is fsynced once before Append returns.
+// When the file outgrows the compaction threshold it is folded into a
+// snapshot published with the checkpoint store's atomic-write machinery.
+func (jl *Journal) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := frameJournalLine(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		jl.apply(rec)
+	}
+	n, err := jl.f.Write(buf.Bytes())
+	jl.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	jl.appends += int64(len(recs))
+	if jl.size > jl.compactBytes {
+		return jl.compactLocked()
+	}
+	return nil
+}
+
+// SetCompactBytes overrides the size threshold that triggers compaction
+// (non-positive restores the default).
+func (jl *Journal) SetCompactBytes(n int64) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if n <= 0 {
+		n = DefaultCompactBytes
+	}
+	jl.compactBytes = n
+}
+
+// compactLocked folds the journal into one snapshot record and
+// atomically replaces the file with it. A crash during compaction leaves
+// either the old journal or the new snapshot — both replay to the same
+// state.
+func (jl *Journal) compactLocked() error {
+	snap := Record{
+		Kind:        recSnapshot,
+		ServerEpoch: jl.serverEpoch,
+		At:          jl.virtualNow,
+		Jobs:        jl.snapshotJobs(),
+	}
+	line, err := frameJournalLine(snap)
+	if err != nil {
+		return err
+	}
+	if err := core.AtomicWriteFile(jl.path, line); err != nil {
+		return fmt.Errorf("serve: journal compaction: %w", err)
+	}
+	if err := jl.f.Close(); err != nil {
+		return fmt.Errorf("serve: journal compaction: %w", err)
+	}
+	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal compaction reopen: %w", err)
+	}
+	jl.f = f
+	jl.size = int64(len(line))
+	jl.compactions++
+	return nil
+}
+
+// Close closes the journal file. Records already appended stay durable;
+// Close adds nothing (a crash and a clean shutdown leave the same
+// on-disk state, which is the point).
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return nil
+	}
+	jl.closed = true
+	return jl.f.Close()
+}

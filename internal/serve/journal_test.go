@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, dir string) *Journal {
+	t.Helper()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	return jl
+}
+
+// TestJournalRoundTrip appends a full job lifecycle, reopens the journal,
+// and checks the recovered state: statuses, arrival order, clock
+// position, and the incremented server epoch.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir)
+	if jl.ServerEpoch() != 1 {
+		t.Fatalf("first incarnation epoch %d, want 1", jl.ServerEpoch())
+	}
+	recs := []Record{
+		{Kind: recSubmit, ID: "a", ReqID: "r-a", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", BatchRows: 64, At: 1},
+		{Kind: recVerdict, ID: "a", Status: "admitted", At: 1},
+		{Kind: recSubmit, ID: "b", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2},
+		{Kind: recVerdict, ID: "b", Status: "degraded", At: 2},
+		{Kind: recGrant, ID: "a", At: 3},
+		{Kind: recEpoch, ID: "a", Epochs: 1, At: 9},
+		{Kind: recSubmit, ID: "c", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 10},
+		{Kind: recVerdict, ID: "c", Status: "rejected", At: 10},
+		{Kind: recGrant, ID: "a", At: 11},
+		{Kind: recTerminal, ID: "a", Status: "attained", Epochs: 2, At: 20},
+		{Kind: recClock, At: 60},
+	}
+	if err := jl.Append(recs...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	jl.Close()
+
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.ServerEpoch != 2 || re.ServerEpoch() != 2 {
+		t.Fatalf("second incarnation epoch %d/%d, want 2", rec.ServerEpoch, re.ServerEpoch())
+	}
+	if rec.VirtualNow != 60 {
+		t.Fatalf("recovered clock %v, want 60", rec.VirtualNow)
+	}
+	if rec.DroppedBytes != 0 {
+		t.Fatalf("clean journal dropped %d bytes", rec.DroppedBytes)
+	}
+	if len(rec.Jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3: %+v", len(rec.Jobs), rec.Jobs)
+	}
+	// Arrival order is preserved.
+	for i, want := range []string{"a", "b", "c"} {
+		if rec.Jobs[i].ID != want {
+			t.Fatalf("arrival order %v, want a,b,c", rec.Jobs)
+		}
+	}
+	byID := map[string]JobRecord{}
+	for _, j := range rec.Jobs {
+		byID[j.ID] = j
+	}
+	if j := byID["a"]; j.Status != "attained" || j.Epochs != 2 || j.ReqID != "r-a" || j.ArrivalAt != 1 {
+		t.Fatalf("job a recovered as %+v", j)
+	}
+	if j := byID["b"]; j.Status != "pending" || !j.BestEffort {
+		t.Fatalf("degraded job b recovered as %+v", j)
+	}
+	if j := byID["c"]; j.Status != "rejected" {
+		t.Fatalf("rejected job c recovered as %+v", j)
+	}
+	live := rec.NonTerminal()
+	if len(live) != 1 || live[0].ID != "b" {
+		t.Fatalf("non-terminal set %+v, want only b", live)
+	}
+	ids := re.NonTerminalIDs()
+	if !ids["b"] || ids["a"] || ids["c"] {
+		t.Fatalf("NonTerminalIDs %v", ids)
+	}
+}
+
+// TestJournalCompaction drives the journal past a tiny compaction
+// threshold and checks the file is folded into a snapshot that replays to
+// the same state.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir)
+	jl.SetCompactBytes(512)
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("j%02d", i)
+		if err := jl.Append(
+			Record{Kind: recSubmit, ID: id, Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: float64(i)},
+			Record{Kind: recVerdict, ID: id, Status: "admitted", At: float64(i)},
+			Record{Kind: recTerminal, ID: id, Status: "attained", At: float64(i) + 0.5},
+		); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	_, compactions, size := jl.Stats()
+	if compactions == 0 {
+		t.Fatalf("no compaction after %d appends over a 512-byte threshold", 64*3)
+	}
+	if size > 64*1024 {
+		t.Fatalf("journal still %d bytes after compaction", size)
+	}
+	jl.Close()
+
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if len(rec.Jobs) != 64 {
+		t.Fatalf("post-compaction replay recovered %d jobs, want 64", len(rec.Jobs))
+	}
+	for i, j := range rec.Jobs {
+		if want := fmt.Sprintf("j%02d", i); j.ID != want || j.Status != "attained" {
+			t.Fatalf("job %d recovered as %+v, want %s attained", i, j, want)
+		}
+	}
+}
+
+// journalWithPrefix writes a known two-job journal and returns the byte
+// length of its valid content, for the corruption tests to damage.
+func journalWithPrefix(t *testing.T, dir string) int64 {
+	t.Helper()
+	jl := openTestJournal(t, dir)
+	if err := jl.Append(
+		Record{Kind: recSubmit, ID: "keep", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 1},
+		Record{Kind: recVerdict, ID: "keep", Status: "admitted", At: 1},
+		Record{Kind: recSubmit, ID: "tail", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	jl.Close()
+	st, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("stat journal: %v", err)
+	}
+	return st.Size()
+}
+
+// TestJournalCorruptTruncatedTail tears the last record mid-line (a
+// crash during an append): recovery must degrade to the longest valid
+// prefix, not refuse to start.
+func TestJournalCorruptTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	journalWithPrefix(t, dir)
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the final line's newline and half its payload.
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	torn := data[:cut+(len(data)-cut)/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.DroppedBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", rec)
+	}
+	// The torn line was the "tail" submit itself, so only "keep" (and its
+	// verdict) survive in the valid prefix.
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "keep" || rec.Jobs[0].Status != "pending" {
+		t.Fatalf("prefix replay recovered %+v, want only keep (pending)", rec.Jobs)
+	}
+	// The journal file itself must have been truncated back to the valid
+	// prefix plus the new incarnation's server-epoch record, so the next
+	// restart replays cleanly.
+	re.Close()
+	clean := openTestJournal(t, dir)
+	if got := clean.Recovered(); got.DroppedBytes != 0 {
+		t.Fatalf("journal still corrupt after truncating recovery: %+v", got)
+	}
+}
+
+// TestJournalCorruptBadCRC flips a payload byte in the last record (a
+// bit-flipped disk block): the CRC must mark the end of the valid prefix.
+func TestJournalCorruptBadCRC(t *testing.T) {
+	dir := t.TempDir()
+	journalWithPrefix(t, dir)
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the final record's JSON payload.
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.DroppedBytes == 0 {
+		t.Fatalf("CRC mismatch not detected: %+v", rec)
+	}
+	// The flipped record was the "tail" submit: only the first two
+	// records survive, so only "keep" is recovered.
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "keep" {
+		t.Fatalf("prefix replay recovered %+v, want only keep", rec.Jobs)
+	}
+	if rec.Jobs[0].Status != "pending" {
+		t.Fatalf("keep recovered as %q, want pending", rec.Jobs[0].Status)
+	}
+}
+
+// TestJournalGarbageFile starts from a file of pure garbage: everything
+// is dropped, recovery proceeds from empty state.
+func TestJournalGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte("not a journal\nat all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl := openTestJournal(t, dir)
+	rec := jl.Recovered()
+	if rec.DroppedBytes == 0 || len(rec.Jobs) != 0 {
+		t.Fatalf("garbage journal recovered %+v", rec)
+	}
+	// And the journal is writable again.
+	if err := jl.Append(Record{Kind: recClock, At: 1}); err != nil {
+		t.Fatalf("append after garbage recovery: %v", err)
+	}
+}

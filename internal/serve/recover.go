@@ -1,0 +1,210 @@
+// Crash-restart recovery: how a journaled server rebuilds the previous
+// incarnation's arbiter state at startup, and how the running server
+// keeps the journal in lockstep with the executor afterwards.
+//
+// Recovery replays the journal's valid prefix (done by OpenJournal),
+// restores the virtual clock to the last journaled position, and
+// re-registers every non-terminal job with the executor in original
+// arrival order — bypassing the admission gate, since each was already
+// admitted by the previous incarnation and re-judging it against the
+// post-restart (empty) load would change the verdict history. Each
+// recovered job reattaches to its latest durable checkpoint at its first
+// grant; when none survived it restarts from pristine scratch, counted in
+// RecoveryStats.ScratchRestarts. Deadlines are absolute across restarts:
+// a recovered job's remaining budget is (arrival + deadline) − recovered
+// clock, never the full deadline again.
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"rotary/internal/core"
+	"rotary/internal/criteria"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// OpenDurable opens the durability pair rooted at dir: the write-ahead
+// journal (dir/serve.journal) and a disk-only checkpoint store
+// (dir/ckpt) whose startup sweep retains every checkpoint the journal
+// still references as live — a recovered job's reattach target must
+// survive the sweep that would otherwise clear "stale" files from the
+// killed incarnation. The store is disk-only (no memory tier) so every
+// save is durable by the time the epoch that produced it is journaled.
+func OpenDurable(dir string) (*Journal, *core.CheckpointStore, error) {
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	live := jl.NonTerminalIDs()
+	store, err := core.NewCheckpointStoreRetaining(filepath.Join(dir, "ckpt"), 0,
+		func(id string) bool { return live[id] })
+	if err != nil {
+		jl.Close()
+		return nil, nil, err
+	}
+	return jl, store, nil
+}
+
+// recoverFromJournal rebuilds the previous incarnation's state (New,
+// before the driver starts): clock, req_id dedupe index, journal diff
+// marks, and the executor's job registry in original arrival order.
+func (s *Server) recoverFromJournal() error {
+	rec := s.jl.Recovered()
+	eng := s.exec.Engine()
+	// RunUntil advances the clock to the deadline even with an empty
+	// event queue — the clock-restoration primitive.
+	if vn := sim.Time(rec.VirtualNow); vn > eng.Now() {
+		eng.RunUntil(vn)
+	}
+	s.lastClockAt = eng.Now().Seconds()
+	for _, jr := range rec.Jobs {
+		if jr.ReqID != "" {
+			s.reqIndex[jr.ReqID] = jr.ID
+		}
+		if terminalStatus(jr.Status) {
+			// Terminal in the journal: nothing to re-register, and the diff
+			// mark stops syncJournal from ever logging it again.
+			s.lastJourn[jr.ID] = &jobMark{terminal: true, epochs: jr.Epochs}
+		}
+	}
+	live := rec.NonTerminal()
+	for _, jr := range live {
+		j, err := s.rebuildJob(jr)
+		if err != nil {
+			return fmt.Errorf("serve: recover job %s: %w", jr.ID, err)
+		}
+		// Seed the mark at the journaled epoch count so replayed progress
+		// is not re-journaled; only epochs beyond it append records.
+		s.lastJourn[jr.ID] = &jobMark{epochs: jr.Epochs}
+		s.exec.Recover(j, eng.Now(), jr.BestEffort)
+	}
+	// Fire the re-registrations and their same-instant arbitration so the
+	// recovered queue is granted before the first client request.
+	eng.RunUntil(eng.Now())
+	s.recovered = len(live)
+	s.met.recoveredJobs.Add(int64(len(live)))
+	s.syncJournal()
+	return nil
+}
+
+// rebuildJob reconstructs one journaled job from its submitted statement,
+// with its deadline clipped to what remains of the original budget.
+func (s *Server) rebuildJob(jr JobRecord) (*core.AQPJob, error) {
+	cmd, crit, err := criteria.Parse(jr.Statement)
+	if err != nil {
+		return nil, err
+	}
+	deadline, ok := crit.Deadline.DeadlineSeconds()
+	if !ok {
+		return nil, fmt.Errorf("serve: journaled job has a non-wall-time deadline")
+	}
+	query := strings.ToLower(strings.TrimSpace(cmd))
+	cls, err := tpch.ClassOf(query)
+	if err != nil {
+		return nil, err
+	}
+	// Absolute-deadline arithmetic: (arrival + D) − recovered now. A job
+	// whose deadline already passed gets an epsilon budget — it
+	// re-registers, its watchdog fires immediately, and it terminates with
+	// the same "expired" status the uninterrupted run would have reached.
+	remaining := jr.ArrivalAt + deadline - s.exec.Engine().Now().Seconds()
+	if remaining < 1e-3 {
+		remaining = 1e-3
+	}
+	batch := jr.BatchRows
+	if batch <= 0 {
+		batch = s.cfg.BatchRows
+	}
+	return workload.BuildAQPJob(s.cat, workload.AQPSpec{
+		ID:           jr.ID,
+		Query:        query,
+		Class:        cls,
+		Accuracy:     crit.Threshold,
+		DeadlineSecs: remaining,
+		BatchRows:    batch,
+	})
+}
+
+// journal appends records immediately, fsynced before return — the
+// WAL-ordering primitive submit uses to log before applying. Append
+// failures degrade durability, not availability: the error is surfaced on
+// the health op and counted, and the server keeps serving.
+func (s *Server) journal(recs ...Record) {
+	if s.jl == nil || len(recs) == 0 {
+		return
+	}
+	if err := s.jl.Append(recs...); err != nil {
+		s.jlErr = err
+		s.met.journalErrors.Inc()
+		return
+	}
+	s.met.journalRecords.Add(int64(len(recs)))
+	_, compactions, _ := s.jl.Stats()
+	if d := compactions - s.met.journalCompact.Value(); d > 0 {
+		s.met.journalCompact.Add(d)
+	}
+}
+
+// journalClock persists the current clock position unconditionally (the
+// advance op's explicit jump).
+func (s *Server) journalClock() {
+	if s.jl == nil {
+		return
+	}
+	now := s.exec.Engine().Now().Seconds()
+	s.journal(Record{Kind: recClock, At: now})
+	s.lastClockAt = now
+}
+
+// syncJournal diffs the executor's live job state against the last
+// journaled position of each job and appends the missing transitions —
+// grants, completed epochs, terminal statuses — in one fsynced batch.
+// Called from the driver goroutine after every block of virtual-time
+// progress (submit, advance, tick, drain), it guarantees the journal
+// never lags the state a client could observe, without instrumenting the
+// executor's event handlers. A periodic clock record bounds how far an
+// idle paced server's restart may rewind time.
+func (s *Server) syncJournal() {
+	if s.jl == nil {
+		return
+	}
+	now := s.exec.Engine().Now().Seconds()
+	var recs []Record
+	for _, j := range s.exec.Jobs() {
+		id := j.ID()
+		mark := s.lastJourn[id]
+		if mark == nil {
+			mark = &jobMark{}
+			s.lastJourn[id] = mark
+		}
+		if mark.terminal {
+			continue
+		}
+		if e := j.Epochs(); e > mark.epochs {
+			recs = append(recs, Record{Kind: recEpoch, ID: id, Epochs: e, At: now})
+			mark.epochs = e
+			mark.running = false
+		}
+		st := j.Status()
+		if st.Terminal() {
+			recs = append(recs, Record{Kind: recTerminal, ID: id, Status: st.String(), Epochs: j.Epochs(), At: now})
+			mark.terminal = true
+			continue
+		}
+		if running := st == core.StatusRunning; running != mark.running {
+			if running {
+				recs = append(recs, Record{Kind: recGrant, ID: id, At: now})
+			}
+			mark.running = running
+		}
+	}
+	if now-s.lastClockAt >= s.cfg.ClockJournalSecs {
+		recs = append(recs, Record{Kind: recClock, At: now})
+		s.lastClockAt = now
+	}
+	s.journal(recs...)
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -58,16 +59,36 @@ type Config struct {
 	// process-wide obs.Default(), which the executor's and admission
 	// controller's counters also land on by default.
 	Obs *obs.Registry
+	// Journal, when set, makes the arbiter durable: every serve-state
+	// transition is fsynced to the write-ahead journal before the client
+	// sees the reply, and New replays the journal's recovered state —
+	// re-registering every non-terminal job with the executor, restoring
+	// the virtual clock, and rebuilding the admission queue in original
+	// arrival order. Nil keeps the process-scoped (PR 3) behaviour.
+	Journal *Journal
+	// ClockJournalSecs bounds how far the virtual clock may advance
+	// without a journaled position: an idle paced server persists a clock
+	// record at least this often (in virtual seconds). Defaults to 60.
+	ClockJournalSecs float64
 }
 
 // Message is one client request line.
 type Message struct {
 	// Op selects the operation: "submit", "status", "stats", "advance",
-	// "metrics", "trace-tail", "health", or "drain".
+	// "metrics", "trace-tail", "health", "resume", or "drain".
 	Op string `json:"op"`
 	// ID names the job for submit (optional; generated when empty) and
 	// status.
 	ID string `json:"id,omitempty"`
+	// ReqID is a client-supplied idempotency key for submit: a resubmit
+	// carrying a ReqID the journal (or this incarnation) has already
+	// accepted returns the existing job's status instead of a duplicate
+	// job, so a client that lost a reply to a crash can safely retry.
+	ReqID string `json:"req_id,omitempty"`
+	// ServerEpoch is the resume-handshake payload: the server epoch the
+	// client last observed. A mismatch in the reply (code
+	// "server-restarted") tells the client the daemon restarted since.
+	ServerEpoch int `json:"server_epoch,omitempty"`
 	// Statement is the submit payload: a query name with an appended
 	// Fig. 3 accuracy criterion, e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS".
 	Statement string `json:"statement,omitempty"`
@@ -84,10 +105,43 @@ type Message struct {
 	N int `json:"n,omitempty"`
 }
 
+// Machine-readable response codes: retrying clients branch on Code
+// instead of string-matching Error.
+const (
+	// CodeDraining: the server is draining; the request was not (or may
+	// not have been) processed. Safe to retry against a restarted server.
+	CodeDraining = "draining"
+	// CodeBadRequest: the request was malformed (bad JSON, bad statement,
+	// invalid argument). Retrying unchanged will fail again.
+	CodeBadRequest = "bad-request"
+	// CodeTooLarge: the request line exceeded the protocol's line limit;
+	// the connection closes after this reply.
+	CodeTooLarge = "too-large"
+	// CodeDuplicateRequest: the submit duplicated an existing job id or
+	// an already-accepted req_id (the latter replies OK with the existing
+	// job's status — the idempotent-resubmit path).
+	CodeDuplicateRequest = "duplicate-request"
+	// CodeUnknownOp: the op is not part of the protocol.
+	CodeUnknownOp = "unknown-op"
+	// CodeUnknownJob: no job with the requested id.
+	CodeUnknownJob = "unknown-job"
+	// CodeAdmissionRefused: the admission controller rejected or shed the
+	// submission.
+	CodeAdmissionRefused = "admission-refused"
+	// CodeServerRestarted: the resume handshake detected a server epoch
+	// newer than the client's — the daemon restarted; journaled jobs were
+	// recovered, unjournaled replies may have been lost.
+	CodeServerRestarted = "server-restarted"
+)
+
 // Response is one server reply line.
 type Response struct {
-	OK         bool    `json:"ok"`
-	Error      string  `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the machine-readable classification of the reply (set on
+	// every error, and on OK replies that carry a caveat, e.g.
+	// duplicate-request dedupe hits and restart detections).
+	Code       string  `json:"code,omitempty"`
 	ID         string  `json:"id,omitempty"`
 	Status     string  `json:"status,omitempty"`
 	Accuracy   float64 `json:"accuracy,omitempty"`
@@ -100,7 +154,18 @@ type Response struct {
 	// Dropped reports the tracer ring's overwritten-event count
 	// (trace-tail and health ops).
 	Dropped uint64 `json:"dropped,omitempty"`
+	// ServerEpoch identifies the daemon incarnation (resume and health
+	// ops; journaled servers increment it every restart).
+	ServerEpoch int `json:"server_epoch,omitempty"`
+	// Recovered reports how many journaled non-terminal jobs this
+	// incarnation re-registered at startup (resume and health ops).
+	Recovered int `json:"recovered,omitempty"`
 }
+
+// maxLineBytes bounds one request line; longer lines are answered with
+// code "too-large" and the connection closes (the stream position is
+// unrecoverable mid-line).
+const maxLineBytes = 1 << 20
 
 type request struct {
 	msg   Message
@@ -118,12 +183,32 @@ type Server struct {
 	reqCh   chan request
 	drainCh chan chan Response
 	doneCh  chan struct{}
+	killCh  chan struct{}
 
-	mu    sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
-	final Response
+	// Durability state (driver goroutine only, except the immutable
+	// serverEpoch/recovered set in New).
+	jl          *Journal
+	serverEpoch int
+	recovered   int
+	lastJourn   map[string]*jobMark
+	reqIndex    map[string]string // req_id -> job id
+	lastClockAt float64
+	jlErr       error
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	final    Response
+	killOnce sync.Once
+}
+
+// jobMark is the last journaled position of one job: the diff target
+// syncJournal compares the executor's live state against.
+type jobMark struct {
+	running  bool
+	epochs   int
+	terminal bool
 }
 
 // New builds a server over an executor and the catalog its jobs bind to.
@@ -148,17 +233,33 @@ func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error)
 	if reg == nil {
 		reg = obs.Default()
 	}
-	return &Server{
-		cfg:     cfg,
-		exec:    exec,
-		cat:     cat,
-		reg:     reg,
-		met:     newServeMetrics(reg),
-		reqCh:   make(chan request),
-		drainCh: make(chan chan Response),
-		doneCh:  make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-	}, nil
+	if cfg.ClockJournalSecs <= 0 {
+		cfg.ClockJournalSecs = 60
+	}
+	s := &Server{
+		cfg:         cfg,
+		exec:        exec,
+		cat:         cat,
+		reg:         reg,
+		met:         newServeMetrics(reg),
+		reqCh:       make(chan request),
+		drainCh:     make(chan chan Response),
+		doneCh:      make(chan struct{}),
+		killCh:      make(chan struct{}),
+		jl:          cfg.Journal,
+		serverEpoch: 1,
+		lastJourn:   make(map[string]*jobMark),
+		reqIndex:    make(map[string]string),
+	}
+	s.conns = make(map[net.Conn]struct{})
+	if s.jl != nil {
+		s.serverEpoch = s.jl.ServerEpoch()
+		if err := s.recoverFromJournal(); err != nil {
+			return nil, err
+		}
+	}
+	s.met.serverEpoch.Set(float64(s.serverEpoch))
+	return s, nil
 }
 
 // serveMetrics holds the server's own obs handles: per-op request
@@ -172,11 +273,20 @@ type serveMetrics struct {
 	// interval; growth means the driver cannot keep pace.
 	paceDrift  *obs.Gauge
 	virtualNow *obs.Gauge
+	// Durability handles: restart-recovery and journal activity, plus the
+	// protocol-hardening drop counters.
+	serverEpoch    *obs.Gauge
+	recoveredJobs  *obs.Counter
+	journalRecords *obs.Counter
+	journalCompact *obs.Counter
+	journalErrors  *obs.Counter
+	oversized      *obs.Counter
+	dedupedSubmits *obs.Counter
 }
 
 // serveOps are the protocol operations with pre-registered counters;
 // anything else lands on op="other".
-var serveOps = []string{"submit", "status", "stats", "advance", "metrics", "trace-tail", "health", "drain"}
+var serveOps = []string{"submit", "status", "stats", "advance", "metrics", "trace-tail", "health", "resume", "drain"}
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m := &serveMetrics{requests: make(map[string]*obs.Counter, len(serveOps))}
@@ -187,6 +297,13 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m.paceDrift = reg.WallGauge("rotary_serve_pace_drift_secs",
 		"wall seconds the virtual clock lagged the pace line at the last tick (pre catch-up)")
 	m.virtualNow = reg.Gauge("rotary_serve_virtual_now_secs", "virtual clock position")
+	m.serverEpoch = reg.Gauge("rotary_serve_server_epoch", "daemon incarnation (increments per journaled restart)")
+	m.recoveredJobs = reg.Counter("rotary_serve_recovered_jobs_total", "journaled non-terminal jobs re-registered at startup")
+	m.journalRecords = reg.Counter("rotary_serve_journal_records_total", "journal records appended by this incarnation")
+	m.journalCompact = reg.Counter("rotary_serve_journal_compactions_total", "journal compactions to a snapshot record")
+	m.journalErrors = reg.Counter("rotary_serve_journal_errors_total", "journal append failures (durability degraded)")
+	m.oversized = reg.Counter("rotary_serve_oversized_requests_total", "request lines dropped for exceeding the line limit")
+	m.dedupedSubmits = reg.Counter("rotary_serve_deduped_submits_total", "submits answered from the req_id dedupe index")
 	return m
 }
 
@@ -202,6 +319,9 @@ func (m *serveMetrics) count(op string) {
 // completes (a client "drain" op or a Drain call, typically from the
 // SIGTERM handler).
 func (s *Server) Serve() error {
+	if err := removeStaleSocket(s.cfg.Socket); err != nil {
+		return err
+	}
 	ln, err := net.Listen("unix", s.cfg.Socket)
 	if err != nil {
 		return err
@@ -232,6 +352,45 @@ func (s *Server) Serve() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
+}
+
+// removeStaleSocket clears a dead Unix socket left by an unclean exit
+// (SIGKILL never runs the listener's unlink): if the path exists, is a
+// socket, and nothing answers a dial, it is removed so net.Listen can
+// bind. A live socket (the dial succeeds) is left alone — net.Listen then
+// fails with the honest "address already in use".
+func removeStaleSocket(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Mode()&os.ModeSocket == 0 {
+		return nil // absent, or not a socket: let net.Listen report it
+	}
+	conn, err := net.DialTimeout("unix", path, 250*time.Millisecond)
+	if err == nil {
+		conn.Close()
+		return nil // a live server owns it
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return fmt.Errorf("serve: remove stale socket %s: %w", path, rmErr)
+	}
+	return nil
+}
+
+// Kill abruptly stops the server — the in-process stand-in for SIGKILL
+// the kill-restart chaos suite uses. No drain, no final journal record,
+// no flush beyond what each transition's append already fsynced: the
+// on-disk journal after Kill is exactly what a real `kill -9` would
+// leave. The executor's in-memory state is simply abandoned.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() { close(s.killCh) })
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	<-s.doneCh
+	if s.jl != nil {
+		s.jl.Close()
+	}
 }
 
 // Drain initiates a graceful drain from outside the protocol (the
@@ -297,6 +456,8 @@ func (s *Server) drive() {
 		case rc := <-s.drainCh:
 			rc <- s.drainNow()
 			return
+		case <-s.killCh:
+			return
 		case <-tickC:
 			t := target()
 			if lag := (t - eng.Now()).Seconds(); lag > 0 {
@@ -304,6 +465,7 @@ func (s *Server) drive() {
 				eng.RunUntil(t)
 			}
 			s.met.virtualNow.Set(eng.Now().Seconds())
+			s.syncJournal()
 		}
 	}
 }
@@ -321,6 +483,7 @@ func (s *Server) drainNow() Response {
 	eng := s.exec.Engine()
 	for s.terminalCount() < len(s.exec.Jobs()) && eng.Step() {
 	}
+	s.syncJournal()
 	resp := s.statsResponse()
 	resp.Status = "drained"
 	if left := len(s.exec.Jobs()) - s.terminalCount(); left > 0 {
@@ -357,11 +520,33 @@ func (s *Server) handle(m Message) Response {
 		return s.statsResponse()
 	case "advance":
 		if m.Seconds < 0 {
-			return Response{Error: "serve: advance seconds must be >= 0"}
+			return Response{Error: "serve: advance seconds must be >= 0", Code: CodeBadRequest}
 		}
 		eng := s.exec.Engine()
 		eng.RunUntil(eng.Now() + sim.Time(m.Seconds))
+		// An explicit clock jump is journaled unconditionally: a restart
+		// must resume at the advanced position, not rewind to the last job
+		// transition.
+		s.journalClock()
+		s.syncJournal()
 		return Response{OK: true, VirtualNow: eng.Now().Seconds()}
+	case "resume":
+		// The restart handshake: the client reports the server epoch it
+		// last saw; a newer epoch means the daemon restarted under it and
+		// journaled jobs were recovered (unjournaled replies may be lost —
+		// resubmit with req_id to dedupe).
+		resp := Response{
+			OK:          true,
+			ServerEpoch: s.serverEpoch,
+			Recovered:   s.recovered,
+			Jobs:        len(s.exec.Jobs()),
+			Terminal:    s.terminalCount(),
+			VirtualNow:  s.exec.Engine().Now().Seconds(),
+		}
+		if m.ServerEpoch != 0 && m.ServerEpoch != s.serverEpoch {
+			resp.Code = CodeServerRestarted
+		}
+		return resp
 	case "metrics":
 		// Wall metrics are excluded by default so a seeded run's response
 		// is replay-stable; {"op":"metrics","wall":true} includes them.
@@ -387,41 +572,62 @@ func (s *Server) handle(m Message) Response {
 		}
 	case "health":
 		resp := Response{
-			OK:         true,
-			Status:     "healthy",
-			Jobs:       len(s.exec.Jobs()),
-			Terminal:   s.terminalCount(),
-			VirtualNow: s.exec.Engine().Now().Seconds(),
+			OK:          true,
+			Status:      "healthy",
+			Jobs:        len(s.exec.Jobs()),
+			Terminal:    s.terminalCount(),
+			VirtualNow:  s.exec.Engine().Now().Seconds(),
+			ServerEpoch: s.serverEpoch,
+			Recovered:   s.recovered,
+		}
+		if s.jlErr != nil {
+			resp.Status = "journal-degraded"
+			resp.Error = s.jlErr.Error()
 		}
 		if tr := s.exec.Tracer(); tr != nil {
 			resp.Dropped = tr.Dropped()
 		}
 		return resp
 	default:
-		return Response{Error: fmt.Sprintf("serve: unknown op %q", m.Op)}
+		return Response{Error: fmt.Sprintf("serve: unknown op %q", m.Op), Code: CodeUnknownOp}
 	}
 }
 
 // submit parses the statement, binds the job, and pushes it through the
 // admission gate at the current virtual instant. The arrival (and its
 // admission verdict) is forced to fire before replying, so the response
-// carries the decision.
+// carries the decision. With a journal configured the ordering is
+// write-ahead: the submit record is fsynced before the executor sees the
+// job, and the verdict (plus any same-instant grant) is fsynced before
+// the client sees the reply — an admitted job is never silently dropped
+// by a crash.
 func (s *Server) submit(m Message) Response {
+	// Idempotent resubmit: a req_id the journal (or this incarnation) has
+	// already accepted returns the existing job's status instead of a
+	// duplicate job.
+	if m.ReqID != "" {
+		if id, ok := s.reqIndex[m.ReqID]; ok {
+			s.met.dedupedSubmits.Inc()
+			resp := s.status(Message{ID: id})
+			resp.Code = CodeDuplicateRequest
+			return resp
+		}
+	}
 	cmd, crit, err := criteria.Parse(m.Statement)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: CodeBadRequest}
 	}
 	if crit.Kind != criteria.Accuracy {
-		return Response{Error: `serve: serving mode requires an accuracy criterion (e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS")`}
+		return Response{Error: `serve: serving mode requires an accuracy criterion (e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS")`, Code: CodeBadRequest}
 	}
 	deadline, ok := crit.Deadline.DeadlineSeconds()
 	if !ok {
-		return Response{Error: "serve: AQP deadlines must be wall-time, not epochs"}
+		return Response{Error: "serve: AQP deadlines must be wall-time, not epochs", Code: CodeBadRequest}
 	}
 	query := strings.ToLower(strings.TrimSpace(cmd))
 	cls, err := tpch.ClassOf(query)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: CodeBadRequest}
 	}
 	id := m.ID
 	if id == "" {
@@ -429,7 +635,7 @@ func (s *Server) submit(m Message) Response {
 	}
 	for _, j := range s.exec.Jobs() {
 		if j.ID() == id {
-			return Response{Error: fmt.Sprintf("serve: duplicate job id %q", id)}
+			return Response{Error: fmt.Sprintf("serve: duplicate job id %q", id), Code: CodeDuplicateRequest}
 		}
 	}
 	batch := m.BatchRows
@@ -445,14 +651,28 @@ func (s *Server) submit(m Message) Response {
 		BatchRows:    batch,
 	})
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: CodeBadRequest}
 	}
 	eng := s.exec.Engine()
+	s.journal(Record{Kind: recSubmit, ID: id, ReqID: m.ReqID, Statement: m.Statement,
+		BatchRows: batch, At: eng.Now().Seconds()})
 	s.exec.Submit(j, eng.Now())
 	// Fire the arrival and its same-instant arbitration so the reply
 	// reports the admission verdict.
 	eng.RunUntil(eng.Now())
 	st := j.Status()
+	verdict := "admitted"
+	switch {
+	case st == core.StatusRejected || st == core.StatusShed:
+		verdict = "rejected"
+	case j.BestEffort():
+		verdict = "degraded"
+	}
+	s.journal(Record{Kind: recVerdict, ID: id, Status: verdict, At: eng.Now().Seconds()})
+	s.syncJournal()
+	if m.ReqID != "" {
+		s.reqIndex[m.ReqID] = id
+	}
 	resp := Response{
 		ID:         id,
 		Status:     st.String(),
@@ -462,6 +682,7 @@ func (s *Server) submit(m Message) Response {
 	switch st {
 	case core.StatusRejected, core.StatusShed:
 		resp.Error = "serve: admission refused: " + st.String()
+		resp.Code = CodeAdmissionRefused
 	default:
 		resp.OK = true
 	}
@@ -483,7 +704,21 @@ func (s *Server) status(m Message) Response {
 			VirtualNow: s.exec.Engine().Now().Seconds(),
 		}
 	}
-	return Response{Error: fmt.Sprintf("serve: unknown job %q", m.ID)}
+	// A job that reached a terminal status before a restart is not
+	// re-registered with the executor, but its outcome is durable in the
+	// journal — answer from there instead of "unknown job".
+	if s.jl != nil {
+		if jr, ok := s.jl.Job(m.ID); ok {
+			return Response{
+				OK:         true,
+				ID:         jr.ID,
+				Status:     jr.Status,
+				BestEffort: jr.BestEffort,
+				VirtualNow: s.exec.Engine().Now().Seconds(),
+			}
+		}
+	}
+	return Response{Error: fmt.Sprintf("serve: unknown job %q", m.ID), Code: CodeUnknownJob}
 }
 
 func (s *Server) statsResponse() Response {
@@ -512,7 +747,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	enc := json.NewEncoder(conn)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -522,13 +757,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		var m Message
 		var resp Response
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			resp = Response{Error: "serve: bad request: " + err.Error()}
+			resp = Response{Error: "serve: bad request: " + err.Error(), Code: CodeBadRequest}
 		} else {
 			resp = s.dispatch(m)
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	// A request line beyond the scanner's limit surfaces as ErrTooLong:
+	// reply with a typed error before closing, instead of silently
+	// dropping the connection, so the client can tell oversized from a
+	// server crash. The stream position is unrecoverable mid-line, so the
+	// connection still closes after the reply.
+	if errors.Is(sc.Err(), bufio.ErrTooLong) {
+		s.met.oversized.Inc()
+		enc.Encode(Response{
+			Error: fmt.Sprintf("serve: request line exceeds %d bytes", maxLineBytes),
+			Code:  CodeTooLarge,
+		})
 	}
 }
 
@@ -540,7 +787,7 @@ func (s *Server) dispatch(m Message) Response {
 	select {
 	case s.reqCh <- r:
 	case <-s.doneCh:
-		return Response{Error: "serve: server draining"}
+		return Response{Error: "serve: server draining", Code: CodeDraining}
 	}
 	select {
 	case resp := <-r.reply:
@@ -551,7 +798,7 @@ func (s *Server) dispatch(m Message) Response {
 		case resp := <-r.reply:
 			return resp
 		default:
-			return Response{Error: "serve: server draining"}
+			return Response{Error: "serve: server draining", Code: CodeDraining}
 		}
 	}
 }

@@ -505,6 +505,40 @@ type (
 // mode daemon; Serve listens until a drain request or signal.
 var NewServer = serve.New
 
+// Arbiter durability (PR 6): the write-ahead journal that makes the
+// serving daemon crash-recoverable, and the reconnecting client that
+// rides across its restarts.
+type (
+	// ServeJournal is the arbiter's write-ahead log: every serve-state
+	// transition fsynced before the client sees the reply, with
+	// size-triggered compaction and longest-valid-prefix corruption
+	// recovery.
+	ServeJournal = serve.Journal
+	// ServeJournalRecord is one journal entry.
+	ServeJournalRecord = serve.Record
+	// ServeRecovered is the durable state replayed from a journal at open.
+	ServeRecovered = serve.Recovered
+	// ServeClient is the reconnect-with-backoff protocol client; its
+	// resume handshake detects daemon restarts by server epoch.
+	ServeClient = serve.Client
+	// ServeClientConfig sets the client's socket and backoff envelope.
+	ServeClientConfig = serve.ClientConfig
+)
+
+var (
+	// OpenServeJournal opens (and replays) a write-ahead journal directory.
+	OpenServeJournal = serve.OpenJournal
+	// OpenDurableServe opens the durability pair — journal plus a
+	// disk-only checkpoint store retaining journal-referenced checkpoints
+	// across restarts.
+	OpenDurableServe = serve.OpenDurable
+	// NewServeClient builds the reconnecting client.
+	NewServeClient = serve.NewClient
+	// NewCheckpointStoreRetaining creates a checkpoint store whose
+	// stale-file sweep spares ids accepted by the retain predicate.
+	NewCheckpointStoreRetaining = core.NewCheckpointStoreRetaining
+)
+
 // Observability: the always-on metrics registry and streaming trace
 // sinks behind every executor, plus the debug HTTP listener.
 type (
