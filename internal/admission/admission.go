@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"rotary/internal/obs"
 )
@@ -176,9 +177,11 @@ type Stats struct {
 
 // Controller applies a Config to arrival Requests. It is pure decision
 // logic: it owns no queue and performs no I/O, so one controller can
-// front-end any executor. Not safe for concurrent use; the arbitration
-// loop is single-threaded by design.
+// front-end any executor. Safe for concurrent use: the simulated
+// arbitration loop is single-threaded, but live serving submits from
+// one goroutine per connection, so the decision ledger is mutex-guarded.
 type Controller struct {
+	mu    sync.Mutex
 	cfg   Config
 	stats Stats
 	met   ctrlMetrics
@@ -226,8 +229,12 @@ func NewController(cfg Config) *Controller {
 // Config returns the applied configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// Stats returns the decision counters so far.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the decision counters so far.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Decide evaluates one arrival. The deadline feasibility check runs
 // first — shedding a queued job frees a slot but no time, so an
@@ -235,6 +242,8 @@ func (c *Controller) Stats() Stats { return c.stats }
 // The queue bound is checked second and is hard under every policy
 // except ShedLowestValue.
 func (c *Controller) Decide(r Request) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats.Submitted++
 	c.met.submitted.Inc()
 	c.met.queueDepth.Set(float64(r.QueueDepth))
@@ -291,6 +300,8 @@ func (c *Controller) Decide(r Request) Decision {
 // admitted in its place); false means the arrival itself was the cheapest
 // job in sight and was refused.
 func (c *Controller) ResolveShed(shed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if shed {
 		c.stats.Shed++
 		c.stats.Admitted++

@@ -78,6 +78,15 @@ type AQPExecConfig struct {
 	// arbitration rounds is forced a minimal grant. Zero leaves the policy
 	// unwrapped.
 	AgingRounds int
+	// FastPath enables the arbitration decision cache (DESIGN.md §11):
+	// when the scheduler implements ProfiledAQPScheduler, repeated
+	// arbitrations over an identical queue-state signature replay the
+	// cached grant template instead of re-running the policy. Decisions
+	// are bit-identical either way — the cache key covers every input
+	// the policy declares — so this is purely a control-plane
+	// optimization. Unprofiled schedulers (including any AgingRounds
+	// guard wrap) bypass the cache and behave exactly as before.
+	FastPath bool
 }
 
 // DefaultAQPExecConfig mirrors the paper's 20-thread server, scaled to a
@@ -122,6 +131,14 @@ type AQPExecutor struct {
 	overload      OverloadStats
 	guard         *StarvationGuardAQP
 	met           *execMetrics
+	fast          *aqpFastPath
+
+	// Arbitration scratch, reused across rounds so the per-epoch control
+	// plane stays allocation-free: the context and its Pending/Running
+	// slices are valid only for the duration of one Assign call.
+	arbCtx     AQPContext
+	arbPend    []*AQPJob
+	arbRunning []*AQPJob
 
 	// ownsEngine marks an executor with a private engine (it may Stop the
 	// engine when its workload completes); onDone notifies a composing
@@ -171,6 +188,9 @@ func NewAQPExecutorOn(eng *sim.Engine, cfg AQPExecConfig, sched AQPScheduler, re
 	if cfg.AgingRounds > 0 {
 		e.guard = NewStarvationGuardAQP(sched, cfg.AgingRounds)
 		e.sched = e.guard
+	}
+	if cfg.FastPath {
+		e.fast = newAQPFastPath(e.sched)
 	}
 	return e
 }
@@ -445,31 +465,55 @@ func (e *AQPExecutor) scheduleArbitrate() {
 }
 
 // arbitrate invokes the policy over the current queue state and applies
-// its grants.
+// its grants. The context and its slices are scratch reused across
+// rounds; policies must not retain them past Assign (every in-repo
+// policy copies before sorting).
 func (e *AQPExecutor) arbitrate() {
 	if len(e.pending) == 0 || e.pool.FreeThreads() == 0 {
 		return
 	}
-	ctx := &AQPContext{
+	e.arbPend = append(e.arbPend[:0], e.pending...)
+	e.arbCtx = AQPContext{
 		Now:          e.eng.Now(),
-		Pending:      append([]*AQPJob(nil), e.pending...),
+		Pending:      e.arbPend,
 		Running:      e.runningJobs(),
 		FreeThreads:  e.pool.FreeThreads(),
 		TotalThreads: e.pool.TotalThreads(),
 		FreeMemMB:    e.pool.FreeMemMB(),
 		TotalMemMB:   e.pool.TotalMemMB(),
 	}
-	for _, g := range e.sched.Assign(ctx) {
+	var grants []AQPGrant
+	if e.fast != nil {
+		grants = e.fast.assign(&e.arbCtx)
+	} else {
+		grants = e.sched.Assign(&e.arbCtx)
+	}
+	for _, g := range grants {
 		e.startEpoch(g)
 	}
 }
 
+// runningJobs presents the running set sorted by job ID: map iteration
+// order is randomized per run, and policies that read ctx.Running must
+// see a deterministic queue state (the bit-identical replay guarantees
+// of both the fast path and the chaos suites depend on it).
 func (e *AQPExecutor) runningJobs() []*AQPJob {
-	out := make([]*AQPJob, 0, len(e.running))
+	out := e.arbRunning[:0]
 	for _, j := range e.running {
 		out = append(out, j)
 	}
+	sortAQPJobsByID(out)
+	e.arbRunning = out
 	return out
+}
+
+// FastPath reports the decision-cache counters; all-zero when the fast
+// path is disabled.
+func (e *AQPExecutor) FastPath() FastPathStats {
+	if e.fast == nil {
+		return FastPathStats{}
+	}
+	return e.fast.stats
 }
 
 // startEpoch applies one grant: books resources, charges resume overhead
@@ -583,8 +627,10 @@ func (e *AQPExecutor) preemptEpoch(j *AQPJob, wastedSecs float64) {
 	e.overload.WatchdogPreemptions++
 	e.met.watchdogPreempts.Inc()
 	e.overload.WatchdogWastedSecs += wastedSecs
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(),
-		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(),
+			Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	}
 	e.limbo++
 	e.eng.Schedule(e.cfg.WatchdogPenaltySecs, func() {
 		e.limbo--
@@ -626,8 +672,10 @@ func (e *AQPExecutor) resumeJob(j *AQPJob) float64 {
 				e.met.rollbacks.Inc()
 			}
 			e.met.resumes.Inc()
-			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
-				Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
+			if e.cfg.Tracer.Enabled() {
+				e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceResume, Job: j.ID(),
+					Detail: fmt.Sprintf("fromMemory=%v", fromMemory)})
+			}
 			return cost
 		}
 	}
@@ -694,8 +742,10 @@ func (e *AQPExecutor) crashEpoch(j *AQPJob, wastedSecs float64) {
 	e.rec.Crashes++
 	e.met.crashes.Inc()
 	e.rec.WastedWorkSecs += wastedSecs
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(),
-		Detail: fmt.Sprintf("wasted=%.1fs", wastedSecs)})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(),
+			Detail: fmt.Sprintf("wasted=%.1fs", wastedSecs)})
+	}
 	e.limbo++
 	e.eng.Schedule(e.cfg.CrashRecoverySecs, func() {
 		e.limbo--
@@ -732,8 +782,10 @@ func (e *AQPExecutor) finishEpoch(j *AQPJob, epochSecs, normWork float64) {
 		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
 	}
 	j.observeEpoch(e.eng.Now())
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceEpochDone, Job: j.ID(),
-		Detail: fmt.Sprintf("epoch=%d est-acc=%.3f", j.epochs, j.EstimatedAccuracy())})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceEpochDone, Job: j.ID(),
+			Detail: fmt.Sprintf("epoch=%d est-acc=%.3f", j.epochs, j.EstimatedAccuracy())})
+	}
 
 	now := e.eng.Now()
 	elapsed := (now - j.arrival).Seconds()

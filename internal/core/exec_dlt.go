@@ -56,6 +56,11 @@ type DLTExecConfig struct {
 	// AgingRounds, when > 0, wraps the scheduler in a starvation guard
 	// (see AQPExecConfig.AgingRounds).
 	AgingRounds int
+	// FastPath enables the arbitration decision cache (see
+	// AQPExecConfig.FastPath and DESIGN.md §11): profiled schedulers
+	// replay cached placement templates on identical queue-state
+	// signatures, with bit-identical decisions either way.
+	FastPath bool
 }
 
 // DefaultDLTExecConfig mirrors the paper's 4 × 8 GB testbed.
@@ -108,6 +113,13 @@ type DLTExecutor struct {
 	overload      OverloadStats
 	guard         *StarvationGuardDLT
 	met           *execMetrics
+	fast          *dltFastPath
+
+	// Arbitration scratch, reused across rounds (see AQPExecutor): the
+	// context and its slices are valid only during one Place call.
+	arbCtx     DLTContext
+	arbPend    []*DLTJob
+	arbRunning []*DLTJob
 
 	ownsEngine bool
 	onDone     func()
@@ -156,6 +168,9 @@ func NewDLTExecutorOn(eng *sim.Engine, cfg DLTExecConfig, sched DLTScheduler, re
 	if cfg.AgingRounds > 0 {
 		e.guard = NewStarvationGuardDLT(sched, cfg.AgingRounds)
 		e.sched = e.guard
+	}
+	if cfg.FastPath {
+		e.fast = newDLTFastPath(e.sched)
 	}
 	return e
 }
@@ -380,23 +395,43 @@ func (e *DLTExecutor) arbitrate() {
 	if len(free) == 0 {
 		return
 	}
-	ctx := &DLTContext{
+	e.arbPend = append(e.arbPend[:0], e.pending...)
+	e.arbCtx = DLTContext{
 		Now:      e.eng.Now(),
-		Pending:  append([]*DLTJob(nil), e.pending...),
+		Pending:  e.arbPend,
 		Running:  e.runningJobs(),
 		FreeGPUs: free,
 	}
-	for _, p := range e.sched.Place(ctx) {
+	var placements []DLTPlacement
+	if e.fast != nil {
+		placements = e.fast.place(&e.arbCtx)
+	} else {
+		placements = e.sched.Place(&e.arbCtx)
+	}
+	for _, p := range placements {
 		e.startEpoch(p)
 	}
 }
 
+// runningJobs presents the running set sorted by job ID — see
+// AQPExecutor.runningJobs for why determinism matters here.
 func (e *DLTExecutor) runningJobs() []*DLTJob {
-	out := make([]*DLTJob, 0, len(e.running))
+	out := e.arbRunning[:0]
 	for _, j := range e.running {
 		out = append(out, j)
 	}
+	sortDLTJobsByID(out)
+	e.arbRunning = out
 	return out
+}
+
+// FastPath reports the decision-cache counters; all-zero when the fast
+// path is disabled.
+func (e *DLTExecutor) FastPath() FastPathStats {
+	if e.fast == nil {
+		return FastPathStats{}
+	}
+	return e.fast.stats
 }
 
 func (e *DLTExecutor) startEpoch(p DLTPlacement) {
@@ -423,8 +458,10 @@ func (e *DLTExecutor) startEpoch(p DLTPlacement) {
 		// the job pays a fraction of an epoch and returns to the queue.
 		e.oomEvents++
 		e.met.ooms.Inc()
-		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceOOM, Job: j.ID(), Device: p.Device,
-			Detail: fmt.Sprintf("need=%.0fMB", actualMB)})
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceOOM, Job: j.ID(), Device: p.Device,
+				Detail: fmt.Sprintf("need=%.0fMB", actualMB)})
+		}
 		e.deviceLastJob[p.Device] = j.ID()
 		waste := 0.1*float64(j.job.StepsPerEpoch())*j.job.StepSeconds() + dlt.WarmupSeconds
 		e.eng.Schedule(waste, func() {
@@ -501,8 +538,10 @@ func (e *DLTExecutor) preemptEpoch(j *DLTJob, device int, wastedSecs float64) {
 	e.overload.WatchdogPreemptions++
 	e.met.watchdogPreempts.Inc()
 	e.overload.WatchdogWastedSecs += wastedSecs
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(), Device: device,
-		Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceWatchdog, Job: j.ID(), Device: device,
+			Detail: fmt.Sprintf("wasted=%.1fs strikes=%d", wastedSecs, j.watchdogStrikes)})
+	}
 	e.limbo++
 	e.eng.Schedule(e.cfg.WatchdogPenaltySecs, func() {
 		e.limbo--
@@ -593,8 +632,10 @@ func (e *DLTExecutor) crashEpoch(j *DLTJob, device int, wastedSecs float64) {
 	delete(e.deviceLastJob, device)
 	e.gpus.SetDown(device, true)
 	repair := e.cfg.Faults.RepairSecs()
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(), Device: device,
-		Detail: fmt.Sprintf("wasted=%.1fs repair=%.0fs", wastedSecs, repair)})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceCrash, Job: j.ID(), Device: device,
+			Detail: fmt.Sprintf("wasted=%.1fs repair=%.0fs", wastedSecs, repair)})
+	}
 	e.eng.Schedule(repair, func() {
 		e.gpus.SetDown(device, false)
 		e.scheduleArbitrate()
@@ -653,8 +694,10 @@ func (e *DLTExecutor) finishEpoch(j *DLTJob, device int, start sim.Time, epochSe
 		TrueAcc: j.job.Accuracy(),
 		EstAcc:  j.job.Accuracy(), // DLT evaluates directly; no proxy needed (§IV-B)
 	})
-	e.cfg.Tracer.Emit(TraceEvent{At: now, Kind: TraceEpochDone, Job: j.ID(),
-		Detail: fmt.Sprintf("epoch=%d acc=%.3f", j.epochs, j.job.Accuracy())})
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(TraceEvent{At: now, Kind: TraceEpochDone, Job: j.ID(),
+			Detail: fmt.Sprintf("epoch=%d acc=%.3f", j.epochs, j.job.Accuracy())})
+	}
 
 	switch {
 	case j.CriteriaMet():

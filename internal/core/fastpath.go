@@ -1,0 +1,507 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the arbitration control-plane fast path: an exact
+// decision cache over Algorithm 1's per-epoch policy invocation. The
+// motivating observation (see DESIGN.md §11) is that at scale the
+// arbiter re-derives the same grants over and over — the queue state
+// between consecutive epoch boundaries is usually unchanged except for
+// the clock — and the per-arbitration estimation + sort dominates
+// control-plane cost long before it shows up in virtual time.
+//
+// Soundness contract: the cache key (the "queue-state signature") must
+// cover EVERY input the policy can read. A policy opts in by
+// implementing ArbiterProfile() and promising that its Assign/Place is
+// a pure function of (the profiled inputs, its StateFingerprint), apart
+// from job mutations that the recorder captures as template diffs
+// (SetEpochBatches is the only such mutation in-repo). Policies with
+// unprofilable state — RNG-backed estimators, starvation-guard aging
+// counters, the unified executor's shared threshold — simply do not
+// implement the interface and bypass the cache, falling back to the
+// plain slow path. Correctness therefore never depends on a policy
+// author remembering to invalidate: a hit replays a decision whose
+// complete input set provably matches, and the metamorphic equivalence
+// suite (fastpath_equiv_test.go) checks the bit-identity end to end.
+
+// ArbiterProfile declares what a scheduling policy reads, so the fast
+// path can build a sound queue-state signature for it.
+type ArbiterProfile struct {
+	// Cachable opts the policy into decision caching. False (the zero
+	// value) forces the slow path — the safe default for any policy
+	// holding state the other fields cannot express.
+	Cachable bool
+	// TimeDependent marks policies whose decision reads ctx.Now (aging,
+	// deadline slack). The clock is then folded into the signature, so
+	// such policies only hit when two arbitrations coincide in virtual
+	// time — rare by construction, but still sound.
+	TimeDependent bool
+	// ReadsRunning marks policies that inspect ctx.Running (not just
+	// Pending); the running set is then folded into the signature.
+	ReadsRunning bool
+	// StateFingerprint summarizes the policy's own mutable inputs —
+	// estimator state versions, tunable thresholds. Any change that
+	// could alter a decision must move the fingerprint.
+	StateFingerprint uint64
+}
+
+// ProfiledAQPScheduler is an AQP policy that declares its input profile
+// and thereby opts into the arbitration fast path.
+type ProfiledAQPScheduler interface {
+	AQPScheduler
+	ArbiterProfile() ArbiterProfile
+}
+
+// ProfiledDLTScheduler is a DLT policy that declares its input profile
+// and thereby opts into the arbitration fast path.
+type ProfiledDLTScheduler interface {
+	DLTScheduler
+	ArbiterProfile() ArbiterProfile
+}
+
+// FastPathStats counts fast-path outcomes for one executor run.
+type FastPathStats struct {
+	// Hits are arbitrations served by replaying a cached template.
+	Hits uint64
+	// Misses are arbitrations that ran the policy and recorded a
+	// template (includes replays refused by the pointer verification).
+	Misses uint64
+	// Bypassed are arbitrations that skipped the cache entirely: the
+	// policy is unprofiled (guard-wrapped, unified, custom) or its
+	// profile reported Cachable=false (e.g. an RNG-backed estimator).
+	Bypassed uint64
+}
+
+// fastPathCacheBound caps the per-executor template cache. Signatures
+// embed estimator versions and the virtual clock, so stale entries can
+// never hit again; the bound just keeps dead entries from accumulating.
+// Overflow clears the whole map — simple, and sound by construction.
+const fastPathCacheBound = 512
+
+// fpInit / fpMix implement the 64-bit FNV-1a-style word mix used for
+// fingerprints and signatures: xor-fold the word, multiply by the FNV
+// prime, then shear the high bits back down so consecutive small
+// integers (job counts, thread counts) diffuse across the word.
+const (
+	fpInit        = uint64(14695981039346656037)
+	fpPrime       = uint64(1099511628211)
+	fpStringSalt  = uint64(0x9e3779b97f4a7c15)
+	fpRunningSalt = uint64(0x517cc1b727220a95)
+)
+
+func fpMix(h, v uint64) uint64 {
+	h ^= v
+	h *= fpPrime
+	h ^= h >> 32
+	return h
+}
+
+func fpFloat(h uint64, v float64) uint64 { return fpMix(h, math.Float64bits(v)) }
+
+func fpBool(h uint64, v bool) uint64 {
+	if v {
+		return fpMix(h, 1)
+	}
+	return fpMix(h, 2)
+}
+
+// fpString is the classic byte-wise FNV-1a, salted so an empty string
+// still contributes.
+func fpString(s string) uint64 {
+	h := fpInit ^ fpStringSalt
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fpPrime
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// AQP fast path
+// ---------------------------------------------------------------------
+
+// aqpFastPath is the decision cache in front of one AQP executor's
+// scheduler. It is not safe for concurrent use; the executor invokes it
+// only from the single-threaded simulation loop.
+type aqpFastPath struct {
+	sched AQPScheduler
+	prof  ProfiledAQPScheduler // nil: every arbitration bypasses
+	nameH uint64
+
+	cache map[uint64]*aqpTemplate
+	idH   map[*AQPJob]uint64 // memoized immutable-identity hashes
+	stats FastPathStats
+
+	preBatches []int // pre-Assign epochBatches scratch (recording)
+}
+
+// aqpTemplate is one cached arbitration decision: the grants plus the
+// SetEpochBatches side effects the policy applied while deciding. Each
+// entry records the job's position in ctx.Pending AND its pointer;
+// replay verifies both, so a signature collision (or any bookkeeping
+// bug) degrades to a miss instead of granting the wrong job.
+type aqpTemplate struct {
+	pendingLen int
+	grants     []aqpTemplateGrant
+	batches    []aqpBatchDiff
+}
+
+type aqpTemplateGrant struct {
+	job     *AQPJob
+	idx     int
+	threads int
+	reserve float64
+}
+
+type aqpBatchDiff struct {
+	job *AQPJob
+	idx int
+	n   int
+}
+
+func newAQPFastPath(sched AQPScheduler) *aqpFastPath {
+	f := &aqpFastPath{
+		sched: sched,
+		cache: make(map[uint64]*aqpTemplate),
+		idH:   make(map[*AQPJob]uint64),
+		nameH: fpString(sched.Name()),
+	}
+	f.prof, _ = sched.(ProfiledAQPScheduler)
+	return f
+}
+
+// assign is the fast-path frontend to sched.Assign.
+func (f *aqpFastPath) assign(ctx *AQPContext) []AQPGrant {
+	if f.prof == nil {
+		f.stats.Bypassed++
+		return f.sched.Assign(ctx)
+	}
+	prof := f.prof.ArbiterProfile()
+	if !prof.Cachable {
+		f.stats.Bypassed++
+		return f.sched.Assign(ctx)
+	}
+	sig := f.signature(prof, ctx)
+	if t, ok := f.cache[sig]; ok {
+		if grants, ok := t.replay(ctx); ok {
+			f.stats.Hits++
+			return grants
+		}
+		delete(f.cache, sig) // pointer verification refused the replay
+	}
+	f.stats.Misses++
+
+	pre := f.preBatches[:0]
+	for _, j := range ctx.Pending {
+		pre = append(pre, j.epochBatches)
+	}
+	f.preBatches = pre
+
+	grants := f.sched.Assign(ctx)
+
+	t := &aqpTemplate{pendingLen: len(ctx.Pending)}
+	var index map[*AQPJob]int
+	for i, j := range ctx.Pending {
+		if j.epochBatches != pre[i] {
+			t.batches = append(t.batches, aqpBatchDiff{job: j, idx: i, n: j.epochBatches})
+		}
+	}
+	if len(grants) > 0 {
+		index = make(map[*AQPJob]int, len(ctx.Pending))
+		for i, j := range ctx.Pending {
+			index[j] = i
+		}
+	}
+	for _, g := range grants {
+		idx, ok := index[g.Job]
+		if !ok {
+			// A grant for a job not in Pending is outside the template
+			// model; never cache this decision.
+			return grants
+		}
+		t.grants = append(t.grants, aqpTemplateGrant{job: g.Job, idx: idx, threads: g.Threads, reserve: g.ReserveMemMB})
+	}
+	if len(f.cache) >= fastPathCacheBound {
+		f.cache = make(map[uint64]*aqpTemplate)
+	}
+	f.cache[sig] = t
+	return grants
+}
+
+// replay re-issues the cached decision after verifying that every job
+// the template touches still sits at its recorded queue position.
+func (t *aqpTemplate) replay(ctx *AQPContext) ([]AQPGrant, bool) {
+	if len(ctx.Pending) != t.pendingLen {
+		return nil, false
+	}
+	for _, b := range t.batches {
+		if b.idx >= len(ctx.Pending) || ctx.Pending[b.idx] != b.job {
+			return nil, false
+		}
+	}
+	for _, g := range t.grants {
+		if g.idx >= len(ctx.Pending) || ctx.Pending[g.idx] != g.job {
+			return nil, false
+		}
+	}
+	for _, b := range t.batches {
+		b.job.SetEpochBatches(b.n)
+	}
+	grants := make([]AQPGrant, len(t.grants))
+	for i, g := range t.grants {
+		grants[i] = AQPGrant{Job: g.job, Threads: g.threads, ReserveMemMB: g.reserve}
+	}
+	return grants, true
+}
+
+// signature folds every profiled policy input into the queue-state key:
+// policy identity and state version, exact capacity, the pending queue
+// in order, the (sorted) running set when the policy reads it, and the
+// clock when the policy is time-dependent. Capacity is folded exactly —
+// a coarser "band" would admit replays the policy might not have
+// produced, breaking the bit-identity guarantee.
+func (f *aqpFastPath) signature(prof ArbiterProfile, ctx *AQPContext) uint64 {
+	h := fpMix(fpInit, f.nameH)
+	h = fpMix(h, prof.StateFingerprint)
+	if prof.TimeDependent {
+		h = fpFloat(h, ctx.Now.Seconds())
+	}
+	h = fpMix(h, uint64(ctx.FreeThreads))
+	h = fpMix(h, uint64(ctx.TotalThreads))
+	h = fpFloat(h, ctx.FreeMemMB)
+	h = fpFloat(h, ctx.TotalMemMB)
+	h = fpMix(h, uint64(len(ctx.Pending)))
+	for _, j := range ctx.Pending {
+		h = fpMix(h, f.jobFingerprint(j))
+	}
+	if prof.ReadsRunning {
+		h = fpMix(h, fpRunningSalt)
+		h = fpMix(h, uint64(len(ctx.Running)))
+		for _, j := range ctx.Running {
+			h = fpMix(h, f.jobFingerprint(j))
+		}
+	}
+	return h
+}
+
+// jobFingerprint summarizes one job's policy-visible state. The
+// identity (id string — estMemMB, batchRows, class, and criteria are
+// immutable per job) is memoized per pointer; the mutable part folds
+// every field a policy can observe, directly or through derived
+// accessors:
+//
+//   - epochs/processingSecs/normSecs advance on every state-mutating
+//     path (a completed epoch charges ≥ 1ms; crash, preemption, and
+//     checkpoint backoff all add positive wasted time), so they proxy
+//     the query's own progress state (DataProgress, Exhausted);
+//   - the realtime curve's length and last point cover the envelope:
+//     observeEpoch appends EstimatedAccuracy() to the curve, and all
+//     envelope mutations happen inside epochs, so for any queued job
+//     the last point's Y IS the current EstimatedAccuracy;
+//   - arrival/lastRelease/everRan feed deadline and aging terms;
+//   - epochBatches is both read and written by policies (the template
+//     records the writes as diffs);
+//   - needsRestore/crashPending distinguish a crash-dirtied in-memory
+//     query from a clean one with identical counters.
+func (f *aqpFastPath) jobFingerprint(j *AQPJob) uint64 {
+	h, ok := f.idH[j]
+	if !ok {
+		h = fpString(j.id)
+		f.idH[j] = h
+	}
+	h = fpMix(h, uint64(j.epochs))
+	h = fpFloat(h, j.processingSecs)
+	h = fpFloat(h, j.normSecs)
+	h = fpFloat(h, j.arrival.Seconds())
+	h = fpFloat(h, j.lastRelease.Seconds())
+	h = fpBool(h, j.everRan)
+	h = fpBool(h, j.bestEffort)
+	h = fpBool(h, j.needsRestore)
+	h = fpBool(h, j.crashPending)
+	h = fpMix(h, uint64(j.epochBatches))
+	h = fpMix(h, uint64(j.watchdogStrikes))
+	h = fpFloat(h, j.deferredPenaltySecs)
+	h = fpMix(h, uint64(len(j.realtimeCurve)))
+	if n := len(j.realtimeCurve); n > 0 {
+		last := j.realtimeCurve[n-1]
+		h = fpFloat(h, last.X)
+		h = fpFloat(h, last.Y)
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// DLT fast path
+// ---------------------------------------------------------------------
+
+// dltFastPath is the decision cache in front of one DLT executor's
+// scheduler. DLT policies in-repo perform no job mutations while
+// deciding, so templates carry placements only.
+type dltFastPath struct {
+	sched DLTScheduler
+	prof  ProfiledDLTScheduler
+	nameH uint64
+
+	cache map[uint64]*dltTemplate
+	idH   map[*DLTJob]uint64
+	stats FastPathStats
+}
+
+type dltTemplate struct {
+	pendingLen int
+	placements []dltTemplatePlacement
+}
+
+type dltTemplatePlacement struct {
+	job      *DLTJob
+	idx      int
+	device   int
+	estMemMB float64
+}
+
+func newDLTFastPath(sched DLTScheduler) *dltFastPath {
+	f := &dltFastPath{
+		sched: sched,
+		cache: make(map[uint64]*dltTemplate),
+		idH:   make(map[*DLTJob]uint64),
+		nameH: fpString(sched.Name()),
+	}
+	f.prof, _ = sched.(ProfiledDLTScheduler)
+	return f
+}
+
+// place is the fast-path frontend to sched.Place.
+func (f *dltFastPath) place(ctx *DLTContext) []DLTPlacement {
+	if f.prof == nil {
+		f.stats.Bypassed++
+		return f.sched.Place(ctx)
+	}
+	prof := f.prof.ArbiterProfile()
+	if !prof.Cachable {
+		f.stats.Bypassed++
+		return f.sched.Place(ctx)
+	}
+	sig := f.signature(prof, ctx)
+	if t, ok := f.cache[sig]; ok {
+		if placements, ok := t.replay(ctx); ok {
+			f.stats.Hits++
+			return placements
+		}
+		delete(f.cache, sig)
+	}
+	f.stats.Misses++
+
+	placements := f.sched.Place(ctx)
+
+	t := &dltTemplate{pendingLen: len(ctx.Pending)}
+	var index map[*DLTJob]int
+	if len(placements) > 0 {
+		index = make(map[*DLTJob]int, len(ctx.Pending))
+		for i, j := range ctx.Pending {
+			index[j] = i
+		}
+	}
+	for _, p := range placements {
+		idx, ok := index[p.Job]
+		if !ok {
+			return placements // outside the template model; don't cache
+		}
+		t.placements = append(t.placements, dltTemplatePlacement{job: p.Job, idx: idx, device: p.Device, estMemMB: p.EstMemMB})
+	}
+	if len(f.cache) >= fastPathCacheBound {
+		f.cache = make(map[uint64]*dltTemplate)
+	}
+	f.cache[sig] = t
+	return placements
+}
+
+func (t *dltTemplate) replay(ctx *DLTContext) ([]DLTPlacement, bool) {
+	if len(ctx.Pending) != t.pendingLen {
+		return nil, false
+	}
+	for _, p := range t.placements {
+		if p.idx >= len(ctx.Pending) || ctx.Pending[p.idx] != p.job {
+			return nil, false
+		}
+	}
+	placements := make([]DLTPlacement, len(t.placements))
+	for i, p := range t.placements {
+		placements[i] = DLTPlacement{Job: p.job, Device: p.device, EstMemMB: p.estMemMB}
+	}
+	return placements, true
+}
+
+func (f *dltFastPath) signature(prof ArbiterProfile, ctx *DLTContext) uint64 {
+	h := fpMix(fpInit, f.nameH)
+	h = fpMix(h, prof.StateFingerprint)
+	if prof.TimeDependent {
+		h = fpFloat(h, ctx.Now.Seconds())
+	}
+	h = fpMix(h, uint64(len(ctx.FreeGPUs)))
+	for _, g := range ctx.FreeGPUs {
+		h = fpMix(h, uint64(g.ID))
+		h = fpFloat(h, g.MemMB)
+	}
+	h = fpMix(h, uint64(len(ctx.Pending)))
+	for _, j := range ctx.Pending {
+		h = fpMix(h, f.jobFingerprint(j))
+	}
+	if prof.ReadsRunning {
+		h = fpMix(h, fpRunningSalt)
+		h = fpMix(h, uint64(len(ctx.Running)))
+		for _, j := range ctx.Running {
+			h = fpMix(h, f.jobFingerprint(j))
+		}
+	}
+	return h
+}
+
+// jobFingerprint summarizes one DLT job's policy-visible state: the
+// epoch and processing counters (every mutating path charges positive
+// time), the trainer's accuracy trajectory (trained-epoch count +
+// latest accuracy — the history grows exactly once per trained epoch
+// and resets only with the counters on a scratch restart), convergence
+// and overload markers, and the crash-dirty flags. The
+// similarity-search identity (model/dataset/hyperparameters) is
+// immutable and covered by the memoized id hash. Trajectory reads go
+// through EpochsTrained/Accuracy, not AccuracyHistory, which copies.
+func (f *dltFastPath) jobFingerprint(j *DLTJob) uint64 {
+	h, ok := f.idH[j]
+	if !ok {
+		h = fpString(j.id)
+		f.idH[j] = h
+	}
+	h = fpMix(h, uint64(j.epochs))
+	h = fpFloat(h, j.processingSecs)
+	h = fpFloat(h, j.arrival.Seconds())
+	h = fpFloat(h, j.lastRelease.Seconds())
+	h = fpMix(h, uint64(int64(j.lastDevice)+1))
+	h = fpBool(h, j.everRan)
+	h = fpBool(h, j.bestEffort)
+	h = fpBool(h, j.needsRestore)
+	h = fpBool(h, j.crashPending)
+	h = fpMix(h, uint64(j.convergedAtEpoch))
+	h = fpMix(h, uint64(j.watchdogStrikes))
+	h = fpFloat(h, j.deferredPenaltySecs)
+	h = fpMix(h, uint64(j.job.EpochsTrained()))
+	if j.job.EpochsTrained() > 0 {
+		h = fpFloat(h, j.job.Accuracy())
+	}
+	h = fpFloat(h, j.job.PeakMemoryMB())
+	return h
+}
+
+// sortAQPJobsByID orders a job slice by ID in place — the executors'
+// deterministic presentation of the running set (map iteration order
+// would otherwise leak into policies that read ctx.Running).
+func sortAQPJobsByID(jobs []*AQPJob) {
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+}
+
+// sortDLTJobsByID orders a job slice by ID in place.
+func sortDLTJobsByID(jobs []*DLTJob) {
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+}

@@ -1,0 +1,512 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rotary/internal/admission"
+	"rotary/internal/baselines"
+	"rotary/internal/core"
+	"rotary/internal/estimate"
+	"rotary/internal/faults"
+	"rotary/internal/obs"
+	"rotary/internal/sim"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// Metamorphic equivalence suite for the control-plane fast path: a run
+// with decision caching enabled must be indistinguishable from the same
+// run with it disabled — bit-identical trace sequences (every decision,
+// timestamp, thread/device allocation, and detail string), terminal
+// statuses, epoch counts, stop accuracies, and end times — across every
+// policy, at seeds 1/7/42, including under fault-injection and overload
+// chaos. The cache is only sound if a signature hit provably reproduces
+// the slow-path decision; these tests are the proof obligation's
+// empirical half (the analytical half is argued in fastpath.go).
+
+// tracesIdentical fails unless the two runs produced exactly the same
+// event sequence.
+func tracesIdentical(t *testing.T, label string, off, on []core.TraceEvent) {
+	t.Helper()
+	if len(off) != len(on) {
+		t.Errorf("%s: trace length diverged: off=%d on=%d", label, len(off), len(on))
+		return
+	}
+	for i := range off {
+		if off[i] != on[i] {
+			t.Errorf("%s: trace diverged at event %d:\n  off: %+v\n  on:  %+v", label, i, off[i], on[i])
+			return
+		}
+	}
+}
+
+// equivAQPRun executes one AQP workload with the fast path on or off.
+// Everything else — scheduler, estimator repository, jobs, fault
+// schedule — is rebuilt identically per run so the toggle is the only
+// difference.
+func equivAQPRun(t *testing.T, cat *tpch.Catalog, specs []workload.AQPSpec,
+	mkSched func(*estimate.Repository) core.AQPScheduler, fastOn bool) (*core.AQPExecutor, *core.Tracer) {
+	t.Helper()
+	repo := estimate.NewRepository()
+	if err := workload.SeedAQPHistory(repo, cat, 2000); err != nil {
+		t.Fatal(err)
+	}
+	tracer := core.NewTracer(0)
+	cfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	cfg.Tracer = tracer
+	cfg.Obs = obs.NewRegistry()
+	cfg.FastPath = fastOn
+	exec := core.NewAQPExecutor(cfg, mkSched(repo), repo)
+	for _, spec := range specs {
+		j, err := workload.BuildAQPJob(cat, spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.ID, err)
+		}
+		exec.Submit(j, sim.Time(spec.ArrivalSecs))
+	}
+	if err := exec.Run(); err != nil {
+		t.Fatalf("fast=%v: %v", fastOn, err)
+	}
+	return exec, tracer
+}
+
+func equivAQPPolicies() map[string]func(*estimate.Repository) core.AQPScheduler {
+	return map[string]func(*estimate.Repository) core.AQPScheduler{
+		"rotary-aqp": func(repo *estimate.Repository) core.AQPScheduler {
+			return core.NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3))
+		},
+		"round-robin": func(*estimate.Repository) core.AQPScheduler { return baselines.RoundRobinAQP{} },
+		"edf":         func(*estimate.Repository) core.AQPScheduler { return baselines.EDFAQP{} },
+		"laf":         func(*estimate.Repository) core.AQPScheduler { return baselines.LAFAQP{} },
+		"relaqs":      func(*estimate.Repository) core.AQPScheduler { return baselines.ReLAQS{} },
+	}
+}
+
+// TestFastPathAQPEquivalence: all five AQP policies, seeds 1/7/42, fast
+// path off vs on — bit-identical traces and outcomes.
+func TestFastPathAQPEquivalence(t *testing.T) {
+	var hits, misses uint64
+	for name, mk := range equivAQPPolicies() {
+		for _, seed := range chaosSeeds {
+			label := fmt.Sprintf("%s/seed=%d", name, seed)
+			cat, specs := buildAQPWorkload(t, 8, seed)
+			off, offTr := equivAQPRun(t, cat, specs, mk, false)
+			on, onTr := equivAQPRun(t, cat, specs, mk, true)
+			tracesIdentical(t, label, offTr.Events(), onTr.Events())
+			want := aqpOutcomes(off.Jobs())
+			for _, j := range on.Jobs() {
+				w := want[j.ID()]
+				if j.Status() != w.status || j.Epochs() != w.epochs || j.StopAccuracy() != w.stopAcc {
+					t.Errorf("%s: job %s diverged: %v/%d/%v, want %v/%d/%v",
+						label, j.ID(), j.Status(), j.Epochs(), j.StopAccuracy(),
+						w.status, w.epochs, w.stopAcc)
+				}
+				if !snapshotsEqual(j.Query().Snapshot().Groups, w.groups) {
+					t.Errorf("%s: job %s final aggregates diverged", label, j.ID())
+				}
+			}
+			if off.Engine().Now() != on.Engine().Now() {
+				t.Errorf("%s: makespans diverged: off=%v on=%v", label, off.Engine().Now(), on.Engine().Now())
+			}
+			st := on.FastPath()
+			if st.Bypassed > 0 {
+				t.Errorf("%s: %d arbitrations bypassed — profiled policy should engage the cache", label, st.Bypassed)
+			}
+			hits += st.Hits
+			misses += st.Misses
+		}
+	}
+	if hits+misses == 0 {
+		t.Error("fast path never consulted across any AQP run")
+	}
+	t.Logf("AQP live-run cache: %d hits / %d misses", hits, misses)
+}
+
+// equivDLTRun mirrors equivAQPRun for the DLT executor.
+func equivDLTRun(t *testing.T, specs []workload.DLTSpec,
+	mkSched func(*estimate.Repository) core.DLTScheduler, fastOn bool) (*core.DLTExecutor, *core.Tracer) {
+	t.Helper()
+	repo := estimate.NewRepository()
+	if err := workload.SeedDLTHistory(repo, 40, 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	tracer := core.NewTracer(0)
+	cfg := core.DefaultDLTExecConfig()
+	cfg.Tracer = tracer
+	cfg.Obs = obs.NewRegistry()
+	cfg.FastPath = fastOn
+	exec := core.NewDLTExecutor(cfg, mkSched(repo), repo)
+	for _, spec := range specs {
+		j, err := workload.BuildDLTJob(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.ID, err)
+		}
+		exec.Submit(j, 0)
+	}
+	if err := exec.Run(); err != nil {
+		t.Fatalf("fast=%v: %v", fastOn, err)
+	}
+	return exec, tracer
+}
+
+func equivDLTPolicies() map[string]func(*estimate.Repository) core.DLTScheduler {
+	mkRotary := func(threshold float64) func(*estimate.Repository) core.DLTScheduler {
+		return func(repo *estimate.Repository) core.DLTScheduler {
+			return core.NewRotaryDLT(threshold, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
+		}
+	}
+	return map[string]func(*estimate.Repository) core.DLTScheduler{
+		"rotary-dlt-efficiency": mkRotary(0.0),
+		"rotary-dlt-adaptive":   mkRotary(0.5),
+		"rotary-dlt-fairness":   mkRotary(1.0),
+		"srf":                   func(*estimate.Repository) core.DLTScheduler { return baselines.SRF{} },
+		"bcf":                   func(*estimate.Repository) core.DLTScheduler { return baselines.BCF{} },
+		"laf":                   func(*estimate.Repository) core.DLTScheduler { return baselines.LAFDLT{} },
+	}
+}
+
+// TestFastPathDLTEquivalence: all DLT policies (the three Rotary
+// threshold variants and the three baselines), seeds 1/7/42.
+func TestFastPathDLTEquivalence(t *testing.T) {
+	var hits, misses uint64
+	for name, mk := range equivDLTPolicies() {
+		for _, seed := range chaosSeeds {
+			label := fmt.Sprintf("%s/seed=%d", name, seed)
+			specs := mustGenDLT(t, 8, seed)
+			off, offTr := equivDLTRun(t, specs, mk, false)
+			on, onTr := equivDLTRun(t, specs, mk, true)
+			tracesIdentical(t, label, offTr.Events(), onTr.Events())
+			want := dltOutcomes(off.Jobs())
+			for _, j := range on.Jobs() {
+				w := want[j.ID()]
+				if j.Status() != w.status || j.Epochs() != w.epochs ||
+					j.Accuracy() != w.accuracy || j.ConvergedAtEpoch() != w.convergedAt {
+					t.Errorf("%s: job %s diverged: %v/%d/%v/%d, want %v/%d/%v/%d",
+						label, j.ID(), j.Status(), j.Epochs(), j.Accuracy(), j.ConvergedAtEpoch(),
+						w.status, w.epochs, w.accuracy, w.convergedAt)
+				}
+			}
+			if off.Engine().Now() != on.Engine().Now() {
+				t.Errorf("%s: makespans diverged: off=%v on=%v", label, off.Engine().Now(), on.Engine().Now())
+			}
+			st := on.FastPath()
+			if st.Bypassed > 0 {
+				t.Errorf("%s: %d arbitrations bypassed", label, st.Bypassed)
+			}
+			hits += st.Hits
+			misses += st.Misses
+		}
+	}
+	if hits+misses == 0 {
+		t.Error("fast path never consulted across any DLT run")
+	}
+	t.Logf("DLT live-run cache: %d hits / %d misses", hits, misses)
+}
+
+// TestFastPathRandomEstimatorUncachable: RotaryAQP with the RandomProgress
+// estimator consumes an RNG draw per priority call — hidden state no
+// signature covers. The profile must degrade to uncachable (every
+// arbitration bypassed) and the runs must still match trivially.
+func TestFastPathRandomEstimatorUncachable(t *testing.T) {
+	mk := func(*estimate.Repository) core.AQPScheduler {
+		return baselines.RandomRotaryAQP(sim.NewRand(99))
+	}
+	cat, specs := buildAQPWorkload(t, 6, 1)
+	off, offTr := equivAQPRun(t, cat, specs, mk, false)
+	on, onTr := equivAQPRun(t, cat, specs, mk, true)
+	tracesIdentical(t, "random-rotary-aqp", offTr.Events(), onTr.Events())
+	if off.Engine().Now() != on.Engine().Now() {
+		t.Errorf("makespans diverged: off=%v on=%v", off.Engine().Now(), on.Engine().Now())
+	}
+	st := on.FastPath()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("unversioned estimator must never reach the cache: %+v", st)
+	}
+	if st.Bypassed == 0 {
+		t.Error("no arbitrations recorded as bypassed")
+	}
+}
+
+// equivChaosAQPRun is runChaosAQP with the fast-path toggle: contended
+// 2-thread pool, checkpoint store, recoverable fault injection.
+func equivChaosAQPRun(t *testing.T, cat *tpch.Catalog,
+	mkSched func(*estimate.Repository) core.AQPScheduler, seed uint64, fastOn bool) (*core.AQPExecutor, *core.Tracer) {
+	t.Helper()
+	repo := estimate.NewRepository()
+	if err := workload.SeedAQPHistory(repo, cat, 2000); err != nil {
+		t.Fatal(err)
+	}
+	store, err := core.NewCheckpointStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := core.NewTracer(0)
+	cfg := core.DefaultAQPExecConfig(1e6)
+	cfg.Threads = 2
+	cfg.Store = store
+	cfg.Tracer = tracer
+	cfg.Obs = obs.NewRegistry()
+	cfg.FastPath = fastOn
+	in := faults.New(faults.Recoverable(seed, 0.12))
+	store.SetFaults(in)
+	cfg.Faults = in
+	exec := core.NewAQPExecutor(cfg, mkSched(repo), repo)
+	for i, j := range chaosAQPJobs(t, cat) {
+		exec.Submit(j, sim.Time(float64(i)*5))
+	}
+	if err := exec.Run(); err != nil {
+		t.Fatalf("seed %d fast=%v: %v", seed, fastOn, err)
+	}
+	return exec, tracer
+}
+
+// TestFastPathChaosAQPEquivalence: under crash/transient-I/O injection
+// the cached and uncached runs must still be bit-identical — crashes
+// dirty in-memory query state, and the needsRestore/crashPending flags
+// in the job fingerprints are what keeps such states from colliding
+// with clean ones.
+func TestFastPathChaosAQPEquivalence(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	policies := map[string]func(*estimate.Repository) core.AQPScheduler{
+		"rotary-aqp": func(repo *estimate.Repository) core.AQPScheduler {
+			return core.NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3))
+		},
+		"relaqs": func(*estimate.Repository) core.AQPScheduler { return baselines.ReLAQS{} },
+	}
+	for name, mk := range policies {
+		for _, seed := range chaosSeeds {
+			label := fmt.Sprintf("%s/seed=%d", name, seed)
+			off, offTr := equivChaosAQPRun(t, cat, mk, seed, false)
+			on, onTr := equivChaosAQPRun(t, cat, mk, seed, true)
+			if off.Recovery().Crashes == 0 {
+				t.Fatalf("%s: no crashes injected — the run proves nothing", label)
+			}
+			if off.Recovery() != on.Recovery() {
+				t.Errorf("%s: recovery counters diverged: off=%+v on=%+v", label, off.Recovery(), on.Recovery())
+			}
+			tracesIdentical(t, label, offTr.Events(), onTr.Events())
+			want := aqpOutcomes(off.Jobs())
+			for _, j := range on.Jobs() {
+				w := want[j.ID()]
+				if j.Status() != w.status || j.Epochs() != w.epochs || j.StopAccuracy() != w.stopAcc {
+					t.Errorf("%s: job %s diverged", label, j.ID())
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathChaosDLTEquivalence: the full Rotary-DLT policy under
+// recoverable fault injection, cached vs uncached.
+func TestFastPathChaosDLTEquivalence(t *testing.T) {
+	run := func(specs []workload.DLTSpec, seed uint64, fastOn bool) (*core.DLTExecutor, *core.Tracer) {
+		repo := estimate.NewRepository()
+		if err := workload.SeedDLTHistory(repo, 40, 30, 3); err != nil {
+			t.Fatal(err)
+		}
+		store, err := core.NewCheckpointStore(t.TempDir(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracer := core.NewTracer(0)
+		cfg := core.DefaultDLTExecConfig()
+		cfg.Store = store
+		cfg.Tracer = tracer
+		cfg.Obs = obs.NewRegistry()
+		cfg.FastPath = fastOn
+		in := faults.New(faults.Recoverable(seed, 0.12))
+		store.SetFaults(in)
+		cfg.Faults = in
+		exec := core.NewDLTExecutor(cfg, core.NewRotaryDLT(0.5, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3)), repo)
+		for _, spec := range specs {
+			j, err := workload.BuildDLTJob(spec)
+			if err != nil {
+				t.Fatalf("build %s: %v", spec.ID, err)
+			}
+			exec.Submit(j, 0)
+		}
+		if err := exec.Run(); err != nil {
+			t.Fatalf("seed %d fast=%v: %v", seed, fastOn, err)
+		}
+		return exec, tracer
+	}
+	for _, seed := range chaosSeeds {
+		label := fmt.Sprintf("rotary-dlt/seed=%d", seed)
+		specs := mustGenDLT(t, 8, seed)
+		off, offTr := run(specs, seed, false)
+		on, onTr := run(specs, seed, true)
+		if off.Recovery().Crashes == 0 {
+			t.Fatalf("%s: no crashes injected — the run proves nothing", label)
+		}
+		tracesIdentical(t, label, offTr.Events(), onTr.Events())
+		want := dltOutcomes(off.Jobs())
+		for _, j := range on.Jobs() {
+			w := want[j.ID()]
+			if j.Status() != w.status || j.Epochs() != w.epochs ||
+				j.Accuracy() != w.accuracy || j.ConvergedAtEpoch() != w.convergedAt {
+				t.Errorf("%s: job %s diverged", label, j.ID())
+			}
+		}
+	}
+}
+
+// equivOverloadRun is runOverloadAQP with the fast-path toggle and a
+// configurable aging setting: AgingRounds > 0 wraps the policy in the
+// starvation guard, whose mutable counters make it unprofiled — the
+// fast path must then bypass every arbitration rather than cache a
+// stateful scheduler.
+func equivOverloadRun(t *testing.T, cat *tpch.Catalog, seed uint64, agingRounds int, fastOn bool) (*core.AQPExecutor, *core.Tracer, []*core.AQPJob) {
+	t.Helper()
+	store, err := core.NewCheckpointStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	store.SetObs(reg)
+	ctrl := admission.NewController(admission.Config{
+		MaxQueueDepth: overloadQueueBound,
+		SlackFactor:   1,
+		Policy:        admission.ShedLowestValue,
+		Obs:           reg,
+	})
+	tracer := core.NewTracer(0)
+	cfg := core.DefaultAQPExecConfig(1e6)
+	cfg.Threads = 2
+	cfg.Store = store
+	cfg.Admission = ctrl
+	cfg.WatchdogSlack = 0.5
+	cfg.AgingRounds = agingRounds
+	cfg.Tracer = tracer
+	cfg.Obs = reg
+	cfg.FastPath = fastOn
+	in := faults.New(faults.Recoverable(seed, 0.05))
+	store.SetFaults(in)
+	cfg.Faults = in
+	exec := core.NewAQPExecutor(cfg, baselines.EDFAQP{}, nil)
+
+	r := sim.NewRand(seed)
+	queries := []string{"q1", "q6", "q12", "q14", "q3", "q19"}
+	var jobs []*core.AQPJob
+	at := 0.0
+	for i := 0; i < 24; i++ {
+		deadline := 1e6
+		if i%2 == 1 {
+			deadline = 150
+		}
+		j := buildJob(t, cat, fmt.Sprintf("ov-%02d", i), queries[i%len(queries)], 0.9, deadline)
+		jobs = append(jobs, j)
+		exec.Submit(j, sim.Time(at))
+		at += r.Exp(5)
+	}
+	if err := exec.Run(); err != nil {
+		t.Fatalf("seed %d fast=%v: %v", seed, fastOn, err)
+	}
+	return exec, tracer, jobs
+}
+
+// TestFastPathOverloadEquivalence: open-loop overload with admission
+// control, shedding, and the watchdog armed. Without aging the cache is
+// active; with aging the starvation guard forces a clean bypass. Either
+// way: bit-identical.
+func TestFastPathOverloadEquivalence(t *testing.T) {
+	cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+	for _, aging := range []int{0, 4} {
+		for _, seed := range chaosSeeds {
+			label := fmt.Sprintf("aging=%d/seed=%d", aging, seed)
+			off, offTr, _ := equivOverloadRun(t, cat, seed, aging, false)
+			on, onTr, onJobs := equivOverloadRun(t, cat, seed, aging, true)
+			tracesIdentical(t, label, offTr.Events(), onTr.Events())
+			want := aqpOutcomes(off.Jobs())
+			for _, j := range onJobs {
+				w := want[j.ID()]
+				if j.Status() != w.status || j.Epochs() != w.epochs || j.StopAccuracy() != w.stopAcc {
+					t.Errorf("%s: job %s diverged: %v/%d/%v, want %v/%d/%v",
+						label, j.ID(), j.Status(), j.Epochs(), j.StopAccuracy(),
+						w.status, w.epochs, w.stopAcc)
+				}
+			}
+			st := on.FastPath()
+			if aging > 0 {
+				if st.Bypassed == 0 {
+					t.Errorf("%s: starvation-guard-wrapped policy must bypass the cache", label)
+				}
+				if st.Hits+st.Misses != 0 {
+					t.Errorf("%s: wrapped policy must never reach the cache: %+v", label, st)
+				}
+			} else if st.Bypassed > 0 {
+				t.Errorf("%s: unwrapped EDF should engage the cache, got %d bypasses", label, st.Bypassed)
+			}
+		}
+	}
+}
+
+// TestFastPathUnifiedEquivalence: the unified AQP+DLT executor couples
+// the two substrates through stateful wrapper schedulers, which the
+// fast path must bypass; with both sides' FastPath flags on, the mixed
+// run must still match the uncached one exactly.
+func TestFastPathUnifiedEquivalence(t *testing.T) {
+	run := func(fastOn bool) (*core.UnifiedExecutor, *core.Tracer) {
+		cat := tpch.NewCatalog(tpch.Generate(0.005, 1), 1)
+		repo := estimate.NewRepository()
+		if err := workload.SeedAQPHistory(repo, cat, workload.RecommendedBatchRows(cat)); err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.SeedDLTHistory(repo, 20, 30, 1); err != nil {
+			t.Fatal(err)
+		}
+		tracer := core.NewTracer(0)
+		cfg := core.UnifiedExecConfig{
+			AQP:       core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat)),
+			DLT:       core.DefaultDLTExecConfig(),
+			Threshold: 0.5,
+		}
+		cfg.AQP.Tracer = tracer
+		cfg.AQP.Obs = obs.NewRegistry()
+		cfg.AQP.FastPath = fastOn
+		cfg.DLT.Tracer = tracer
+		cfg.DLT.Obs = cfg.AQP.Obs
+		cfg.DLT.FastPath = fastOn
+		u := core.NewUnifiedExecutor(cfg, repo)
+		aqpSpecs := workload.GenerateAQP(workload.DefaultAQPWorkload(6, 3))
+		for _, spec := range aqpSpecs {
+			spec.BatchRows = workload.RecommendedBatchRows(cat)
+			j, err := workload.BuildAQPJob(cat, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u.SubmitAQP(j, sim.Time(spec.ArrivalSecs))
+		}
+		for _, spec := range mustGenDLT(t, 6, 3) {
+			j, err := workload.BuildDLTJob(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u.SubmitDLT(j, 0)
+		}
+		if err := u.Run(); err != nil {
+			t.Fatalf("fast=%v: %v", fastOn, err)
+		}
+		return u, tracer
+	}
+	off, offTr := run(false)
+	on, onTr := run(true)
+	tracesIdentical(t, "unified", offTr.Events(), onTr.Events())
+	if off.Engine().Now() != on.Engine().Now() {
+		t.Errorf("makespans diverged: off=%v on=%v", off.Engine().Now(), on.Engine().Now())
+	}
+	wantAQP := aqpOutcomes(off.AQPJobs())
+	for _, j := range on.AQPJobs() {
+		w := wantAQP[j.ID()]
+		if j.Status() != w.status || j.Epochs() != w.epochs || j.StopAccuracy() != w.stopAcc {
+			t.Errorf("unified: AQP job %s diverged", j.ID())
+		}
+	}
+	wantDLT := dltOutcomes(off.DLTJobs())
+	for _, j := range on.DLTJobs() {
+		w := wantDLT[j.ID()]
+		if j.Status() != w.status || j.Epochs() != w.epochs || j.Accuracy() != w.accuracy {
+			t.Errorf("unified: DLT job %s diverged", j.ID())
+		}
+	}
+}

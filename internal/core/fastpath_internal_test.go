@@ -1,0 +1,328 @@
+package core
+
+import (
+	"testing"
+
+	"rotary/internal/cluster"
+	"rotary/internal/estimate"
+	"rotary/internal/sim"
+)
+
+// White-box tests for the fast-path internals: signature sensitivity,
+// template replay and its pointer verification, the cache bound, and
+// the sorted running-set presentation the whole determinism story rests
+// on. The synthetic queues come from the arbiter bench harness
+// (arbbench.go) — deterministic jobs with realistic mid-run state.
+
+func benchCtx(jobs []*AQPJob) *AQPContext {
+	return &AQPContext{
+		Now:          sim.Time(500),
+		Pending:      jobs,
+		FreeThreads:  8,
+		TotalThreads: 8,
+		FreeMemMB:    1 << 20,
+		TotalMemMB:   1 << 20,
+	}
+}
+
+func grantsEqual(a, b []AQPGrant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunningJobsSortedByID: the executors present ctx.Running sorted by
+// job ID. Map iteration order is randomized per process, so feeding the
+// running map in any insertion order must still yield one canonical
+// slice — repeatedly, since the scratch slice is reused.
+func TestRunningJobsSortedByID(t *testing.T) {
+	jobs := synthAQPQueue(9, 3)
+	e := NewAQPExecutor(DefaultAQPExecConfig(1e6), NewRotaryAQP(nil), nil)
+	// Insert in a scrambled order; the map will scramble further.
+	for _, i := range []int{4, 0, 8, 2, 6, 1, 7, 3, 5} {
+		e.running[jobs[i].id] = jobs[i]
+	}
+	for round := 0; round < 5; round++ {
+		got := e.runningJobs()
+		if len(got) != len(jobs) {
+			t.Fatalf("round %d: %d jobs, want %d", round, len(got), len(jobs))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].id >= got[i].id {
+				t.Fatalf("round %d: running set not sorted: %q before %q", round, got[i-1].id, got[i].id)
+			}
+		}
+	}
+
+	dltJobs, err := synthDLTQueue(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDLTExecutor(DefaultDLTExecConfig(), NewRotaryDLT(0.5, nil, nil), nil)
+	for _, i := range []int{3, 6, 0, 5, 1, 4, 2} {
+		d.running[dltJobs[i].id] = dltJobs[i]
+	}
+	for round := 0; round < 5; round++ {
+		got := d.runningJobs()
+		for i := 1; i < len(got); i++ {
+			if got[i-1].id >= got[i].id {
+				t.Fatalf("round %d: DLT running set not sorted: %q before %q", round, got[i-1].id, got[i].id)
+			}
+		}
+	}
+}
+
+// TestAQPFastPathHitReplaysIdentically: repeating the same arbitration
+// converges onto the cache (Rotary-AQP's first call mutates epoch
+// batches, so the state settles after one round) and every replay
+// returns exactly the slow path's grants and side effects.
+func TestAQPFastPathHitReplaysIdentically(t *testing.T) {
+	repo := synthAQPRepo(16, 1)
+	jobs := synthAQPQueue(30, 1)
+	sched := NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3))
+	f := newAQPFastPath(sched)
+	ctx := benchCtx(jobs)
+
+	g1 := f.assign(ctx)
+	g2 := f.assign(ctx)
+	g3 := f.assign(ctx)
+	if len(g1) == 0 {
+		t.Fatal("no grants issued; the test exercises nothing")
+	}
+	if !grantsEqual(g2, g3) || !grantsEqual(g1, g2) {
+		t.Fatal("repeated identical arbitrations returned different grants")
+	}
+	if f.stats.Hits == 0 {
+		t.Fatalf("no cache hit after identical repeats: %+v", f.stats)
+	}
+	// The replayed decision must also reproduce the SetEpochBatches side
+	// effects: compare against a fresh slow-path run on an identical queue.
+	jobs2 := synthAQPQueue(30, 1)
+	sched2 := NewRotaryAQP(estimate.NewAccuracyProgress(synthAQPRepo(16, 1), 3))
+	ctx2 := benchCtx(jobs2)
+	sched2.Assign(ctx2)
+	sched2.Assign(ctx2)
+	for i := range jobs {
+		if jobs[i].epochBatches != jobs2[i].epochBatches {
+			t.Fatalf("job %d epochBatches diverged: fast=%d slow=%d", i, jobs[i].epochBatches, jobs2[i].epochBatches)
+		}
+	}
+}
+
+// TestAQPSignatureSensitivity: every profiled input must move the
+// signature — clock, capacity, queue membership, per-job state, and the
+// policy's own state fingerprint via the estimator version.
+func TestAQPSignatureSensitivity(t *testing.T) {
+	repo := synthAQPRepo(8, 2)
+	jobs := synthAQPQueue(6, 2)
+	sched := NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3))
+	f := newAQPFastPath(sched)
+	prof := sched.ArbiterProfile()
+	ctx := benchCtx(jobs)
+	base := f.signature(prof, ctx)
+
+	check := func(name string, mutate, restore func()) {
+		t.Helper()
+		mutate()
+		if got := f.signature(prof, ctx); got == base {
+			t.Errorf("%s: signature unchanged", name)
+		}
+		restore()
+		if got := f.signature(prof, ctx); got != base {
+			t.Errorf("%s: signature not restored — mutation leaked", name)
+		}
+	}
+
+	check("clock", func() { ctx.Now += 1 }, func() { ctx.Now -= 1 })
+	check("free threads", func() { ctx.FreeThreads-- }, func() { ctx.FreeThreads++ })
+	check("free memory", func() { ctx.FreeMemMB -= 64 }, func() { ctx.FreeMemMB += 64 })
+	check("queue length", func() { ctx.Pending = jobs[:5] }, func() { ctx.Pending = jobs })
+	check("job epochs", func() { jobs[0].epochs++ }, func() { jobs[0].epochs-- })
+	check("job crash dirt", func() { jobs[1].needsRestore = true }, func() { jobs[1].needsRestore = false })
+	check("job epoch batches", func() { jobs[2].epochBatches++ }, func() { jobs[2].epochBatches-- })
+	check("running set", func() { ctx.Running = jobs[5:6] }, func() { ctx.Running = nil })
+
+	// Estimator state: adding a history record bumps the repository
+	// version, which must move the policy's state fingerprint (and hence
+	// any signature built from it).
+	repo.AddAQP(estimate.AQPRecord{ID: "sens", Query: "bench-q0", Class: "light", BatchRows: 2000,
+		Curve: []estimate.Point{{X: 1, Y: 0.1}, {X: 2, Y: 0.2}}})
+	prof2 := sched.ArbiterProfile()
+	if prof2.StateFingerprint == prof.StateFingerprint {
+		t.Error("estimator version bump did not move the state fingerprint")
+	}
+	if f.signature(prof2, ctx) == base {
+		t.Error("estimator version bump did not move the signature")
+	}
+}
+
+// TestDLTSignatureSensitivity mirrors the AQP checks for the DLT key:
+// device fleet, queue state, and TEE/TME repository versions.
+func TestDLTSignatureSensitivity(t *testing.T) {
+	repo := synthDLTRepo(8, 2)
+	jobs, err := synthDLTQueue(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewRotaryDLT(0.5, estimate.NewTEE(repo, 3), estimate.NewTME(repo, 3))
+	f := newDLTFastPath(sched)
+	prof := sched.ArbiterProfile()
+	ctx := &DLTContext{Now: sim.Time(500), Pending: jobs}
+	for i := 0; i < 4; i++ {
+		ctx.FreeGPUs = append(ctx.FreeGPUs, cluster.GPU{ID: i, MemMB: 8192})
+	}
+	base := f.signature(prof, ctx)
+
+	check := func(name string, mutate, restore func()) {
+		t.Helper()
+		mutate()
+		if got := f.signature(prof, ctx); got == base {
+			t.Errorf("%s: signature unchanged", name)
+		}
+		restore()
+		if got := f.signature(prof, ctx); got != base {
+			t.Errorf("%s: signature not restored — mutation leaked", name)
+		}
+	}
+
+	check("device fleet", func() { ctx.FreeGPUs = ctx.FreeGPUs[:3] }, func() { ctx.FreeGPUs = ctx.FreeGPUs[:4] })
+	check("device memory", func() { ctx.FreeGPUs[0].MemMB -= 100 }, func() { ctx.FreeGPUs[0].MemMB += 100 })
+	check("queue length", func() { ctx.Pending = jobs[:5] }, func() { ctx.Pending = jobs })
+	check("job epochs", func() { jobs[0].epochs++ }, func() { jobs[0].epochs-- })
+	check("job convergence", func() { jobs[1].convergedAtEpoch = 3 }, func() { jobs[1].convergedAtEpoch = 0 })
+	check("running set", func() { ctx.Running = jobs[5:6] }, func() { ctx.Running = nil })
+
+	// The policy is clock-free: Now must NOT be part of the key, or live
+	// runs could never hit.
+	ctx.Now += 100
+	if f.signature(prof, ctx) != base {
+		t.Error("clock-free policy's signature moved with the clock")
+	}
+	ctx.Now -= 100
+
+	repo.AddDLT(estimate.DLTRecord{ID: "sens", Model: "lenet", Family: "lenet", Dataset: "cifar10",
+		ParamsM: 0.06, BatchSize: 16, Optimizer: "sgd", LR: 0.01, Epochs: 2,
+		AccCurve: []float64{0.3, 0.4}, PeakMemMB: 500, EpochSecs: 10})
+	prof2 := sched.ArbiterProfile()
+	if prof2.StateFingerprint == prof.StateFingerprint {
+		t.Error("repository version bump did not move the state fingerprint")
+	}
+	if f.signature(prof2, ctx) == base {
+		t.Error("repository version bump did not move the signature")
+	}
+}
+
+// TestAQPTemplateReplayVerifiesPointers: a template only replays when
+// every recorded (index, job pointer) pair still matches the queue — a
+// signature collision or stale entry degrades to a miss, never to a
+// grant for the wrong job.
+func TestAQPTemplateReplayVerifiesPointers(t *testing.T) {
+	jobs := synthAQPQueue(3, 4)
+	tpl := &aqpTemplate{
+		pendingLen: 2,
+		grants:     []aqpTemplateGrant{{job: jobs[0], idx: 0, threads: 2, reserve: 64}},
+		batches:    []aqpBatchDiff{{job: jobs[1], idx: 1, n: 7}},
+	}
+
+	ok := func(p []*AQPJob) bool {
+		_, replayed := tpl.replay(&AQPContext{Pending: p})
+		return replayed
+	}
+	if !ok([]*AQPJob{jobs[0], jobs[1]}) {
+		t.Fatal("matching queue refused")
+	}
+	if jobs[1].epochBatches != 7 {
+		t.Fatalf("batch diff not applied on replay: %d", jobs[1].epochBatches)
+	}
+	if ok([]*AQPJob{jobs[1], jobs[0]}) {
+		t.Error("reordered queue replayed")
+	}
+	if ok([]*AQPJob{jobs[0], jobs[2]}) {
+		t.Error("substituted job replayed")
+	}
+	if ok([]*AQPJob{jobs[0], jobs[1], jobs[2]}) {
+		t.Error("longer queue replayed")
+	}
+	if ok([]*AQPJob{jobs[0]}) {
+		t.Error("shorter queue replayed")
+	}
+
+	grants, replayed := tpl.replay(&AQPContext{Pending: []*AQPJob{jobs[0], jobs[1]}})
+	if !replayed || len(grants) != 1 || grants[0].Job != jobs[0] || grants[0].Threads != 2 || grants[0].ReserveMemMB != 64 {
+		t.Fatalf("replayed grants wrong: %+v (ok=%v)", grants, replayed)
+	}
+
+	dltJobs, err := synthDLTQueue(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtpl := &dltTemplate{
+		pendingLen: 2,
+		placements: []dltTemplatePlacement{{job: dltJobs[0], idx: 0, device: 1, estMemMB: 2048}},
+	}
+	if _, replayed := dtpl.replay(&DLTContext{Pending: []*DLTJob{dltJobs[1], dltJobs[0]}}); replayed {
+		t.Error("reordered DLT queue replayed")
+	}
+	placements, replayed := dtpl.replay(&DLTContext{Pending: []*DLTJob{dltJobs[0], dltJobs[1]}})
+	if !replayed || len(placements) != 1 || placements[0].Job != dltJobs[0] || placements[0].Device != 1 {
+		t.Fatalf("replayed placements wrong: %+v (ok=%v)", placements, replayed)
+	}
+}
+
+// TestFastPathCacheBoundClears: the template cache never exceeds its
+// bound; overflow wipes the map and keeps recording.
+func TestFastPathCacheBoundClears(t *testing.T) {
+	sched := NewRotaryAQP(estimate.NewAccuracyProgress(synthAQPRepo(4, 5), 3))
+	f := newAQPFastPath(sched)
+	// Distinct signatures via the exact-capacity fold; empty queues keep
+	// each miss O(1).
+	n := fastPathCacheBound + 88
+	for i := 0; i < n; i++ {
+		ctx := &AQPContext{Now: sim.Time(1), FreeThreads: i + 1, TotalThreads: n, FreeMemMB: 1024, TotalMemMB: 1024}
+		f.assign(ctx)
+		if len(f.cache) > fastPathCacheBound {
+			t.Fatalf("cache grew past the bound: %d", len(f.cache))
+		}
+	}
+	if f.stats.Misses != uint64(n) {
+		t.Fatalf("misses = %d, want %d", f.stats.Misses, n)
+	}
+	if len(f.cache) != 88 {
+		t.Fatalf("cache size after overflow = %d, want 88 (cleared once, then refilled)", len(f.cache))
+	}
+}
+
+// TestFastPathUnprofiledSchedulerBypasses: a scheduler without an
+// ArbiterProfile must pass straight through with only the bypass
+// counter moving.
+func TestFastPathUnprofiledSchedulerBypasses(t *testing.T) {
+	jobs := synthAQPQueue(4, 6)
+	f := newAQPFastPath(plainAQPSched{})
+	ctx := benchCtx(jobs)
+	for i := 0; i < 3; i++ {
+		f.assign(ctx)
+	}
+	if f.stats.Bypassed != 3 || f.stats.Hits != 0 || f.stats.Misses != 0 {
+		t.Fatalf("unprofiled scheduler stats: %+v", f.stats)
+	}
+	if len(f.cache) != 0 {
+		t.Fatalf("bypassed arbitrations populated the cache: %d entries", len(f.cache))
+	}
+}
+
+// plainAQPSched implements AQPScheduler but not ProfiledAQPScheduler.
+type plainAQPSched struct{}
+
+func (plainAQPSched) Name() string { return "plain-test" }
+func (plainAQPSched) Assign(ctx *AQPContext) []AQPGrant {
+	if len(ctx.Pending) == 0 || ctx.FreeThreads == 0 {
+		return nil
+	}
+	return []AQPGrant{{Job: ctx.Pending[0], Threads: 1}}
+}

@@ -153,6 +153,12 @@ func (t *Tracer) SinkErr() error {
 	return t.sinkErr
 }
 
+// Enabled reports whether events emitted to this tracer are observable
+// (nil tracers drop everything). Hot paths use it to skip building
+// Detail strings — the dominant arbitration-loop allocation — when no
+// one is listening.
+func (t *Tracer) Enabled() bool { return t != nil }
+
 // Capacity reports the ring bound (0 = unbounded).
 func (t *Tracer) Capacity() int {
 	if t == nil {

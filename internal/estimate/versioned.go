@@ -1,0 +1,29 @@
+package estimate
+
+// Versioned is implemented by estimators whose outputs are a pure
+// function of (their inputs, a monotone state version). The arbitration
+// fast path may only cache decisions derived from such estimators: a
+// cached grant recorded at version v is provably reproducible for as
+// long as EstimatorVersion still reports v. Estimators with hidden
+// mutable state that cannot be versioned (e.g. RandomProgress, which
+// consumes an RNG stream per call) must NOT implement this interface —
+// their absence is what forces the arbiter onto the slow path.
+type Versioned interface {
+	// EstimatorVersion reports a counter that advances whenever the
+	// estimator's internal state changes in a way that could alter any
+	// future estimate.
+	EstimatorVersion() uint64
+}
+
+// EstimatorVersion implements Versioned. AccuracyProgress is pure given
+// the repository contents (the overhead/call counters never influence
+// estimates), so the repository mutation counter is its version.
+func (a *AccuracyProgress) EstimatorVersion() uint64 { return a.repo.Version() }
+
+// EstimatorVersion implements Versioned; TEE estimates depend only on
+// the repository records (and the immutable MinRealtime/topK knobs).
+func (t *TEE) EstimatorVersion() uint64 { return t.repo.Version() }
+
+// EstimatorVersion implements Versioned; TME estimates depend only on
+// the repository records (and the immutable padding knobs).
+func (t *TME) EstimatorVersion() uint64 { return t.repo.Version() }
