@@ -9,6 +9,7 @@
 //
 //	rotary-serve -socket /tmp/rotary.sock [-pace 60] [-queue-bound 8] [-admission reject|shed|degrade]
 //	rotary-serve -socket /tmp/rotary.sock -journal /var/lib/rotary     # durable: survives kill -9
+//	rotary-serve -socket /tmp/rotary.sock -journal /var/lib/rotary -shards 4   # sharded multi-arbiter
 //	rotary-serve -connect /tmp/rotary.sock                             # resilient client REPL
 //
 // Protocol: one JSON object per line, e.g.
@@ -28,6 +29,18 @@
 // same -journal replays the journal, re-registers every non-terminal job,
 // and resumes the virtual clock. Client mode (-connect) reads one JSON
 // request per stdin line and reconnects with backoff across restarts.
+//
+// Sharding: -shards N (with -journal) runs N independent durable arbiter
+// shards — each with its own engine, write-ahead journal under
+// <dir>/shard-<i>, and checkpoint namespace — behind a router on the
+// public socket. Submits route by consistent hash on the job id; a shard
+// supervisor health-probes every shard and restarts crashed ones from
+// their journals with capped exponential backoff, while requests for a
+// down shard get typed shard-unavailable replies instead of hangs.
+// Router-only ops: {"op":"shards"} for the supervision report,
+// {"op":"migrate","id":"j1","shard":2} for checkpoint-carried live
+// migration, {"op":"retire","shard":0} to migrate a shard's jobs off and
+// reroute around it.
 //
 // Observability: -http starts a debug listener serving /metrics
 // (Prometheus text) and net/http/pprof; -trace-out streams every trace
@@ -50,6 +63,7 @@ import (
 	"rotary/internal/admission"
 	"rotary/internal/cliutil"
 	"rotary/internal/core"
+	"rotary/internal/estimate"
 	"rotary/internal/obs"
 	"rotary/internal/serve"
 	"rotary/internal/tpch"
@@ -62,6 +76,7 @@ func main() {
 	var (
 		socket     = flag.String("socket", "/tmp/rotary.sock", "Unix socket path to listen on")
 		journalDir = flag.String("journal", "", "durability directory: write-ahead journal + persistent checkpoints; restart with the same directory to recover (empty = process-scoped)")
+		shards     = flag.Int("shards", 1, "shard the arbiter: run this many supervised durable shard workers behind a router (requires -journal; 1 = single unsharded server)")
 		connect    = flag.String("connect", "", "client mode: connect to this socket and relay JSON requests from stdin (reconnects with backoff)")
 		sf         = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -86,6 +101,7 @@ func main() {
 	if err := cliutil.ValidateAll(
 		cliutil.Positive("-sf", *sf),
 		cliutil.NonNegative("-pace", *pace),
+		cliutil.MinInt("-shards", *shards, 1),
 		cliutil.MinInt("-queue-bound", *queueBound, 0),
 		cliutil.NonNegative("-slack-factor", *slack),
 		cliutil.NonNegative("-watchdog-slack", *wdSlack),
@@ -105,25 +121,37 @@ func main() {
 
 	fmt.Printf("generating TPC-H at SF=%g (seed %d)…\n", *sf, *seed)
 	ds := tpch.Generate(*sf, *seed)
-	cat := tpch.NewCatalog(ds, *seed)
-	repo := rotary.NewRepository()
-	var sched core.AQPScheduler
-	switch *policy {
-	case "rotary":
-		if err := workload.SeedAQPHistory(repo, cat, workload.RecommendedBatchRows(cat)); err != nil {
+
+	if *shards > 1 {
+		if *journalDir == "" {
+			log.Fatal("-shards > 1 requires -journal: shards are durable workers restarted from their journals")
+		}
+		if err := runSharded(shardedOpts{
+			socket:     *socket,
+			journalDir: *journalDir,
+			shards:     *shards,
+			ds:         ds,
+			seed:       *seed,
+			policy:     *policy,
+			admit:      admitPolicy,
+			queueBound: *queueBound,
+			slack:      *slack,
+			wdSlack:    *wdSlack,
+			aging:      *aging,
+			traceRing:  *traceRing,
+			pace:       *pace,
+			httpAddr:   *httpAddr,
+		}); err != nil {
 			log.Fatal(err)
 		}
-		sched = rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3))
-	case "relaqs":
-		sched = rotary.ReLAQS{}
-	case "edf":
-		sched = rotary.EDFAQP{}
-	case "laf":
-		sched = rotary.LAFAQP{}
-	case "rr":
-		sched = rotary.RoundRobinAQP{}
-	default:
-		log.Printf("unknown policy %q", *policy)
+		return
+	}
+
+	cat := tpch.NewCatalog(ds, *seed)
+	repo := rotary.NewRepository()
+	sched, err := buildScheduler(*policy, repo, cat)
+	if err != nil {
+		log.Println(err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -213,6 +241,116 @@ func main() {
 	if !r.OK {
 		log.Fatal(r.Error)
 	}
+}
+
+// buildScheduler constructs the scheduling policy, seeding the Rotary
+// progress estimator's history when the paper's policy is selected.
+func buildScheduler(policy string, repo *estimate.Repository, cat *tpch.Catalog) (core.AQPScheduler, error) {
+	switch policy {
+	case "rotary":
+		if err := workload.SeedAQPHistory(repo, cat, workload.RecommendedBatchRows(cat)); err != nil {
+			return nil, err
+		}
+		return rotary.NewRotaryAQP(rotary.NewAccuracyProgress(repo, 3)), nil
+	case "relaqs":
+		return rotary.ReLAQS{}, nil
+	case "edf":
+		return rotary.EDFAQP{}, nil
+	case "laf":
+		return rotary.LAFAQP{}, nil
+	case "rr":
+		return rotary.RoundRobinAQP{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+}
+
+// shardedOpts carries the sharded daemon's configuration from the flag
+// set into runSharded.
+type shardedOpts struct {
+	socket     string
+	journalDir string
+	shards     int
+	ds         *tpch.Dataset
+	seed       uint64
+	policy     string
+	admit      admission.Policy
+	queueBound int
+	slack      float64
+	wdSlack    float64
+	aging      int
+	traceRing  int
+	pace       float64
+	httpAddr   string
+}
+
+// runSharded runs the router-fronted multi-arbiter daemon: one shared
+// TPC-H dataset, N isolated shard stacks (catalog, history repository,
+// scheduler, admission controller, tracer, metrics registry) built on
+// demand — at boot and again on every supervised restart.
+func runSharded(o shardedOpts) error {
+	build := func(index int, store *core.CheckpointStore) (*core.AQPExecutor, *tpch.Catalog, *obs.Registry, error) {
+		reg := obs.NewRegistry()
+		cat := tpch.NewCatalog(o.ds, o.seed+uint64(index))
+		repo := rotary.NewRepository()
+		sched, err := buildScheduler(o.policy, repo, cat)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		execCfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+		execCfg.Obs = reg
+		execCfg.Tracer = core.NewTracer(o.traceRing)
+		execCfg.Admission = admission.NewController(admission.Config{
+			MaxQueueDepth: o.queueBound,
+			SlackFactor:   o.slack,
+			Policy:        o.admit,
+			Obs:           reg,
+		})
+		execCfg.AgingRounds = o.aging
+		execCfg.Store = store
+		if o.wdSlack > 0 {
+			execCfg.WatchdogSlack = o.wdSlack
+		}
+		exec := core.NewAQPExecutor(execCfg, sched, repo)
+		return exec, cat, reg, nil
+	}
+	router, err := serve.NewRouter(serve.RouterConfig{
+		Socket: o.socket,
+		Shards: o.shards,
+		Dir:    o.journalDir,
+		Build:  build,
+		Pace:   o.pace,
+	})
+	if err != nil {
+		return err
+	}
+	if o.httpAddr != "" {
+		dbg, err := obs.StartDebug(o.httpAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug HTTP on http://%s (/metrics, /debug/pprof)\n", dbg.Addr())
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("\n%v: draining %d shards…\n", sig, o.shards)
+		router.Drain()
+	}()
+	fmt.Printf("serving %d shards on %s (pace %gx, state under %s)\n", o.shards, o.socket, o.pace, o.journalDir)
+	start := time.Now()
+	if err := router.Serve(); err != nil {
+		return err
+	}
+	r := router.Final()
+	fmt.Printf("drained %d/%d jobs across %d shards after %s (virtual now %.0fs)\n",
+		r.Terminal, r.Jobs, o.shards, time.Since(start).Round(time.Millisecond), r.VirtualNow)
+	if !r.OK {
+		return fmt.Errorf("%s", r.Error)
+	}
+	return nil
 }
 
 // runClient is the resilient client REPL: one JSON request per stdin

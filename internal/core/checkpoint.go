@@ -424,6 +424,58 @@ func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err err
 	return payload, false, nil
 }
 
+// Export reads a checkpoint as a validated CRC-framed blob, ready to be
+// Imported into another store's namespace — the transfer primitive behind
+// checkpoint-carried job migration between arbiter shards. A checkpoint
+// still resident in the memory tier is framed on the fly, so the export is
+// durable-equivalent regardless of which tier held it. The source copy is
+// left in place; the caller removes it (via the executor's Detach) once
+// the migration commits.
+func (s *CheckpointStore) Export(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: export checkpoint %s: store closed", id)
+	}
+	if d, ok := s.memory[id]; ok {
+		return encodeCheckpointFrame(d), nil
+	}
+	frame, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("core: export checkpoint %s: %w", id, ErrNotFound)
+		}
+		return nil, fmt.Errorf("core: export checkpoint %s: %w", id, err)
+	}
+	if _, err := decodeCheckpointFrame(frame); err != nil {
+		s.health.CorruptDetected++
+		s.met.corrupt.Inc()
+		return nil, fmt.Errorf("core: export checkpoint %s: %w", id, err)
+	}
+	return frame, nil
+}
+
+// Import publishes an exported frame under this store's namespace,
+// validating the frame before any byte lands on disk. The write goes
+// straight to the disk tier through the atomic-write protocol: a migrated
+// job's reattach target must be durable before the receiving shard
+// journals the migration as committed.
+func (s *CheckpointStore) Import(id string, frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: import checkpoint %s: store closed", id)
+	}
+	if _, err := decodeCheckpointFrame(frame); err != nil {
+		return fmt.Errorf("core: import checkpoint %s: %w", id, err)
+	}
+	if err := AtomicWriteFile(s.path(id), frame); err != nil {
+		return fmt.Errorf("core: import checkpoint %s: %w", id, err)
+	}
+	s.diskBytes += int64(len(frame))
+	return nil
+}
+
 // TakePenaltySecs drains the virtual-time cost accrued by retry backoffs
 // and slow-storage events since the last drain. The executor charges it
 // to the job whose I/O incurred it.

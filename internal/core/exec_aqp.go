@@ -238,6 +238,65 @@ func (e *AQPExecutor) Recover(j *AQPJob, at sim.Time, bestEffort bool) {
 	e.register(j, at, true)
 }
 
+// Detach removes a queued pending job from the executor for
+// checkpoint-carried migration to another arbiter shard. Only a job
+// resident in the wait queue can detach: a running job must first finish
+// (or be preempted out of) its in-flight epoch, and a job in limbo
+// (waiting out a crash or watchdog penalty) is mid-transition — both
+// report ErrNotDetachable so the caller can drain and retry. The detached
+// job's already-scheduled deadline watchdog becomes a no-op; the receiving
+// shard rebuilds the job from its journaled statement and reattaches it to
+// its durable checkpoint, so the detached object itself is never reused.
+func (e *AQPExecutor) Detach(id string) error {
+	var j *AQPJob
+	idx := -1
+	for i, cand := range e.jobs {
+		if cand.ID() == id {
+			j, idx = cand, i
+			break
+		}
+	}
+	if j == nil {
+		return fmt.Errorf("core: detach %s: %w", id, ErrUnknownJob)
+	}
+	if j.status.Terminal() {
+		return fmt.Errorf("core: detach %s: job already terminal (%s)", id, j.status)
+	}
+	queued := false
+	for _, p := range e.pending {
+		if p == j {
+			queued = true
+			break
+		}
+	}
+	if !queued {
+		return fmt.Errorf("core: detach %s: %w (status %s)", id, ErrNotDetachable, j.status)
+	}
+	e.removePending(j)
+	e.jobs = append(e.jobs[:idx], e.jobs[idx+1:]...)
+	j.detached = true
+	// The durable checkpoint is deliberately left in the store: the
+	// migration path exports it AFTER detaching (the detach is what
+	// guarantees no further epoch can overwrite it mid-copy). The orphaned
+	// source copy is cleared by the caller once the handoff commits, or by
+	// the retain-aware startup sweep after the journal marks the job
+	// migrated.
+	e.met.detached.Inc()
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceDetach, Job: j.ID()})
+	return nil
+}
+
+// Typed detach errors: the serving layer maps these onto retriable vs
+// permanent protocol replies.
+var (
+	// ErrUnknownJob reports that the executor has no job with the id.
+	ErrUnknownJob = errors.New("core: unknown job")
+	// ErrNotDetachable reports a job that exists but is not queue-resident
+	// (running or in limbo); draining its in-flight epoch and retrying will
+	// usually succeed.
+	ErrNotDetachable = errors.New("core: job not detachable")
+)
+
 // register is the shared arrival path behind Submit and Recover.
 func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 	if e.cfg.DataParallelism > 0 {
@@ -282,7 +341,7 @@ func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 		// deadline passes is terminated right there, not at some later
 		// epoch boundary.
 		e.eng.Schedule(j.DeadlineSecs(), func() {
-			if j.status == StatusPending {
+			if j.status == StatusPending && !j.detached {
 				e.removePending(j)
 				e.finishJob(j, StatusExpired)
 				e.scheduleArbitrate()

@@ -78,6 +78,12 @@ type AQPJob struct {
 	bestEffort      bool
 	watchdogStrikes int
 
+	// detached marks a job removed from its executor by Detach for
+	// checkpoint-carried migration to another arbiter shard: events already
+	// scheduled against it (its deadline watchdog) must become no-ops — the
+	// receiving shard owns the rest of its lifecycle.
+	detached bool
+
 	// realtimeCurve is the recorded (processing-seconds, estimated
 	// accuracy) series fed to the progress estimator.
 	realtimeCurve []estimate.Point

@@ -43,6 +43,7 @@ type execMetrics struct {
 	crashes          *obs.Counter
 	recovered        *obs.Counter
 	reattached       *obs.Counter
+	detached         *obs.Counter
 	scratchRestarts  *obs.Counter
 	watchdogPreempts *obs.Counter
 	rejected         *obs.Counter
@@ -71,6 +72,7 @@ func newExecMetrics(reg *obs.Registry, sub string) *execMetrics {
 		crashes:          reg.Counter(p+"crashes_total", "injected worker/device crashes"),
 		recovered:        reg.Counter(p+"recovered_total", "jobs that completed an epoch after a crash"),
 		reattached:       reg.Counter(p+"reattached_total", "journal-recovered jobs re-registered after a daemon restart"),
+		detached:         reg.Counter(p+"detached_total", "jobs detached for checkpoint-carried migration to another shard"),
 		scratchRestarts:  reg.Counter(p+"scratch_restarts_total", "from-scratch restarts after an unusable checkpoint"),
 		watchdogPreempts: reg.Counter(p+"watchdog_preemptions_total", "epochs preempted by the watchdog"),
 		rejected:         reg.Counter(p+"rejected_total", "arrivals refused at the admission gate"),

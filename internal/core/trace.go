@@ -38,6 +38,10 @@ const (
 	TraceReject
 	TraceShed
 	TraceWatchdog
+	// TraceDetach marks a checkpoint-carried migration: the job left this
+	// executor for another arbiter shard, which reattaches it to its
+	// durable checkpoint and traces the rest of its lifecycle.
+	TraceDetach
 )
 
 // String names the event kind.
@@ -69,6 +73,8 @@ func (k TraceKind) String() string {
 		return "shed"
 	case TraceWatchdog:
 		return "watchdog"
+	case TraceDetach:
+		return "detach"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

@@ -273,6 +273,24 @@ func (s *CrashSchedule) Points() []float64 {
 	return out
 }
 
+// VictimShards draws a deterministic victim shard index for each kill of
+// a multi-shard chaos plan: element i is the shard to SIGKILL at the i-th
+// kill point. The draw is independent of the kill times so the same seed
+// pairs the same victims with NewCrashSchedule's points. Equal seeds
+// replay identical victim sequences; non-positive kills or shards yields
+// an empty plan.
+func VictimShards(seed uint64, kills, shards int) []int {
+	if kills <= 0 || shards <= 0 {
+		return nil
+	}
+	rng := sim.NewRand(seed ^ 0x5a4d)
+	out := make([]int, kills)
+	for i := range out {
+		out[i] = rng.IntN(shards)
+	}
+	return out
+}
+
 // Stats returns the counts of faults dealt so far.
 func (in *Injector) Stats() Stats {
 	if in == nil {

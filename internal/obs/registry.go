@@ -317,6 +317,50 @@ func family(name string) string {
 	return name
 }
 
+// InjectLabel rewrites a Prometheus text exposition so every sample line
+// carries an extra key="value" label — the fan-in primitive a shard
+// router uses to merge per-shard registries into one scrape without name
+// collisions. Comment lines (# HELP / # TYPE) pass through untouched:
+// they describe the metric family, which the label does not change.
+// Sample lines gain the label as the first entry of their label set, after
+// any histogram _bucket suffix's existing labels.
+func InjectLabel(rendered, key, value string) string {
+	if rendered == "" {
+		return ""
+	}
+	label := fmt.Sprintf("%s=%q", key, value)
+	var b strings.Builder
+	b.Grow(len(rendered) + 16*strings.Count(rendered, "\n"))
+	for _, line := range strings.SplitAfter(rendered, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			b.WriteString(line)
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			b.WriteString(line)
+			continue
+		}
+		name, rest := line[:sp], line[sp:]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			b.WriteString(name[:br+1])
+			b.WriteString(label)
+			b.WriteString(",")
+			b.WriteString(name[br+1:])
+		} else {
+			b.WriteString(name)
+			b.WriteString("{")
+			b.WriteString(label)
+			b.WriteString("}")
+		}
+		b.WriteString(rest)
+	}
+	return b.String()
+}
+
 // RenderText writes every metric in the Prometheus text exposition format
 // (version 0.0.4), sorted by name so the output is stable. With
 // includeWall false, wall-clock metrics are omitted and the rendering of

@@ -11,12 +11,19 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"time"
 )
+
+// ErrTimeout is wrapped into every error caused by a request exceeding
+// RequestTimeout (or DialTimeout), so callers can branch on
+// errors.Is(err, ErrTimeout) instead of string-matching — a stalled or
+// wedged server surfaces as a typed timeout, never an indefinite hang.
+var ErrTimeout = errors.New("serve: request timed out")
 
 // ClientConfig parameterizes a resilient client.
 type ClientConfig struct {
@@ -33,6 +40,14 @@ type ClientConfig struct {
 	// before Do gives up (each attempt may first reconnect). Defaults
 	// to 8.
 	Attempts int
+	// RequestTimeout bounds one round trip on an established connection:
+	// the request write plus the reply read. On expiry the attempt fails
+	// with an error wrapping ErrTimeout, the connection is dropped, and Do
+	// retries (a fresh connection re-runs the resume handshake, so a
+	// restarted server is detected, a wedged one keeps timing out). Zero
+	// defaults to 30s — a deliberately generous "never forever" bound;
+	// negative disables the deadline entirely.
+	RequestTimeout time.Duration
 }
 
 // Client is a reconnecting serve-protocol client. It is safe for
@@ -68,6 +83,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.Attempts <= 0 {
 		cfg.Attempts = 8
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
 	}
 	return &Client{cfg: cfg}, nil
 }
@@ -145,7 +163,7 @@ func (c *Client) connectLocked() error {
 	}
 	conn, err := net.DialTimeout("unix", c.cfg.Socket, c.cfg.DialTimeout)
 	if err != nil {
-		return err
+		return wrapTimeout(err)
 	}
 	c.conn = conn
 	sc := bufio.NewScanner(conn)
@@ -166,14 +184,19 @@ func (c *Client) connectLocked() error {
 	return nil
 }
 
-// roundTripLocked writes one request line and reads one reply line.
+// roundTripLocked writes one request line and reads one reply line, the
+// whole exchange bounded by RequestTimeout.
 func (c *Client) roundTripLocked(m Message) (Response, error) {
+	if c.cfg.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(m); err != nil {
-		return Response{}, err
+		return Response{}, wrapTimeout(err)
 	}
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
-			return Response{}, err
+			return Response{}, wrapTimeout(err)
 		}
 		return Response{}, fmt.Errorf("serve: connection closed mid-request")
 	}
@@ -182,4 +205,14 @@ func (c *Client) roundTripLocked(m Message) (Response, error) {
 		return Response{}, fmt.Errorf("serve: bad reply: %w", err)
 	}
 	return resp, nil
+}
+
+// wrapTimeout tags network deadline expiries with ErrTimeout so they stay
+// recognizable through Do's final "failed after N attempts" wrapping.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
 }

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestClientStalledServerTimeout: a server that accepts connections but
+// never replies must surface as a typed ErrTimeout within the
+// configured bound — never an indefinite hang.
+func TestClientStalledServerTimeout(t *testing.T) {
+	socket := filepath.Join(t.TempDir(), "stall.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept, read nothing, reply never
+		}
+	}()
+
+	cl, err := NewClient(ClientConfig{
+		Socket:         socket,
+		Backoff:        5 * time.Millisecond,
+		Attempts:       2,
+		RequestTimeout: 75 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	_, err = cl.Do(Message{Op: "health"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("Do succeeded against a stalled server")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stalled server produced %v, want errors.Is(err, ErrTimeout)", err)
+	}
+	// 2 attempts x 75ms, plus backoff and slack: well under 5s either way.
+	if elapsed > 5*time.Second {
+		t.Fatalf("timed out after %v, deadline not enforced", elapsed)
+	}
+}
+
+// TestClientRequestTimeoutDisabled: a negative RequestTimeout disables
+// the deadline — the round trip against a healthy server succeeds.
+func TestClientRequestTimeoutDisabled(t *testing.T) {
+	srv, socket := newTestServer(t, nil)
+	wg := serveAsync(t, srv)
+	defer func() { srv.Drain(); wg.Wait() }()
+
+	cl, err := NewClient(ClientConfig{Socket: socket, RequestTimeout: -1})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cl.Close()
+	if r, err := cl.Do(Message{Op: "health"}); err != nil || !r.OK {
+		t.Fatalf("health with disabled deadline: %v %+v", err, r)
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rotary/internal/core"
+	"rotary/internal/obs"
+	"rotary/internal/tpch"
+)
+
+// FuzzRouterRequest throws arbitrary bytes at the router's request
+// surface — malformed JSON, unknown ops, out-of-range and negative
+// shard ids, oversized payload fields — with every shard permanently
+// un-started (the worst case for every forwarding path). Whatever the
+// input, the reply must be a typed Response: a failure always carries a
+// machine-readable Code, and the router never panics or wedges.
+func FuzzRouterRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"health"}`,
+		`{"op":"resume","server_epoch":7}`,
+		`{"op":"submit","id":"a","statement":"q1 ACC MIN 60% WITHIN 900 SECONDS"}`,
+		`{"op":"submit","statement":"q1 ACC MIN 60% WITHIN 900 SECONDS"}`,
+		`{"op":"status","id":"a"}`,
+		`{"op":"status"}`,
+		`{"op":"stats"}`,
+		`{"op":"metrics"}`,
+		`{"op":"shards"}`,
+		`{"op":"advance","seconds":10}`,
+		`{"op":"advance","seconds":-5}`,
+		`{"op":"migrate","id":"a","shard":7}`,
+		`{"op":"migrate","id":"a","shard":-3}`,
+		`{"op":"migrate","shard":1}`,
+		`{"op":"retire","shard":99}`,
+		`{"op":"trace-tail","shard":2,"n":8}`,
+		`{"op":"drain"}`,
+		`{"op":"bogus"}`,
+		`not json at all`,
+		`{"op":`,
+		`{"op":"submit","id":"` + strings.Repeat("x", 4096) + `"}`,
+		`{"op":"submit","shard":9223372036854775807}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		reg := obs.NewRegistry()
+		r, err := NewRouter(RouterConfig{
+			Socket: filepath.Join(t.TempDir(), "r.sock"),
+			Shards: 3,
+			Dir:    t.TempDir(),
+			Obs:    reg,
+			Build: func(int, *core.CheckpointStore) (*core.AQPExecutor, *tpch.Catalog, *obs.Registry, error) {
+				return nil, nil, nil, errors.New("fuzz: shards never start")
+			},
+		})
+		if err != nil {
+			t.Fatalf("NewRouter: %v", err)
+		}
+		resp := r.handleLine(line)
+		if !resp.OK && resp.Code == "" {
+			t.Fatalf("untyped failure for %q: %+v", line, resp)
+		}
+		// A second request after whatever the first did (including a drain)
+		// must still get a typed answer — no wedged state.
+		again := r.handleLine([]byte(`{"op":"health"}`))
+		if !again.OK && again.Code == "" {
+			t.Fatalf("router wedged after %q: %+v", line, again)
+		}
+	})
+}

@@ -92,6 +92,16 @@ type Message struct {
 	// Statement is the submit payload: a query name with an appended
 	// Fig. 3 accuracy criterion, e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS".
 	Statement string `json:"statement,omitempty"`
+	// Shard addresses one shard of a sharded (router-fronted) daemon: the
+	// migration target for "migrate", the shard whose trace ring
+	// "trace-tail" reads, and the shard to retire for "retire". Encoded
+	// without omitempty because shard 0 is a valid explicit target.
+	Shard int `json:"shard"`
+	// Job is the migrate-in payload: the journaled lifecycle record of a
+	// job detached from another shard, carrying everything the receiving
+	// shard needs to rebuild it (statement, original arrival for
+	// absolute-deadline arithmetic, epoch count, best-effort flag).
+	Job *JobRecord `json:"job,omitempty"`
 	// BatchRows overrides the server's default batch size for this job.
 	BatchRows int `json:"batch_rows,omitempty"`
 	// Seconds is the advance payload: virtual seconds to fast-forward.
@@ -132,6 +142,24 @@ const (
 	// newer than the client's — the daemon restarted; journaled jobs were
 	// recovered, unjournaled replies may have been lost.
 	CodeServerRestarted = "server-restarted"
+	// CodeShardUnavailable: the shard owning the request is down and under
+	// supervised restart. The reply carries retry_after_secs; the request
+	// was not processed and is safe to retry (submits should carry a
+	// req_id). Never a hang: every router→shard call is deadline-bounded.
+	CodeShardUnavailable = "shard-unavailable"
+	// CodeShardRetired: the shard was retired; its jobs were migrated off
+	// and new work is rerouted, but shard-addressed ops (trace-tail,
+	// retire) have nothing to talk to.
+	CodeShardRetired = "shard-retired"
+	// CodeMigrateNoop: the job reached a terminal status before (or while)
+	// the migration drained it — there is nothing left to move, and the
+	// reply carries the terminal status.
+	CodeMigrateNoop = "migrate-noop"
+	// CodeMigrateBusy: the job is mid-transition (running or in limbo) and
+	// could not be drained to a detachable state; retry.
+	CodeMigrateBusy = "migrate-busy"
+	// CodeBadShard: the shard index is out of range.
+	CodeBadShard = "bad-shard"
 )
 
 // Response is one server reply line.
@@ -155,11 +183,36 @@ type Response struct {
 	// (trace-tail and health ops).
 	Dropped uint64 `json:"dropped,omitempty"`
 	// ServerEpoch identifies the daemon incarnation (resume and health
-	// ops; journaled servers increment it every restart).
+	// ops; journaled servers increment it every restart). A router reports
+	// the sum of its shards' epochs, so any shard restart still reads as a
+	// change.
 	ServerEpoch int `json:"server_epoch,omitempty"`
 	// Recovered reports how many journaled non-terminal jobs this
 	// incarnation re-registered at startup (resume and health ops).
 	Recovered int `json:"recovered,omitempty"`
+	// RetryAfterSecs hints when a shard-unavailable request is worth
+	// retrying (the supervisor's current restart-backoff horizon).
+	RetryAfterSecs float64 `json:"retry_after_secs,omitempty"`
+	// Shard reports which shard handled (or owns) the request on a
+	// router-fronted daemon (submit, status, migrate replies).
+	Shard int `json:"shard,omitempty"`
+	// Shards is the per-shard supervision report of the "shards" op.
+	Shards []ShardInfo `json:"shards,omitempty"`
+	// Job is the migrate-out reply payload: the detached job's journaled
+	// lifecycle record, which the router hands to the receiving shard.
+	Job *JobRecord `json:"job,omitempty"`
+}
+
+// ShardInfo is one shard's row in the router's "shards" report.
+type ShardInfo struct {
+	Index       int     `json:"index"`
+	State       string  `json:"state"`
+	Restarts    int     `json:"restarts"`
+	Jobs        int     `json:"jobs,omitempty"`
+	Terminal    int     `json:"terminal,omitempty"`
+	VirtualNow  float64 `json:"virtual_now,omitempty"`
+	ServerEpoch int     `json:"server_epoch,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // maxLineBytes bounds one request line; longer lines are answered with
@@ -286,7 +339,7 @@ type serveMetrics struct {
 
 // serveOps are the protocol operations with pre-registered counters;
 // anything else lands on op="other".
-var serveOps = []string{"submit", "status", "stats", "advance", "metrics", "trace-tail", "health", "resume", "drain"}
+var serveOps = []string{"submit", "status", "stats", "advance", "metrics", "trace-tail", "health", "resume", "drain", "migrate-out", "migrate-commit", "migrate-in"}
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m := &serveMetrics{requests: make(map[string]*obs.Counter, len(serveOps))}
@@ -570,6 +623,12 @@ func (s *Server) handle(m Message) Response {
 			Report:     tr.Render(n),
 			Dropped:    tr.Dropped(),
 		}
+	case "migrate-out":
+		return s.migrateOut(m)
+	case "migrate-commit":
+		return s.migrateCommit(m)
+	case "migrate-in":
+		return s.migrateIn(m)
 	case "health":
 		resp := Response{
 			OK:          true,

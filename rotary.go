@@ -525,6 +525,28 @@ type (
 	ServeClientConfig = serve.ClientConfig
 )
 
+// Sharded serving (PR 7): a router fronting N supervised durable shard
+// workers, with consistent-hash routing, typed shard-unavailable
+// degradation while a crashed shard restarts from its journal, and
+// checkpoint-carried live migration between shards.
+type (
+	// ServeRouter is the sharded daemon's front end: same JSON-line
+	// protocol as a single Server, plus the shards/migrate/retire ops.
+	ServeRouter = serve.Router
+	// ServeRouterConfig sets the shard count, durable-state root, shard
+	// builder, and supervision cadence.
+	ServeRouterConfig = serve.RouterConfig
+	// ServeShardBuilder constructs one shard's executor stack at boot and
+	// on every supervised restart.
+	ServeShardBuilder = serve.ShardBuilder
+	// ServeShardState is a shard's supervision state (running, down,
+	// restarting, retired).
+	ServeShardState = serve.ShardState
+	// ServeShardInfo is one shard's row in the router's supervision
+	// report.
+	ServeShardInfo = serve.ShardInfo
+)
+
 var (
 	// OpenServeJournal opens (and replays) a write-ahead journal directory.
 	OpenServeJournal = serve.OpenJournal
@@ -534,6 +556,11 @@ var (
 	OpenDurableServe = serve.OpenDurable
 	// NewServeClient builds the reconnecting client.
 	NewServeClient = serve.NewClient
+	// NewServeRouter builds the sharded daemon front end.
+	NewServeRouter = serve.NewRouter
+	// ErrServeTimeout is wrapped into client errors caused by a request
+	// exceeding its deadline, for errors.Is branching.
+	ErrServeTimeout = serve.ErrTimeout
 	// NewCheckpointStoreRetaining creates a checkpoint store whose
 	// stale-file sweep spares ids accepted by the retain predicate.
 	NewCheckpointStoreRetaining = core.NewCheckpointStoreRetaining
