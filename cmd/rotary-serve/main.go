@@ -84,6 +84,7 @@ func main() {
 		pace       = flag.Float64("pace", 60, "virtual seconds per wall-clock second (0 freezes the clock between requests)")
 		queueBound = flag.Int("queue-bound", 8, "admission bound on waiting+running jobs (0 = unbounded)")
 		backpress  = flag.String("admission", "reject", "backpressure policy at the bound: reject, shed, degrade")
+		tenants    = flag.String("tenants", "", `per-tenant quotas and fair-share weights, e.g. "alpha:weight=2,rate=0.5,burst=4,max-active=8;default:rate=1,burst=4" (empty = single-tenant)`)
 		slack      = flag.Float64("slack-factor", 1, "deadline feasibility slack: refuse when slack × estimated completion exceeds the deadline (0 disables)")
 		wdSlack    = flag.Float64("watchdog-slack", 4, "epoch watchdog slack over the predicted epoch cost (0 disables)")
 		aging      = flag.Int("aging", 8, "starvation guard: force a minimal grant after this many consecutive skips (0 disables)")
@@ -118,6 +119,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	tenantTable, err := admission.ParseTenantSpec(*tenants)
+	if err != nil {
+		log.Println(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	fmt.Printf("generating TPC-H at SF=%g (seed %d)…\n", *sf, *seed)
 	ds := tpch.Generate(*sf, *seed)
@@ -141,6 +148,7 @@ func main() {
 			traceRing:  *traceRing,
 			pace:       *pace,
 			httpAddr:   *httpAddr,
+			tenants:    tenantTable,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -154,6 +162,11 @@ func main() {
 		log.Println(err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if tenantTable.Enabled() {
+		// Weighted fair share wraps the policy: quotas gate arrivals at
+		// admission, the DRF layer divides threads among active tenants.
+		sched = core.NewFairShareAQP(sched, tenantTable.Weights())
 	}
 
 	tracer := core.NewTracer(*traceRing)
@@ -172,6 +185,7 @@ func main() {
 		MaxQueueDepth: *queueBound,
 		SlackFactor:   *slack,
 		Policy:        admitPolicy,
+		Tenants:       tenantTable,
 	})
 	execCfg.AgingRounds = *aging
 	var jl *serve.Journal
@@ -282,6 +296,7 @@ type shardedOpts struct {
 	traceRing  int
 	pace       float64
 	httpAddr   string
+	tenants    admission.TenantTable
 }
 
 // runSharded runs the router-fronted multi-arbiter daemon: one shared
@@ -297,6 +312,9 @@ func runSharded(o shardedOpts) error {
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		if o.tenants.Enabled() {
+			sched = core.NewFairShareAQP(sched, o.tenants.Weights())
+		}
 		execCfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
 		execCfg.Obs = reg
 		execCfg.Tracer = core.NewTracer(o.traceRing)
@@ -305,6 +323,7 @@ func runSharded(o shardedOpts) error {
 			SlackFactor:   o.slack,
 			Policy:        o.admit,
 			Obs:           reg,
+			Tenants:       o.tenants,
 		})
 		execCfg.AgingRounds = o.aging
 		execCfg.Store = store
@@ -360,7 +379,7 @@ func runSharded(o shardedOpts) error {
 // is what makes a retried submit idempotent when the daemon was killed
 // between applying it and replying.
 func runClient(socket string) error {
-	cl, err := serve.NewClient(serve.ClientConfig{Socket: socket})
+	cl, err := serve.NewClient(serve.ClientConfig{Socket: socket, RetryHinted: true})
 	if err != nil {
 		return err
 	}

@@ -98,6 +98,10 @@ type Config struct {
 	SlackFactor float64
 	// Policy is the backpressure response. See the Policy constants.
 	Policy Policy
+	// Tenants configures per-tenant quotas (token-bucket submit rate,
+	// concurrent-job and queued-job caps). The zero table disables tenant
+	// gating. See tenant.go.
+	Tenants TenantTable
 	// Obs selects the metrics registry the controller's verdict counters
 	// live in. Nil uses the process-wide obs.Default().
 	Obs *obs.Registry
@@ -149,6 +153,16 @@ type Request struct {
 	// without a wall-time deadline pass +Inf (or any huge value) and are
 	// never deadline-refused.
 	RemainingSecs float64
+	// Tenant attributes the arrival; empty canonicalizes to
+	// DefaultTenant. Ignored unless Config.Tenants is set.
+	Tenant string
+	// Now is the arrival's virtual-clock time in seconds. It drives
+	// token-bucket refill — never wall clock, so replays reproduce every
+	// verdict bit-identically.
+	Now float64
+	// TenantPending is the tenant's queued-job count before this arrival
+	// (for the MaxPending cap).
+	TenantPending int
 }
 
 // Decision is the controller's answer.
@@ -158,6 +172,9 @@ type Decision struct {
 	Err error
 	// Reason is a short human-readable cause for traces.
 	Reason string
+	// RetryAfterSecs hints when a quota-refused tenant should retry
+	// (0 when the refusal is not time-based).
+	RetryAfterSecs float64
 }
 
 // Stats counts the controller's decisions.
@@ -181,10 +198,11 @@ type Stats struct {
 // arbitration loop is single-threaded, but live serving submits from
 // one goroutine per connection, so the decision ledger is mutex-guarded.
 type Controller struct {
-	mu    sync.Mutex
-	cfg   Config
-	stats Stats
-	met   ctrlMetrics
+	mu      sync.Mutex
+	cfg     Config
+	stats   Stats
+	met     ctrlMetrics
+	tenants map[string]*tenantState
 }
 
 // ctrlMetrics mirrors Stats into the obs registry: verdict counters plus
@@ -223,7 +241,7 @@ func NewController(cfg Config) *Controller {
 	if cfg.MaxQueueDepth < 0 {
 		cfg.MaxQueueDepth = 0
 	}
-	return &Controller{cfg: cfg, met: newCtrlMetrics(cfg.Obs)}
+	return &Controller{cfg: cfg, met: newCtrlMetrics(cfg.Obs), tenants: make(map[string]*tenantState)}
 }
 
 // Config returns the applied configuration.
@@ -236,11 +254,16 @@ func (c *Controller) Stats() Stats {
 	return c.stats
 }
 
-// Decide evaluates one arrival. The deadline feasibility check runs
-// first — shedding a queued job frees a slot but no time, so an
+// Decide evaluates one arrival. The tenant gate runs first: its
+// verdicts must be a pure function of tenant state and virtual time so
+// journal replay reproduces them regardless of how the shared queue
+// happens to look after a restart. The deadline feasibility check runs
+// next — shedding a queued job frees a slot but no time, so an
 // infeasible job is refused (or degraded) regardless of queue headroom.
-// The queue bound is checked second and is hard under every policy
-// except ShedLowestValue.
+// The queue bound is checked last and is hard under every policy
+// except ShedLowestValue. A token is consumed (and the tenant's active
+// slot taken) only on final admission; refusals leave the bucket
+// untouched.
 func (c *Controller) Decide(r Request) Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -251,12 +274,19 @@ func (c *Controller) Decide(r Request) Decision {
 		c.stats.MaxQueueDepth = r.QueueDepth
 	}
 
+	if c.cfg.Tenants.Enabled() {
+		if d := c.decideTenant(r); d != nil {
+			return *d
+		}
+	}
+
 	degraded := false
 	if c.cfg.SlackFactor > 0 && r.RemainingSecs > 0 && !math.IsInf(r.RemainingSecs, 1) &&
 		c.cfg.SlackFactor*r.EstCompletionSecs > r.RemainingSecs {
 		if c.cfg.Policy != Degrade {
 			c.stats.Rejected++
 			c.met.rejected.Inc()
+			c.tenantRejected(r)
 			return Decision{
 				Verdict: RejectJob,
 				Err: fmt.Errorf("admission: %s: estimated completion %.0fs × slack %.2g exceeds remaining %.0fs: %w",
@@ -275,6 +305,7 @@ func (c *Controller) Decide(r Request) Decision {
 		c.stats.QueueFullRejections++
 		c.met.rejected.Inc()
 		c.met.queueFull.Inc()
+		c.tenantRejected(r)
 		return Decision{
 			Verdict: RejectJob,
 			Err: fmt.Errorf("admission: %s: active set %d at bound %d: %w",
@@ -288,18 +319,22 @@ func (c *Controller) Decide(r Request) Decision {
 		c.stats.Admitted++
 		c.met.degraded.Inc()
 		c.met.admitted.Inc()
+		c.chargeTenant(r)
 		return Decision{Verdict: DegradeBestEffort, Reason: "deadline-infeasible"}
 	}
 	c.stats.Admitted++
 	c.met.admitted.Inc()
+	c.chargeTenant(r)
 	return Decision{Verdict: Admit}
 }
 
-// ResolveShed finalizes a ShedVictim verdict: shed reports whether the
-// executor found a strictly-lower-value victim to evict (the arrival was
-// admitted in its place); false means the arrival itself was the cheapest
-// job in sight and was refused.
-func (c *Controller) ResolveShed(shed bool) {
+// ResolveShed finalizes a ShedVictim verdict for the arrival described
+// by r: shed reports whether the executor found a strictly-lower-value
+// victim to evict (the arrival was admitted in its place); false means
+// the arrival itself was the cheapest job in sight and was refused. On
+// admission the arrival's tenant is charged exactly as a direct Admit
+// would have (the victim's slot is released separately via JobDone).
+func (c *Controller) ResolveShed(r Request, shed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if shed {
@@ -307,11 +342,13 @@ func (c *Controller) ResolveShed(shed bool) {
 		c.stats.Admitted++
 		c.met.shed.Inc()
 		c.met.admitted.Inc()
+		c.chargeTenant(r)
 	} else {
 		c.stats.Rejected++
 		c.stats.QueueFullRejections++
 		c.met.rejected.Inc()
 		c.met.queueFull.Inc()
+		c.tenantRejected(r)
 	}
 }
 

@@ -50,7 +50,7 @@ func TestShedPolicyDefersToExecutor(t *testing.T) {
 	if d.Verdict != ShedVictim {
 		t.Fatalf("want ShedVictim, got %v", d.Verdict)
 	}
-	c.ResolveShed(true)
+	c.ResolveShed(Request{ID: "j1", QueueDepth: 1}, true)
 	if s := c.Stats(); s.Shed != 1 || s.Admitted != 1 {
 		t.Fatalf("after successful shed: %+v", s)
 	}
@@ -58,7 +58,7 @@ func TestShedPolicyDefersToExecutor(t *testing.T) {
 	if d.Verdict != ShedVictim {
 		t.Fatalf("want ShedVictim, got %v", d.Verdict)
 	}
-	c.ResolveShed(false)
+	c.ResolveShed(Request{ID: "j2", QueueDepth: 1}, false)
 	if s := c.Stats(); s.Rejected != 1 || s.QueueFullRejections != 1 {
 		t.Fatalf("after failed shed: %+v", s)
 	}

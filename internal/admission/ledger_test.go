@@ -89,7 +89,7 @@ func TestStatsLedgerInvariants(t *testing.T) {
 				if d.Verdict == ShedVictim {
 					// Ledger holds even mid-flight, before the verdict resolves.
 					checkLedger(t, c.Stats(), 1)
-					c.ResolveShed(tc.shedFound)
+					c.ResolveShed(r, tc.shedFound)
 				}
 				checkLedger(t, c.Stats(), 0)
 			}
@@ -124,7 +124,7 @@ func TestStatsLedgerConcurrent(t *testing.T) {
 					RemainingSecs:     float64(25 * (i%4 + 1)),
 				}
 				if d := c.Decide(r); d.Verdict == ShedVictim {
-					c.ResolveShed(i%2 == 0)
+					c.ResolveShed(r, i%2 == 0)
 				}
 				// Interleave snapshots with decisions from other goroutines.
 				_ = c.Stats()

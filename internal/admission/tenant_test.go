@@ -1,0 +1,279 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rotary/internal/obs"
+)
+
+// twoTenantTable caps tenant "a" tightly and leaves "b" on the default.
+func twoTenantTable() TenantTable {
+	return TenantTable{
+		Tenants: map[string]TenantQuota{
+			"a": {RatePerSec: 0.5, Burst: 2, MaxActive: 2, MaxPending: 2},
+		},
+	}
+}
+
+func TestParseTenantSpec(t *testing.T) {
+	tbl, err := ParseTenantSpec("alpha:weight=2,rate=5,burst=10,max-active=8;default:rate=1,burst=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Enabled() {
+		t.Fatal("parsed table should be enabled")
+	}
+	qa := tbl.Quota("alpha")
+	if qa.Weight != 2 || qa.RatePerSec != 5 || qa.Burst != 10 || qa.MaxActive != 8 {
+		t.Fatalf("alpha quota %+v", qa)
+	}
+	// Unlisted tenants fall back to the default clause.
+	qd := tbl.Quota("nobody")
+	if qd.RatePerSec != 1 || qd.Burst != 4 {
+		t.Fatalf("default quota %+v", qd)
+	}
+	if w := tbl.Weights(); w["alpha"] != 2 {
+		t.Fatalf("weights %v", w)
+	}
+	if tbl, err := ParseTenantSpec(""); err != nil || tbl.Enabled() {
+		t.Fatalf("empty spec: %v %v", tbl, err)
+	}
+	for _, bad := range []string{"noclause", "a:rate", "a:rate=-1", "a:turbo=9"} {
+		if _, err := ParseTenantSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestTenantQuotaZeroValueIsNoop(t *testing.T) {
+	q := TenantQuota{}.normalized()
+	if q.Weight != 1 || q.RatePerSec != 0 || q.MaxActive != 0 {
+		t.Fatalf("normalized zero quota %+v", q)
+	}
+	// Rate without burst means strict pacing: burst 1.
+	if q := (TenantQuota{RatePerSec: 2}).normalized(); q.Burst != 1 {
+		t.Fatalf("burst default %+v", q)
+	}
+}
+
+func TestTenantRateBucket(t *testing.T) {
+	c := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+	// Burst 2: two immediate admissions, the third refused with a hint.
+	for i := 0; i < 2; i++ {
+		d := c.Decide(Request{ID: fmt.Sprintf("j%d", i), Tenant: "a", Now: 0})
+		if d.Verdict != Admit {
+			t.Fatalf("arrival %d: %v %v", i, d.Verdict, d.Err)
+		}
+	}
+	d := c.Decide(Request{ID: "j2", Tenant: "a", Now: 0})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrTenantQuotaExceeded) {
+		t.Fatalf("want rate refusal, got %v %v", d.Verdict, d.Err)
+	}
+	// Deficit is one full token at rate 0.5/s: hint = 2s.
+	if d.RetryAfterSecs != 2 {
+		t.Fatalf("retry hint %v, want 2", d.RetryAfterSecs)
+	}
+	// Honoring the hint admits (free a concurrent-job slot first so only
+	// the rate gate is in play).
+	c.JobDone("a")
+	if d := c.Decide(Request{ID: "j3", Tenant: "a", Now: 2}); d.Verdict != Admit {
+		t.Fatalf("post-hint arrival: %v %v", d.Verdict, d.Err)
+	}
+	// Tenant "b" is unconstrained (zero default quota) and unaffected.
+	if d := c.Decide(Request{ID: "k0", Tenant: "b", Now: 0}); d.Verdict != Admit {
+		t.Fatalf("tenant b: %v %v", d.Verdict, d.Err)
+	}
+}
+
+func TestTenantRefusalDoesNotMutateBucket(t *testing.T) {
+	c := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+	c.Decide(Request{ID: "j0", Tenant: "a", Now: 0})
+	c.Decide(Request{ID: "j1", Tenant: "a", Now: 0})
+	st := c.tenants["a"]
+	tokens, last := st.tokens, st.last
+	// Hammer refusals at increasing times: peek-only, no state change.
+	for i := 0; i < 5; i++ {
+		d := c.Decide(Request{ID: fmt.Sprintf("r%d", i), Tenant: "a", Now: 0.1 * float64(i)})
+		if d.Verdict != RejectJob {
+			t.Fatalf("refusal %d: %v", i, d.Verdict)
+		}
+	}
+	if st.tokens != tokens || st.last != last {
+		t.Fatalf("refusals mutated bucket: (%v,%v) -> (%v,%v)", tokens, last, st.tokens, st.last)
+	}
+}
+
+func TestTenantActiveAndQueueCaps(t *testing.T) {
+	c := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+	// MaxActive 2: admit two (no rate pressure at widely spaced times).
+	c.Decide(Request{ID: "j0", Tenant: "a", Now: 0})
+	c.Decide(Request{ID: "j1", Tenant: "a", Now: 100})
+	d := c.Decide(Request{ID: "j2", Tenant: "a", Now: 200})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrTenantQuotaExceeded) {
+		t.Fatalf("want active-cap refusal, got %v %v", d.Verdict, d.Err)
+	}
+	// Releasing a slot reopens the cap.
+	c.JobDone("a")
+	if d := c.Decide(Request{ID: "j3", Tenant: "a", Now: 300}); d.Verdict != Admit {
+		t.Fatalf("post-release: %v %v", d.Verdict, d.Err)
+	}
+	// MaxPending 2: the executor-supplied tenant queue depth gates.
+	c.JobDone("a")
+	d = c.Decide(Request{ID: "j4", Tenant: "a", Now: 400, TenantPending: 2})
+	if d.Verdict != RejectJob || !errors.Is(d.Err, ErrTenantQueueFull) {
+		t.Fatalf("want queue-cap refusal, got %v %v", d.Verdict, d.Err)
+	}
+}
+
+// TestTenantLedgerReconciles asserts the reconciliation invariant: every
+// attributed arrival lands in exactly one ledger bucket, and the obs
+// counters mirror the ledger exactly.
+func TestTenantLedgerReconciles(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Config{
+		MaxQueueDepth: 2,
+		SlackFactor:   1,
+		Tenants:       twoTenantTable(),
+		Obs:           reg,
+	})
+	now := 0.0
+	for i := 0; i < 40; i++ {
+		tenant := "a"
+		if i%3 == 0 {
+			tenant = "b"
+		}
+		r := Request{
+			ID:            fmt.Sprintf("j%02d", i),
+			Tenant:        tenant,
+			Now:           now,
+			QueueDepth:    i % 3,
+			TenantPending: i % 4,
+			RemainingSecs: 600,
+		}
+		if i%7 == 0 {
+			r.EstCompletionSecs = 1e6 // deadline-infeasible: global reject
+		}
+		c.Decide(r)
+		if i%5 == 0 {
+			c.JobDone(tenant)
+		}
+		now += 0.4
+	}
+	for name, s := range c.TenantStats() {
+		if s.Admitted+s.Rejected != s.Submitted {
+			t.Errorf("tenant %s: admitted %d + rejected %d != submitted %d", name, s.Admitted, s.Rejected, s.Submitted)
+		}
+		gate := s.RateRejections + s.ActiveCapRejections + s.QueueCapRejections
+		if gate > s.Rejected {
+			t.Errorf("tenant %s: gate refusals %d > rejected %d", name, gate, s.Rejected)
+		}
+		if s.Active < 0 || s.Active > s.Admitted {
+			t.Errorf("tenant %s: active %d outside [0, admitted %d]", name, s.Active, s.Admitted)
+		}
+		for metric, want := range map[string]int{
+			"submitted_total":             s.Submitted,
+			"admitted_total":              s.Admitted,
+			"rejected_total":              s.Rejected,
+			"rate_rejections_total":       s.RateRejections,
+			"active_cap_rejections_total": s.ActiveCapRejections,
+			"queue_cap_rejections_total":  s.QueueCapRejections,
+		} {
+			full := fmt.Sprintf("rotary_admission_tenant_%s{tenant=%q}", metric, name)
+			got, ok := reg.Value(full)
+			if !ok || int(got) != want {
+				t.Errorf("tenant %s: obs %s = %v (ok=%v), ledger %d", name, metric, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestTenantVerdictDeterminism feeds the same arrival sequence to two
+// controllers and requires identical verdicts and bit-identical bucket
+// state — the property journal replay depends on.
+func TestTenantVerdictDeterminism(t *testing.T) {
+	arrivals := make([]Request, 60)
+	now := 0.0
+	for i := range arrivals {
+		arrivals[i] = Request{ID: fmt.Sprintf("j%02d", i), Tenant: "a", Now: now}
+		now += 0.37 * float64(i%5)
+	}
+	run := func() (*Controller, []Verdict) {
+		c := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+		var vs []Verdict
+		for i, r := range arrivals {
+			d := c.Decide(r)
+			vs = append(vs, d.Verdict)
+			if i%2 == 1 {
+				c.JobDone("a") // keep the active cap from dominating
+			}
+		}
+		return c, vs
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	s1, s2 := c1.tenants["a"], c2.tenants["a"]
+	if s1.tokens != s2.tokens || s1.last != s2.last || s1.primed != s2.primed {
+		t.Fatalf("bucket diverged: (%v,%v,%v) vs (%v,%v,%v)",
+			s1.tokens, s1.last, s1.primed, s2.tokens, s2.last, s2.primed)
+	}
+
+	// ReplayAdmitted over only the admitted arrivals reproduces the exact
+	// bucket: the fold a journal replay performs.
+	c3 := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+	for i, r := range arrivals {
+		if v1[i] == Admit {
+			c3.ReplayAdmitted("a", r.Now)
+		}
+	}
+	s3 := c3.tenants["a"]
+	if s3.tokens != s1.tokens || s3.last != s1.last || s3.primed != s1.primed {
+		t.Fatalf("replayed bucket diverged: (%v,%v,%v) vs (%v,%v,%v)",
+			s3.tokens, s3.last, s3.primed, s1.tokens, s1.last, s1.primed)
+	}
+	// And post-replay verdicts stay identical to the uninterrupted run's.
+	d1 := c1.Decide(Request{ID: "probe", Tenant: "a", Now: now + 0.1})
+	d3 := c3.Decide(Request{ID: "probe", Tenant: "a", Now: now + 0.1})
+	if (d1.Verdict == RejectJob) != (d3.Verdict == RejectJob) {
+		t.Fatalf("post-replay probe diverged: %v vs %v", d1.Verdict, d3.Verdict)
+	}
+}
+
+func TestAdoptRecoveredRestoresActiveSlots(t *testing.T) {
+	c := NewController(Config{Tenants: twoTenantTable(), Obs: obs.NewRegistry()})
+	c.AdoptRecovered("a")
+	c.AdoptRecovered("a")
+	if d := c.Decide(Request{ID: "j0", Tenant: "a", Now: 0}); d.Verdict != RejectJob ||
+		!errors.Is(d.Err, ErrTenantQuotaExceeded) {
+		t.Fatalf("adopted slots should count against MaxActive: %v %v", d.Verdict, d.Err)
+	}
+	c.JobDone("a")
+	if d := c.Decide(Request{ID: "j1", Tenant: "a", Now: 0}); d.Verdict != Admit {
+		t.Fatalf("post-release: %v %v", d.Verdict, d.Err)
+	}
+}
+
+func TestTenantLabelSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		`ev"il\x`:      "ev_il_x",
+		"ctl\x00\x1f.": "ctl__.",
+	} {
+		if got := tenantLabel(in); got != want {
+			t.Errorf("tenantLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := tenantLabel(string(long)); len(got) > 64 {
+		t.Errorf("long label not truncated: %d bytes", len(got))
+	}
+}

@@ -281,6 +281,11 @@ func (e *AQPExecutor) Detach(id string) error {
 	// source copy is cleared by the caller once the handoff commits, or by
 	// the retain-aware startup sweep after the journal marks the job
 	// migrated.
+	// The job's tenant slot moves with it: the receiving shard adopts it
+	// on Recover, so the source releases it here.
+	if e.cfg.Admission != nil {
+		e.cfg.Admission.JobDone(j.tenant)
+	}
 	e.met.detached.Inc()
 	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceDetach, Job: j.ID()})
 	return nil
@@ -326,6 +331,11 @@ func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 			if e.cfg.Store != nil {
 				j.needsRestore = true
 			}
+			// The job passed admission in a previous incarnation; restore
+			// its tenant's concurrent-job slot so the cap stays closed.
+			if e.cfg.Admission != nil {
+				e.cfg.Admission.AdoptRecovered(j.tenant)
+			}
 			e.rec.Reattached++
 			e.met.reattached.Inc()
 		} else if e.cfg.Admission != nil && !e.admit(j) {
@@ -336,7 +346,7 @@ func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 			detail = "recovered"
 		}
 		e.enqueue(j)
-		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID(), Detail: detail})
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID(), Tenant: j.tenant, Detail: detail})
 		// Deadline watchdog: a job still waiting in the queue when its
 		// deadline passes is terminated right there, not at some later
 		// epoch boundary.
@@ -357,12 +367,22 @@ func (e *AQPExecutor) register(j *AQPJob, at sim.Time, recovered bool) {
 func (e *AQPExecutor) admit(j *AQPJob) bool {
 	ctrl := e.cfg.Admission
 	depth := len(e.pending) + len(e.running) + e.limbo
-	dec := ctrl.Decide(admission.Request{
+	tenantPending := 0
+	for _, p := range e.pending {
+		if p.tenant == j.tenant {
+			tenantPending++
+		}
+	}
+	req := admission.Request{
 		ID:                j.ID(),
 		QueueDepth:        depth,
 		EstCompletionSecs: e.estCompletionSecs(j),
 		RemainingSecs:     j.DeadlineSecs(),
-	})
+		Tenant:            j.tenant,
+		Now:               e.eng.Now().Seconds(),
+		TenantPending:     tenantPending,
+	}
+	dec := ctrl.Decide(req)
 	switch dec.Verdict {
 	case admission.DegradeBestEffort:
 		j.bestEffort = true
@@ -370,16 +390,19 @@ func (e *AQPExecutor) admit(j *AQPJob) bool {
 		e.met.degraded.Inc()
 		return true
 	case admission.RejectJob:
+		j.rejectErr = dec.Err
+		j.retryAfterSecs = dec.RetryAfterSecs
 		e.rejectJob(j, StatusRejected, dec.Reason)
 		return false
 	case admission.ShedVictim:
 		v := e.shedVictim(j)
 		if v == nil {
-			ctrl.ResolveShed(false)
+			ctrl.ResolveShed(req, false)
+			j.rejectErr = admission.ShedRefusalErr(j.ID(), depth, ctrl.Config().MaxQueueDepth)
 			e.rejectJob(j, StatusRejected, "queue-full no-victim")
 			return false
 		}
-		ctrl.ResolveShed(true)
+		ctrl.ResolveShed(req, true)
 		e.removePending(v)
 		e.rejectJob(v, StatusShed, fmt.Sprintf("for %s", j.ID()))
 		return true
@@ -449,6 +472,10 @@ func (e *AQPExecutor) rejectJob(j *AQPJob, status JobStatus, detail string) {
 		kind = TraceShed
 		e.overload.Shed++
 		e.met.shed.Inc()
+		// A shed victim was admitted earlier and held a tenant slot.
+		if e.cfg.Admission != nil {
+			e.cfg.Admission.JobDone(j.tenant)
+		}
 	} else {
 		e.overload.Rejected++
 		e.met.rejected.Inc()
@@ -456,7 +483,7 @@ func (e *AQPExecutor) rejectJob(j *AQPJob, status JobStatus, detail string) {
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
 	}
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Tenant: j.tenant, Detail: detail})
 	j.status = status
 	j.endTime = e.eng.Now()
 	e.met.outcome(status)
@@ -905,13 +932,18 @@ func (e *AQPExecutor) finishJob(j *AQPJob, status JobStatus) {
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
 	}
+	// Every finishJob target was admitted (it reached the queue), so its
+	// tenant's concurrent-job slot opens here.
+	if e.cfg.Admission != nil {
+		e.cfg.Admission.JobDone(j.tenant)
+	}
 	if j.crashPending {
 		// Expired while still recovering: close the latency window without
 		// counting a successful recovery.
 		j.crashPending = false
 		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
 	}
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Tenant: j.tenant, Detail: status.String()})
 	j.status = status
 	j.endTime = e.eng.Now()
 	j.stopAcc = j.query.Accuracy()

@@ -225,7 +225,7 @@ func (e *DLTExecutor) Submit(j *DLTJob, at sim.Time) {
 			return
 		}
 		e.enqueue(j)
-		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID()})
+		e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceArrive, Job: j.ID(), Tenant: j.tenant})
 		e.scheduleArbitrate()
 	})
 }
@@ -239,12 +239,22 @@ func (e *DLTExecutor) admit(j *DLTJob) bool {
 	if secs, ok := j.crit.Deadline.DeadlineSeconds(); ok {
 		remaining = secs
 	}
-	dec := ctrl.Decide(admission.Request{
+	tenantPending := 0
+	for _, p := range e.pending {
+		if p.tenant == j.tenant {
+			tenantPending++
+		}
+	}
+	req := admission.Request{
 		ID:                j.ID(),
 		QueueDepth:        depth,
 		EstCompletionSecs: e.estCompletionSecs(j),
 		RemainingSecs:     remaining,
-	})
+		Tenant:            j.tenant,
+		Now:               e.eng.Now().Seconds(),
+		TenantPending:     tenantPending,
+	}
+	dec := ctrl.Decide(req)
 	switch dec.Verdict {
 	case admission.DegradeBestEffort:
 		j.bestEffort = true
@@ -257,11 +267,11 @@ func (e *DLTExecutor) admit(j *DLTJob) bool {
 	case admission.ShedVictim:
 		v := e.shedVictim(j)
 		if v == nil {
-			ctrl.ResolveShed(false)
+			ctrl.ResolveShed(req, false)
 			e.rejectJob(j, StatusRejected, "queue-full no-victim")
 			return false
 		}
-		ctrl.ResolveShed(true)
+		ctrl.ResolveShed(req, true)
 		e.removePending(v)
 		e.rejectJob(v, StatusShed, fmt.Sprintf("for %s", j.ID()))
 		return true
@@ -323,6 +333,10 @@ func (e *DLTExecutor) rejectJob(j *DLTJob, status JobStatus, detail string) {
 		kind = TraceShed
 		e.overload.Shed++
 		e.met.shed.Inc()
+		// A shed victim was admitted earlier and held a tenant slot.
+		if e.cfg.Admission != nil {
+			e.cfg.Admission.JobDone(j.tenant)
+		}
 	} else {
 		e.overload.Rejected++
 		e.met.rejected.Inc()
@@ -330,7 +344,7 @@ func (e *DLTExecutor) rejectJob(j *DLTJob, status JobStatus, detail string) {
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
 	}
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Detail: detail})
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: kind, Job: j.ID(), Tenant: j.tenant, Detail: detail})
 	j.status = status
 	j.endTime = e.eng.Now()
 	e.met.outcome(status)
@@ -747,11 +761,16 @@ func (e *DLTExecutor) finishJob(j *DLTJob, status JobStatus) {
 	if e.cfg.Store != nil {
 		e.cfg.Store.Remove(j.ID())
 	}
+	// Every finishJob target was admitted (it reached the queue), so its
+	// tenant's concurrent-job slot opens here.
+	if e.cfg.Admission != nil {
+		e.cfg.Admission.JobDone(j.tenant)
+	}
 	if j.crashPending {
 		j.crashPending = false
 		e.rec.RecoveryLatencySecs += (e.eng.Now() - j.crashedSince).Seconds()
 	}
-	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Detail: status.String()})
+	e.cfg.Tracer.Emit(TraceEvent{At: e.eng.Now(), Kind: TraceStop, Job: j.ID(), Tenant: j.tenant, Detail: status.String()})
 	j.status = status
 	j.endTime = e.eng.Now()
 	e.met.outcome(status)

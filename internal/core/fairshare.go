@@ -1,0 +1,508 @@
+package core
+
+import (
+	"sort"
+
+	"rotary/internal/cluster"
+)
+
+// This file implements the weighted fair-share arbitration layer: a
+// DRF-style wrapper that partitions each arbitration round's free
+// resources across tenants before the wrapped policy orders jobs within
+// each tenant's share. The isolation claim it carries (proved by the
+// noisy-neighbor chaos suite in internal/serve) is that one tenant's
+// backlog cannot consume another tenant's guaranteed share: every
+// backlogged tenant is offered its weight-proportional entitlement
+// every round, in deficit order, before any leftover capacity is
+// reclaimed work-conservingly.
+//
+// The deficit ledger is a cumulative dominant-resource usage account
+// (Ghodsi et al.'s DRF share: max over resources of the granted
+// fraction, divided by the tenant's weight). Tenants are served in
+// ascending usage-per-weight order, so a tenant returning from idle —
+// whose account lags the field — is first in line. The idle-return
+// clamp bounds that credit: when a tenant becomes backlogged, its
+// account is raised to the current backlogged minimum, so unused share
+// is reclaimable by others while guaranteed share is recoverable within
+// one arbitration round — a returning tenant gets its full entitlement
+// immediately but cannot starve the field to "repay" arbitrarily old
+// idleness.
+//
+// Fast-path composition: the wrapper implements ArbiterProfile when the
+// inner policy does, folding the deficit ledger into StateFingerprint
+// (a hit therefore proves the ledger matched), and implements
+// AQPReplayCommitter/DLTReplayCommitter so a replayed decision advances
+// the ledger exactly as the skipped Assign/Place would have.
+
+// fairLedger is the tenant usage account shared by both wrappers.
+type fairLedger struct {
+	weights map[string]float64
+	usage   map[string]float64
+	// wasBack is the previous round's backlogged set: the idle-return
+	// clamp raises only tenants (re)entering the backlog, and "entering"
+	// is defined against this. Ledger state proper — folded into the
+	// fast-path fingerprint alongside usage.
+	wasBack map[string]bool
+}
+
+func newFairLedger(weights map[string]float64) fairLedger {
+	w := make(map[string]float64, len(weights))
+	for name, v := range weights {
+		if v > 0 {
+			w[CanonicalTenantName(name)] = v
+		}
+	}
+	return fairLedger{weights: w, usage: make(map[string]float64), wasBack: make(map[string]bool)}
+}
+
+// CanonicalTenantName maps an attribution string to its ledger key
+// (core-side mirror of admission.CanonicalTenant, kept dependency-free).
+func CanonicalTenantName(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+func (l *fairLedger) weight(tenant string) float64 {
+	if w, ok := l.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// clamp prunes tenants that left the system entirely and applies the
+// idle-return bound: a tenant (re)entering the backlog has its account
+// raised to the continuously-backlogged minimum usage-per-weight, so it
+// gets its full weight-proportional entitlement immediately but carries
+// no accumulated credit for the rounds it sat idle — others reclaimed
+// that share for good. live holds every tenant present in the round
+// (pending or running); backlogged the subset with pending work. Both
+// are deterministic functions of the arbitration context, so the clamp
+// replays identically under the fast path.
+func (l *fairLedger) clamp(live, backlogged map[string]bool) {
+	for name := range l.usage {
+		if !live[name] {
+			delete(l.usage, name)
+		}
+	}
+	for name := range l.wasBack {
+		if !live[name] {
+			delete(l.wasBack, name)
+		}
+	}
+	minNorm := -1.0
+	for name := range backlogged {
+		if !l.wasBack[name] {
+			continue
+		}
+		n := l.usage[name] / l.weight(name)
+		if minNorm < 0 || n < minNorm {
+			minNorm = n
+		}
+	}
+	if minNorm > 0 {
+		for name := range backlogged {
+			if l.wasBack[name] {
+				continue
+			}
+			if floor := l.weight(name) * minNorm; l.usage[name] < floor {
+				l.usage[name] = floor
+			}
+		}
+	}
+	for name := range l.wasBack {
+		if !backlogged[name] {
+			delete(l.wasBack, name)
+		}
+	}
+	for name := range backlogged {
+		l.wasBack[name] = true
+	}
+}
+
+// order returns the backlogged tenants in service order: ascending
+// usage-per-weight, ties by name — deterministic for replays.
+func (l *fairLedger) order(backlogged []string) []string {
+	sort.Slice(backlogged, func(i, j int) bool {
+		ni := l.usage[backlogged[i]] / l.weight(backlogged[i])
+		nj := l.usage[backlogged[j]] / l.weight(backlogged[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return backlogged[i] < backlogged[j]
+	})
+	return backlogged
+}
+
+// charge books one grant's dominant share against a tenant.
+func (l *fairLedger) charge(tenant string, dominant float64) {
+	l.usage[tenant] += dominant / l.weight(tenant)
+}
+
+// fingerprint folds the ledger into a fast-path state fingerprint. Both
+// state maps participate: usage drives the share split, wasBack drives
+// the idle-return clamp, and a cache hit must prove both matched.
+func (l *fairLedger) fingerprint(h uint64) uint64 {
+	names := make([]string, 0, len(l.usage))
+	for name := range l.usage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h = fpMix(h, uint64(len(names)))
+	for _, name := range names {
+		h = fpMix(h, fpString(name))
+		h = fpFloat(h, l.usage[name])
+		h = fpFloat(h, l.weight(name))
+	}
+	back := make([]string, 0, len(l.wasBack))
+	for name := range l.wasBack {
+		back = append(back, name)
+	}
+	sort.Strings(back)
+	h = fpMix(h, uint64(len(back)))
+	for _, name := range back {
+		h = fpMix(h, fpString(name))
+	}
+	return h
+}
+
+// FairShareAQP wraps an AQP policy with weighted fair share over
+// threads and memory. Compose it under the starvation guard and the
+// fast path: executor wiring puts the guard (when configured) outside
+// and the decision cache outside that.
+type FairShareAQP struct {
+	inner  AQPScheduler
+	ledger fairLedger
+}
+
+// NewFairShareAQP wraps inner with the given tenant weight map (absent
+// or non-positive weights default to 1).
+func NewFairShareAQP(inner AQPScheduler, weights map[string]float64) *FairShareAQP {
+	return &FairShareAQP{inner: inner, ledger: newFairLedger(weights)}
+}
+
+// Name implements AQPScheduler.
+func (f *FairShareAQP) Name() string { return f.inner.Name() + "+fair" }
+
+// Usage snapshots the deficit ledger (tests and reports).
+func (f *FairShareAQP) Usage() map[string]float64 {
+	out := make(map[string]float64, len(f.ledger.usage))
+	for name, v := range f.ledger.usage {
+		out[name] = v
+	}
+	return out
+}
+
+// ArbiterProfile opts into the fast path when the inner policy does,
+// folding the deficit ledger into the state fingerprint so a cache hit
+// proves the ledger (and hence the share computation) matched.
+func (f *FairShareAQP) ArbiterProfile() ArbiterProfile {
+	p, ok := f.inner.(ProfiledAQPScheduler)
+	if !ok {
+		return ArbiterProfile{}
+	}
+	prof := p.ArbiterProfile()
+	if !prof.Cachable {
+		return prof
+	}
+	prof.StateFingerprint = f.ledger.fingerprint(fpMix(fpInit, prof.StateFingerprint))
+	return prof
+}
+
+// tenantSets derives the live/backlogged tenant sets and the pending
+// grouping for one round.
+func aqpTenantSets(ctx *AQPContext) (live, backlogged map[string]bool, groups map[string][]*AQPJob, names []string) {
+	live = make(map[string]bool)
+	backlogged = make(map[string]bool)
+	groups = make(map[string][]*AQPJob)
+	for _, j := range ctx.Pending {
+		t := CanonicalTenantName(j.tenant)
+		live[t] = true
+		if !backlogged[t] {
+			backlogged[t] = true
+			names = append(names, t)
+		}
+		groups[t] = append(groups[t], j)
+	}
+	for _, j := range ctx.Running {
+		live[CanonicalTenantName(j.tenant)] = true
+	}
+	return live, backlogged, groups, names
+}
+
+// Assign implements AQPScheduler: clamp the ledger, partition the free
+// pool by weight in deficit order, reclaim leftovers work-conservingly,
+// then charge the final grants.
+func (f *FairShareAQP) Assign(ctx *AQPContext) []AQPGrant {
+	live, backlogged, groups, names := aqpTenantSets(ctx)
+	f.ledger.clamp(live, backlogged)
+	grants := f.assignFair(ctx, groups, names)
+	f.commit(ctx, grants)
+	return grants
+}
+
+// CommitReplay implements AQPReplayCommitter: advance the ledger for a
+// fast-path replayed decision exactly as Assign would have.
+func (f *FairShareAQP) CommitReplay(ctx *AQPContext, grants []AQPGrant) {
+	live, backlogged, _, _ := aqpTenantSets(ctx)
+	f.ledger.clamp(live, backlogged)
+	f.commit(ctx, grants)
+}
+
+func (f *FairShareAQP) commit(ctx *AQPContext, grants []AQPGrant) {
+	for _, g := range grants {
+		dom := 0.0
+		if ctx.TotalThreads > 0 {
+			dom = float64(g.Threads) / float64(ctx.TotalThreads)
+		}
+		if ctx.TotalMemMB > 0 {
+			if m := g.ReserveMemMB / ctx.TotalMemMB; m > dom {
+				dom = m
+			}
+		}
+		f.ledger.charge(CanonicalTenantName(g.Job.tenant), dom)
+	}
+}
+
+func (f *FairShareAQP) assignFair(ctx *AQPContext, groups map[string][]*AQPJob, names []string) []AQPGrant {
+	// Single-tenant rounds need no partitioning: the inner policy sees
+	// the whole pool, and only the ledger charge differs from a bare run.
+	if len(names) <= 1 {
+		return f.inner.Assign(ctx)
+	}
+	order := f.ledger.order(names)
+	totalW := 0.0
+	for _, name := range order {
+		totalW += f.ledger.weight(name)
+	}
+	remThreads := ctx.FreeThreads
+	remMem := ctx.FreeMemMB
+	var out []AQPGrant
+	granted := make(map[*AQPJob]bool)
+	accept := func(grants []AQPGrant) {
+		for _, g := range grants {
+			if g.Threads <= 0 || g.Threads > remThreads || granted[g.Job] {
+				continue
+			}
+			granted[g.Job] = true
+			out = append(out, g)
+			remThreads -= g.Threads
+			remMem -= g.ReserveMemMB
+		}
+	}
+	// Entitlement pass: each backlogged tenant, in deficit order, is
+	// offered its weight-proportional slice of this round's free pool
+	// (never less than one thread — the recoverable guaranteed share).
+	for _, name := range order {
+		if remThreads <= 0 {
+			break
+		}
+		w := f.ledger.weight(name)
+		ent := int(float64(ctx.FreeThreads) * w / totalW)
+		if ent < 1 {
+			ent = 1
+		}
+		if ent > remThreads {
+			ent = remThreads
+		}
+		entMem := ctx.FreeMemMB * w / totalW
+		if entMem > remMem {
+			entMem = remMem
+		}
+		sub := AQPContext{
+			Now:          ctx.Now,
+			Pending:      groups[name],
+			Running:      ctx.Running,
+			FreeThreads:  ent,
+			TotalThreads: ctx.TotalThreads,
+			FreeMemMB:    entMem,
+			TotalMemMB:   ctx.TotalMemMB,
+		}
+		accept(f.inner.Assign(&sub))
+	}
+	// Reclaim pass: leftover capacity (tenants without enough backlog to
+	// fill their slice) is re-offered in the same order — unused share is
+	// reclaimable, so the layer stays work-conserving.
+	for _, name := range order {
+		if remThreads <= 0 {
+			break
+		}
+		var rest []*AQPJob
+		for _, j := range groups[name] {
+			if !granted[j] {
+				rest = append(rest, j)
+			}
+		}
+		if len(rest) == 0 {
+			continue
+		}
+		mem := remMem
+		if mem < 0 {
+			mem = 0
+		}
+		sub := AQPContext{
+			Now:          ctx.Now,
+			Pending:      rest,
+			Running:      ctx.Running,
+			FreeThreads:  remThreads,
+			TotalThreads: ctx.TotalThreads,
+			FreeMemMB:    mem,
+			TotalMemMB:   ctx.TotalMemMB,
+		}
+		accept(f.inner.Assign(&sub))
+	}
+	return out
+}
+
+// FairShareDLT wraps a DLT policy with weighted fair share over GPU
+// slots: the dominant resource is the device count, entitlements are
+// weight-proportional slices of this round's free device list.
+type FairShareDLT struct {
+	inner  DLTScheduler
+	ledger fairLedger
+}
+
+// NewFairShareDLT wraps inner with the given tenant weight map.
+func NewFairShareDLT(inner DLTScheduler, weights map[string]float64) *FairShareDLT {
+	return &FairShareDLT{inner: inner, ledger: newFairLedger(weights)}
+}
+
+// Name implements DLTScheduler.
+func (f *FairShareDLT) Name() string { return f.inner.Name() + "+fair" }
+
+// Usage snapshots the deficit ledger.
+func (f *FairShareDLT) Usage() map[string]float64 {
+	out := make(map[string]float64, len(f.ledger.usage))
+	for name, v := range f.ledger.usage {
+		out[name] = v
+	}
+	return out
+}
+
+// ArbiterProfile opts into the fast path when the inner policy does.
+func (f *FairShareDLT) ArbiterProfile() ArbiterProfile {
+	p, ok := f.inner.(ProfiledDLTScheduler)
+	if !ok {
+		return ArbiterProfile{}
+	}
+	prof := p.ArbiterProfile()
+	if !prof.Cachable {
+		return prof
+	}
+	prof.StateFingerprint = f.ledger.fingerprint(fpMix(fpInit, prof.StateFingerprint))
+	return prof
+}
+
+func dltTenantSets(ctx *DLTContext) (live, backlogged map[string]bool, groups map[string][]*DLTJob, names []string) {
+	live = make(map[string]bool)
+	backlogged = make(map[string]bool)
+	groups = make(map[string][]*DLTJob)
+	for _, j := range ctx.Pending {
+		t := CanonicalTenantName(j.tenant)
+		live[t] = true
+		if !backlogged[t] {
+			backlogged[t] = true
+			names = append(names, t)
+		}
+		groups[t] = append(groups[t], j)
+	}
+	for _, j := range ctx.Running {
+		live[CanonicalTenantName(j.tenant)] = true
+	}
+	return live, backlogged, groups, names
+}
+
+// Place implements DLTScheduler.
+func (f *FairShareDLT) Place(ctx *DLTContext) []DLTPlacement {
+	live, backlogged, groups, names := dltTenantSets(ctx)
+	f.ledger.clamp(live, backlogged)
+	placements := f.placeFair(ctx, groups, names)
+	f.commit(placements)
+	return placements
+}
+
+// CommitReplay implements DLTReplayCommitter.
+func (f *FairShareDLT) CommitReplay(ctx *DLTContext, placements []DLTPlacement) {
+	live, backlogged, _, _ := dltTenantSets(ctx)
+	f.ledger.clamp(live, backlogged)
+	f.commit(placements)
+}
+
+func (f *FairShareDLT) commit(placements []DLTPlacement) {
+	for _, p := range placements {
+		f.ledger.charge(CanonicalTenantName(p.Job.tenant), 1)
+	}
+}
+
+func (f *FairShareDLT) placeFair(ctx *DLTContext, groups map[string][]*DLTJob, names []string) []DLTPlacement {
+	if len(names) <= 1 {
+		return f.inner.Place(ctx)
+	}
+	order := f.ledger.order(names)
+	totalW := 0.0
+	for _, name := range order {
+		totalW += f.ledger.weight(name)
+	}
+	remaining := make([]cluster.GPU, len(ctx.FreeGPUs))
+	copy(remaining, ctx.FreeGPUs)
+	var out []DLTPlacement
+	placed := make(map[*DLTJob]bool)
+	takeDevice := func(id int) bool {
+		for i, g := range remaining {
+			if g.ID == id {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	accept := func(ps []DLTPlacement) {
+		for _, p := range ps {
+			if placed[p.Job] || !takeDevice(p.Device) {
+				continue
+			}
+			placed[p.Job] = true
+			out = append(out, p)
+		}
+	}
+	// Entitlement pass: each backlogged tenant, in deficit order, sees a
+	// weight-proportional slice of the free device list (at least one
+	// device). The slice is copied — accept mutates remaining.
+	for _, name := range order {
+		if len(remaining) == 0 {
+			break
+		}
+		ent := int(float64(len(ctx.FreeGPUs)) * f.ledger.weight(name) / totalW)
+		if ent < 1 {
+			ent = 1
+		}
+		if ent > len(remaining) {
+			ent = len(remaining)
+		}
+		slice := make([]cluster.GPU, ent)
+		copy(slice, remaining[:ent])
+		sub := DLTContext{Now: ctx.Now, Pending: groups[name], Running: ctx.Running, FreeGPUs: slice}
+		accept(f.inner.Place(&sub))
+	}
+	// Reclaim pass: leftover devices re-offered in the same order.
+	for _, name := range order {
+		if len(remaining) == 0 {
+			break
+		}
+		var rest []*DLTJob
+		for _, j := range groups[name] {
+			if !placed[j] {
+				rest = append(rest, j)
+			}
+		}
+		if len(rest) == 0 {
+			continue
+		}
+		slice := make([]cluster.GPU, len(remaining))
+		copy(slice, remaining)
+		sub := DLTContext{Now: ctx.Now, Pending: rest, Running: ctx.Running, FreeGPUs: slice}
+		accept(f.inner.Place(&sub))
+	}
+	return out
+}

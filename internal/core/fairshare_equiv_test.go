@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rotary/internal/core"
+	"rotary/internal/estimate"
+)
+
+// TestFastPathFairShareEquivalence extends the metamorphic fast-path
+// suite to the weighted fair-share wrapper: a multi-tenant workload run
+// with decision caching on must be bit-identical to the uncached run.
+// This is the proof obligation for the ledger composition — the deficit
+// ledger (usage and the idle-return wasBack set) is folded into the
+// state fingerprint, and a cache hit advances it through CommitReplay
+// exactly as the skipped Assign would have. Any divergence between the
+// two mechanisms shows up as a trace or outcome mismatch here.
+func TestFastPathFairShareEquivalence(t *testing.T) {
+	weights := map[string]float64{"alpha": 3, "beta": 1, "gamma": 1}
+	tenants := []string{"alpha", "beta", "gamma", ""}
+	mk := func(repo *estimate.Repository) core.AQPScheduler {
+		return core.NewFairShareAQP(core.NewRotaryAQP(estimate.NewAccuracyProgress(repo, 3)), weights)
+	}
+	var hits, misses uint64
+	for _, seed := range chaosSeeds {
+		label := fmt.Sprintf("fair/seed=%d", seed)
+		cat, specs := buildAQPWorkload(t, 8, seed)
+		for i := range specs {
+			specs[i].Tenant = tenants[i%len(tenants)]
+		}
+		off, offTr := equivAQPRun(t, cat, specs, mk, false)
+		on, onTr := equivAQPRun(t, cat, specs, mk, true)
+		tracesIdentical(t, label, offTr.Events(), onTr.Events())
+		want := aqpOutcomes(off.Jobs())
+		for _, j := range on.Jobs() {
+			w := want[j.ID()]
+			if j.Status() != w.status || j.Epochs() != w.epochs || j.StopAccuracy() != w.stopAcc {
+				t.Errorf("%s: job %s diverged: %v/%d/%v, want %v/%d/%v",
+					label, j.ID(), j.Status(), j.Epochs(), j.StopAccuracy(),
+					w.status, w.epochs, w.stopAcc)
+			}
+		}
+		if off.Engine().Now() != on.Engine().Now() {
+			t.Errorf("%s: makespans diverged: off=%v on=%v", label, off.Engine().Now(), on.Engine().Now())
+		}
+		st := on.FastPath()
+		if st.Bypassed > 0 {
+			t.Errorf("%s: %d arbitrations bypassed — fair share over a profiled policy should engage the cache", label, st.Bypassed)
+		}
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if hits+misses == 0 {
+		t.Error("fast path never consulted across the fair-share runs")
+	}
+	t.Logf("fair-share live-run cache: %d hits / %d misses", hits, misses)
+}

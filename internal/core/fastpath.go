@@ -62,6 +62,22 @@ type ProfiledDLTScheduler interface {
 	ArbiterProfile() ArbiterProfile
 }
 
+// AQPReplayCommitter is implemented by wrapper policies (the fair-share
+// layer) whose own ledger advances as a deterministic function of the
+// arbitration's inputs and outputs. On a cache hit the fast path skips
+// Assign, so it invokes CommitReplay with the replayed grants instead;
+// because the wrapper folds its ledger into StateFingerprint, a hit
+// proves the replayed grants are exactly what Assign would have
+// produced, and CommitReplay applies the identical ledger mutation.
+type AQPReplayCommitter interface {
+	CommitReplay(ctx *AQPContext, grants []AQPGrant)
+}
+
+// DLTReplayCommitter is the DLT twin of AQPReplayCommitter.
+type DLTReplayCommitter interface {
+	CommitReplay(ctx *DLTContext, placements []DLTPlacement)
+}
+
 // FastPathStats counts fast-path outcomes for one executor run.
 type FastPathStats struct {
 	// Hits are arbitrations served by replaying a cached template.
@@ -188,6 +204,9 @@ func (f *aqpFastPath) assign(ctx *AQPContext) []AQPGrant {
 	if t, ok := f.cache[sig]; ok {
 		if grants, ok := t.replay(ctx); ok {
 			f.stats.Hits++
+			if c, ok := f.sched.(AQPReplayCommitter); ok {
+				c.CommitReplay(ctx, grants)
+			}
 			return grants
 		}
 		delete(f.cache, sig) // pointer verification refused the replay
@@ -309,7 +328,10 @@ func (f *aqpFastPath) signature(prof ArbiterProfile, ctx *AQPContext) uint64 {
 func (f *aqpFastPath) jobFingerprint(j *AQPJob) uint64 {
 	h, ok := f.idH[j]
 	if !ok {
-		h = fpString(j.id)
+		// Tenant rides in the memoized identity hash: it is immutable per
+		// job and feeds the fair-share layer, so two queues differing only
+		// in tenant attribution must never collide on a signature.
+		h = fpMix(fpString(j.id), fpString(j.tenant))
 		f.idH[j] = h
 	}
 	h = fpMix(h, uint64(j.epochs))
@@ -388,6 +410,9 @@ func (f *dltFastPath) place(ctx *DLTContext) []DLTPlacement {
 	if t, ok := f.cache[sig]; ok {
 		if placements, ok := t.replay(ctx); ok {
 			f.stats.Hits++
+			if c, ok := f.sched.(DLTReplayCommitter); ok {
+				c.CommitReplay(ctx, placements)
+			}
 			return placements
 		}
 		delete(f.cache, sig)
@@ -471,7 +496,9 @@ func (f *dltFastPath) signature(prof ArbiterProfile, ctx *DLTContext) uint64 {
 func (f *dltFastPath) jobFingerprint(j *DLTJob) uint64 {
 	h, ok := f.idH[j]
 	if !ok {
-		h = fpString(j.id)
+		// Tenant attribution folds into the memoized identity hash (see
+		// the AQP twin): immutable per job, policy-visible via fair share.
+		h = fpMix(fpString(j.id), fpString(j.tenant))
 		f.idH[j] = h
 	}
 	h = fpMix(h, uint64(j.epochs))

@@ -24,6 +24,10 @@ type AQPJob struct {
 	query aqp.OnlineQuery
 	crit  criteria.Criteria
 	class string
+	// tenant attributes the job for quota accounting, fair-share
+	// arbitration, and per-tenant telemetry. Immutable after
+	// construction; empty means the default tenant.
+	tenant string
 
 	// Memory facts: the CBO-style pre-run estimate and the row batch used
 	// per processing step.
@@ -77,6 +81,12 @@ type AQPJob struct {
 	// when an epoch completes within budget.
 	bestEffort      bool
 	watchdogStrikes int
+
+	// Admission refusal detail, set when the gate terminates the job with
+	// StatusRejected: the typed cause (errors.Is-matchable against the
+	// admission package's sentinels) and the quota layer's retry hint.
+	rejectErr      error
+	retryAfterSecs float64
 
 	// detached marks a job removed from its executor by Detach for
 	// checkpoint-carried migration to another arbiter shard: events already
@@ -214,6 +224,9 @@ type AQPJobConfig struct {
 	// Table I workloads; the framework accepts any kind.
 	Criteria criteria.Criteria
 	Class    string
+	// Tenant attributes the job for quotas and fair-share arbitration;
+	// empty means the default tenant.
+	Tenant   string
 	EstMemMB float64
 	// BatchRows is the per-step row batch (Table I's batch size feature).
 	BatchRows int
@@ -246,6 +259,7 @@ func NewAQPJob(cfg AQPJobConfig) (*AQPJob, error) {
 		query:        cfg.Query,
 		crit:         cfg.Criteria,
 		class:        cfg.Class,
+		tenant:       cfg.Tenant,
 		estMemMB:     cfg.EstMemMB,
 		batchRows:    cfg.BatchRows,
 		epochBatches: cfg.EpochBatches,
@@ -258,6 +272,18 @@ func NewAQPJob(cfg AQPJobConfig) (*AQPJob, error) {
 
 // ID returns the job identifier.
 func (j *AQPJob) ID() string { return j.id }
+
+// Tenant reports the job's tenant attribution (empty = default tenant).
+func (j *AQPJob) Tenant() string { return j.tenant }
+
+// RejectErr returns the typed admission refusal cause for a
+// StatusRejected job (nil otherwise). Match with errors.Is against the
+// admission package's sentinel errors.
+func (j *AQPJob) RejectErr() error { return j.rejectErr }
+
+// RetryAfterSecs returns the quota layer's retry hint for a refused
+// job; 0 when the refusal was not time-based.
+func (j *AQPJob) RetryAfterSecs() float64 { return j.retryAfterSecs }
 
 // Criteria returns the job's completion criterion.
 func (j *AQPJob) Criteria() criteria.Criteria { return j.crit }

@@ -16,6 +16,9 @@ type DLTJob struct {
 	job   *dlt.Job
 	crit  criteria.Criteria
 	query estimate.DLTQuery // similarity-search identity
+	// tenant attributes the job for quota accounting and fair-share
+	// arbitration; empty means the default tenant. Set before submission.
+	tenant string
 
 	arrival        sim.Time
 	arrived        bool
@@ -88,6 +91,14 @@ func NewDLTJob(id string, job *dlt.Job, crit criteria.Criteria) (*DLTJob, error)
 
 // ID returns the job identifier.
 func (j *DLTJob) ID() string { return j.id }
+
+// Tenant reports the job's tenant attribution (empty = default tenant).
+func (j *DLTJob) Tenant() string { return j.tenant }
+
+// SetTenant attributes the job to a tenant. Call before submission —
+// the attribution is folded into admission, fair-share, and fast-path
+// state at registration.
+func (j *DLTJob) SetTenant(t string) { j.tenant = t }
 
 // Criteria returns the completion criterion.
 func (j *DLTJob) Criteria() criteria.Criteria { return j.crit }

@@ -85,6 +85,9 @@ type TraceEvent struct {
 	At   sim.Time
 	Kind TraceKind
 	Job  string
+	// Tenant attributes lifecycle events (arrive/stop/reject/shed) to
+	// the job's tenant; empty on events where attribution adds nothing.
+	Tenant string
 	// Threads (AQP) or Device (DLT) describe the allocation; Detail adds
 	// free-form context (status, accuracy, epoch).
 	Threads int
@@ -99,6 +102,7 @@ func (ev TraceEvent) record(seq uint64) obs.TraceRecord {
 		At:      ev.At.Seconds(),
 		Kind:    ev.Kind.String(),
 		Job:     ev.Job,
+		Tenant:  ev.Tenant,
 		Threads: ev.Threads,
 		Device:  ev.Device,
 		Detail:  ev.Detail,

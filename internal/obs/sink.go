@@ -17,6 +17,7 @@ type TraceRecord struct {
 	At      float64 `json:"at"`
 	Kind    string  `json:"kind"`
 	Job     string  `json:"job,omitempty"`
+	Tenant  string  `json:"tenant,omitempty"`
 	Threads int     `json:"threads,omitempty"`
 	Device  int     `json:"device,omitempty"`
 	Detail  string  `json:"detail,omitempty"`

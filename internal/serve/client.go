@@ -48,6 +48,22 @@ type ClientConfig struct {
 	// defaults to 30s — a deliberately generous "never forever" bound;
 	// negative disables the deadline entirely.
 	RequestTimeout time.Duration
+	// RetryHinted makes Do treat a shard-unavailable reply as retryable:
+	// instead of surfacing the typed refusal immediately, it sleeps for
+	// the server's retry_after_secs hint (the supervisor's actual restart
+	// horizon, not a blind exponential guess) and re-sends, up to
+	// Attempts. The reply's own hint replaces the reconnect backoff for
+	// that retry; if every attempt stays refused the last typed reply is
+	// returned with a nil error so callers can still branch on Code.
+	RetryHinted bool
+	// RetryOverQuota extends RetryHinted to tenant-quota refusals: an
+	// over-quota submit sleeps for the admission controller's deficit
+	// hint and retries. Off by default — quota pushback is a correctness
+	// signal most callers should surface, not absorb.
+	RetryOverQuota bool
+	// MaxRetryAfter caps a server-supplied retry hint so a pathological
+	// reply cannot stall the client. Defaults to 5s.
+	MaxRetryAfter time.Duration
 }
 
 // Client is a reconnecting serve-protocol client. It is safe for
@@ -87,6 +103,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 5 * time.Second
+	}
 	return &Client{cfg: cfg}, nil
 }
 
@@ -115,9 +134,17 @@ func (c *Client) Do(m Message) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
+	var lastResp Response
+	haveResp := false
 	backoff := c.cfg.Backoff
+	hintWait := time.Duration(0)
 	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
-		if attempt > 0 {
+		if hintWait > 0 {
+			// A hinted refusal replaces the blind reconnect backoff with the
+			// server's own retry horizon.
+			time.Sleep(hintWait)
+			hintWait = 0
+		} else if attempt > 0 {
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > c.cfg.MaxBackoff {
 				backoff = c.cfg.MaxBackoff
@@ -133,9 +160,45 @@ func (c *Client) Do(m Message) (Response, error) {
 			c.closeLocked()
 			continue
 		}
+		if wait, retryable := c.hintedRetry(resp); retryable {
+			lastResp, haveResp = resp, true
+			lastErr = fmt.Errorf("serve: %s: %s", resp.Code, resp.Error)
+			hintWait = wait
+			continue
+		}
 		return resp, nil
 	}
+	if haveResp {
+		// Every attempt came back with the same class of typed refusal;
+		// surface the reply, not an error, so callers branch on Code.
+		return lastResp, nil
+	}
 	return Response{}, fmt.Errorf("serve: request failed after %d attempts: %w", c.cfg.Attempts, lastErr)
+}
+
+// hintedRetry decides whether a typed refusal should be retried after
+// its server-supplied hint, and for how long to wait.
+func (c *Client) hintedRetry(resp Response) (time.Duration, bool) {
+	switch resp.Code {
+	case CodeShardUnavailable:
+		if !c.cfg.RetryHinted {
+			return 0, false
+		}
+	case CodeTenantQuota:
+		if !c.cfg.RetryHinted || !c.cfg.RetryOverQuota {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	wait := time.Duration(resp.RetryAfterSecs * float64(time.Second))
+	if wait <= 0 {
+		wait = c.cfg.Backoff
+	}
+	if wait > c.cfg.MaxRetryAfter {
+		wait = c.cfg.MaxRetryAfter
+	}
+	return wait, true
 }
 
 // Close drops the connection (a later Do reconnects).

@@ -27,12 +27,12 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 		return line
 	}
-	f.Add([]byte{})                      // clean journal
-	f.Add([]byte("RJNL1 12345678 {"))    // torn append, no newline
-	f.Add([]byte("RJNL1 zzzzzzzz {}\n")) // malformed checksum field
-	f.Add([]byte("\n\n\n"))              // empty lines
-	f.Add([]byte("garbage tail\n"))      // no magic
-	f.Add(frame(Record{Kind: recEpoch, ID: "q-1", Epochs: 3, At: 42}))      // valid extra line
+	f.Add([]byte{})                                                        // clean journal
+	f.Add([]byte("RJNL1 12345678 {"))                                      // torn append, no newline
+	f.Add([]byte("RJNL1 zzzzzzzz {}\n"))                                   // malformed checksum field
+	f.Add([]byte("\n\n\n"))                                                // empty lines
+	f.Add([]byte("garbage tail\n"))                                        // no magic
+	f.Add(frame(Record{Kind: recEpoch, ID: "q-1", Epochs: 3, At: 42}))     // valid extra line
 	f.Add(frame(Record{Kind: recTerminal, ID: "q-1", Status: "attained"})) // valid terminal
 	half := frame(Record{Kind: recGrant, ID: "q-1", At: 50})
 	f.Add(half[:len(half)/2]) // torn mid-line

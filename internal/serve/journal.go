@@ -68,6 +68,7 @@ type Record struct {
 	ID          string      `json:"id,omitempty"`
 	ReqID       string      `json:"req_id,omitempty"`
 	Statement   string      `json:"stmt,omitempty"`
+	Tenant      string      `json:"tenant,omitempty"`
 	BatchRows   int         `json:"batch,omitempty"`
 	Status      string      `json:"status,omitempty"`
 	BestEffort  bool        `json:"best_effort,omitempty"`
@@ -83,6 +84,7 @@ type JobRecord struct {
 	ID         string  `json:"id"`
 	ReqID      string  `json:"req_id,omitempty"`
 	Statement  string  `json:"stmt"`
+	Tenant     string  `json:"tenant,omitempty"`
 	BatchRows  int     `json:"batch,omitempty"`
 	ArrivalAt  float64 `json:"arrival_at"`
 	Status     string  `json:"status"`
@@ -324,6 +326,7 @@ func (jl *Journal) apply(rec Record) {
 				ID:        rec.ID,
 				ReqID:     rec.ReqID,
 				Statement: rec.Statement,
+				Tenant:    rec.Tenant,
 				BatchRows: rec.BatchRows,
 				ArrivalAt: rec.At,
 				Status:    "submitted",

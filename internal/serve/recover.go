@@ -61,6 +61,20 @@ func (s *Server) recoverFromJournal() error {
 		eng.RunUntil(vn)
 	}
 	s.lastClockAt = eng.Now().Seconds()
+	// Rebuild the per-tenant admission buckets as a pure fold over the
+	// journaled history: one ReplayAdmitted per historically admitted
+	// arrival, in arrival order, at each arrival's virtual time. Rejected
+	// arrivals never consumed a token, so they are skipped — after this
+	// loop the bucket state is bit-identical to the uninterrupted run's.
+	// ("submitted" with no verdict — the torn-append window — replays as
+	// admitted, matching its re-registration below.)
+	if ctrl := s.exec.Admission(); ctrl != nil {
+		for _, jr := range rec.Jobs {
+			if jr.Status != "rejected" {
+				ctrl.ReplayAdmitted(jr.Tenant, jr.ArrivalAt)
+			}
+		}
+	}
 	for _, jr := range rec.Jobs {
 		if jr.ReqID != "" {
 			s.reqIndex[jr.ReqID] = jr.ID
@@ -123,6 +137,7 @@ func (s *Server) rebuildJob(jr JobRecord) (*core.AQPJob, error) {
 		ID:           jr.ID,
 		Query:        query,
 		Class:        cls,
+		Tenant:       jr.Tenant,
 		Accuracy:     crit.Threshold,
 		DeadlineSecs: remaining,
 		BatchRows:    batch,

@@ -486,18 +486,35 @@ func (r *Router) unavailable(h *shardHandle) Response {
 // location map's explicit override first — migrations and reroutes beat
 // the ring — then the consistent-hash owner, walking past retired shards
 // only. A down shard still owns its keys.
-func (r *Router) ownerOf(id string) *shardHandle {
+func (r *Router) ownerOf(id string) *shardHandle { return r.ownerOfKey(id, id) }
+
+// ownerOfKey is ownerOf with an explicit ring key: submits route by
+// tenant (when set) so one tenant's jobs co-locate deterministically on
+// one shard — its quota and fair-share state then live under a single
+// admission controller — while the location map stays keyed by job id
+// (migrations move individual jobs, not tenants).
+func (r *Router) ownerOfKey(id, key string) *shardHandle {
 	r.locMu.Lock()
 	if i, ok := r.location[id]; ok {
 		r.locMu.Unlock()
 		return r.shards[i]
 	}
 	r.locMu.Unlock()
-	idx := r.ring.Owner(id, func(i int) bool { return r.shards[i].State() != ShardRetired })
+	idx := r.ring.Owner(key, func(i int) bool { return r.shards[i].State() != ShardRetired })
 	if idx < 0 {
 		return nil
 	}
 	return r.shards[idx]
+}
+
+// routingKey is a submission's consistent-hash key: the tenant when one
+// is set, else the job id. The "tenant:" prefix keeps a tenant named
+// like a job id from colliding with that job's key.
+func routingKey(m Message) string {
+	if m.Tenant != "" {
+		return "tenant:" + m.Tenant
+	}
+	return m.ID
 }
 
 func (r *Router) virtualTargetGet() float64 {
@@ -510,13 +527,16 @@ func (r *Router) virtualTargetGet() float64 {
 // router-generated id first: routing needs the key before any shard has
 // seen the job.
 func (r *Router) submit(m Message) Response {
+	if err := ValidateTenant(m.Tenant); err != nil {
+		return Response{Error: err.Error(), Code: CodeBadRequest}
+	}
 	if m.ID == "" {
 		r.locMu.Lock()
 		m.ID = fmt.Sprintf("srv-%05d", r.nextID)
 		r.nextID++
 		r.locMu.Unlock()
 	}
-	h := r.ownerOf(m.ID)
+	h := r.ownerOfKey(m.ID, routingKey(m))
 	if h == nil {
 		return Response{Error: "serve: no live shard to accept the submission", Code: CodeShardUnavailable}
 	}

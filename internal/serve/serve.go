@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"rotary/internal/admission"
 	"rotary/internal/core"
@@ -92,6 +93,11 @@ type Message struct {
 	// Statement is the submit payload: a query name with an appended
 	// Fig. 3 accuracy criterion, e.g. "q5 ACC MIN 80% WITHIN 900 SECONDS".
 	Statement string `json:"statement,omitempty"`
+	// Tenant attributes a submit to a tenant for quota enforcement, fair
+	// share, and per-tenant telemetry. Empty means the default tenant.
+	// On a router-fronted daemon the tenant is also the placement key, so
+	// one tenant's jobs co-locate deterministically on one shard.
+	Tenant string `json:"tenant,omitempty"`
 	// Shard addresses one shard of a sharded (router-fronted) daemon: the
 	// migration target for "migrate", the shard whose trace ring
 	// "trace-tail" reads, and the shard to retire for "retire". Encoded
@@ -160,6 +166,11 @@ const (
 	CodeMigrateBusy = "migrate-busy"
 	// CodeBadShard: the shard index is out of range.
 	CodeBadShard = "bad-shard"
+	// CodeTenantQuota: the submission was refused by the tenant's quota
+	// (submit-rate bucket, concurrent-job cap, or queued-job cap). The
+	// reply carries retry_after_secs when the refusal is time-based; the
+	// tenant should back off instead of hammering the shared queue.
+	CodeTenantQuota = "tenant-quota"
 )
 
 // Response is one server reply line.
@@ -169,9 +180,12 @@ type Response struct {
 	// Code is the machine-readable classification of the reply (set on
 	// every error, and on OK replies that carry a caveat, e.g.
 	// duplicate-request dedupe hits and restart detections).
-	Code       string  `json:"code,omitempty"`
-	ID         string  `json:"id,omitempty"`
-	Status     string  `json:"status,omitempty"`
+	Code   string `json:"code,omitempty"`
+	ID     string `json:"id,omitempty"`
+	Status string `json:"status,omitempty"`
+	// Tenant echoes the submit/status subject's tenant attribution — and
+	// only that tenant's; replies never carry another tenant's state.
+	Tenant     string  `json:"tenant,omitempty"`
 	Accuracy   float64 `json:"accuracy,omitempty"`
 	Progress   float64 `json:"progress,omitempty"`
 	BestEffort bool    `json:"best_effort,omitempty"`
@@ -672,6 +686,9 @@ func (s *Server) submit(m Message) Response {
 			return resp
 		}
 	}
+	if err := ValidateTenant(m.Tenant); err != nil {
+		return Response{Error: err.Error(), Code: CodeBadRequest}
+	}
 	cmd, crit, err := criteria.Parse(m.Statement)
 	if err != nil {
 		return Response{Error: err.Error(), Code: CodeBadRequest}
@@ -705,6 +722,7 @@ func (s *Server) submit(m Message) Response {
 		ID:           id,
 		Query:        query,
 		Class:        cls,
+		Tenant:       m.Tenant,
 		Accuracy:     crit.Threshold,
 		DeadlineSecs: deadline,
 		BatchRows:    batch,
@@ -714,7 +732,7 @@ func (s *Server) submit(m Message) Response {
 	}
 	eng := s.exec.Engine()
 	s.journal(Record{Kind: recSubmit, ID: id, ReqID: m.ReqID, Statement: m.Statement,
-		BatchRows: batch, At: eng.Now().Seconds()})
+		Tenant: m.Tenant, BatchRows: batch, At: eng.Now().Seconds()})
 	s.exec.Submit(j, eng.Now())
 	// Fire the arrival and its same-instant arbitration so the reply
 	// reports the admission verdict.
@@ -735,17 +753,49 @@ func (s *Server) submit(m Message) Response {
 	resp := Response{
 		ID:         id,
 		Status:     st.String(),
+		Tenant:     m.Tenant,
 		BestEffort: j.BestEffort(),
 		VirtualNow: eng.Now().Seconds(),
 	}
 	switch st {
 	case core.StatusRejected, core.StatusShed:
-		resp.Error = "serve: admission refused: " + st.String()
-		resp.Code = CodeAdmissionRefused
+		// Tenant-quota refusals get their own code plus the controller's
+		// retry hint, so an over-quota tenant backs off instead of
+		// hammering the shared queue.
+		if cause := j.RejectErr(); cause != nil &&
+			(errors.Is(cause, admission.ErrTenantQuotaExceeded) || errors.Is(cause, admission.ErrTenantQueueFull)) {
+			resp.Error = "serve: " + cause.Error()
+			resp.Code = CodeTenantQuota
+			resp.RetryAfterSecs = j.RetryAfterSecs()
+		} else {
+			resp.Error = "serve: admission refused: " + st.String()
+			resp.Code = CodeAdmissionRefused
+		}
 	default:
 		resp.OK = true
 	}
 	return resp
+}
+
+// maxTenantBytes bounds a tenant id on the wire.
+const maxTenantBytes = 128
+
+// ValidateTenant rejects tenant ids that could corrupt journals,
+// metric labels, or logs: oversized, invalid UTF-8, or containing
+// control characters. The empty id is valid (the default tenant).
+func ValidateTenant(t string) error {
+	if len(t) > maxTenantBytes {
+		return fmt.Errorf("serve: tenant id exceeds %d bytes", maxTenantBytes)
+	}
+	if !utf8.ValidString(t) {
+		return errors.New("serve: tenant id is not valid UTF-8")
+	}
+	for _, r := range t {
+		if r < 0x20 || r == 0x7f {
+			return errors.New("serve: tenant id contains control characters")
+		}
+	}
+	return nil
 }
 
 func (s *Server) status(m Message) Response {
@@ -757,6 +807,7 @@ func (s *Server) status(m Message) Response {
 			OK:         true,
 			ID:         j.ID(),
 			Status:     j.Status().String(),
+			Tenant:     j.Tenant(),
 			Accuracy:   j.EstimatedAccuracy(),
 			Progress:   j.AttainmentProgress(),
 			BestEffort: j.BestEffort(),
@@ -772,6 +823,7 @@ func (s *Server) status(m Message) Response {
 				OK:         true,
 				ID:         jr.ID,
 				Status:     jr.Status,
+				Tenant:     jr.Tenant,
 				BestEffort: jr.BestEffort,
 				VirtualNow: s.exec.Engine().Now().Seconds(),
 			}

@@ -34,6 +34,7 @@ type AQPSpec struct {
 	ID           string
 	Query        string
 	Class        tpch.Class
+	Tenant       string
 	Accuracy     float64
 	DeadlineSecs float64
 	ArrivalSecs  float64
@@ -123,6 +124,7 @@ func BuildAQPJob(cat *tpch.Catalog, spec AQPSpec) (*core.AQPJob, error) {
 		Query:     q,
 		Criteria:  crit,
 		Class:     spec.Class.String(),
+		Tenant:    spec.Tenant,
 		EstMemMB:  prof.EstimateMB(),
 		BatchRows: spec.BatchRows,
 	})

@@ -487,6 +487,43 @@ const (
 	StatusShed = core.StatusShed
 )
 
+// Multi-tenant isolation: per-tenant quotas at the admission gate and
+// weighted fair-share arbitration (see DESIGN.md §13).
+type (
+	// TenantQuota is one tenant's admission limits and fair-share weight.
+	TenantQuota = admission.TenantQuota
+	// TenantTable maps tenant names to quotas, with a default for
+	// unlisted tenants.
+	TenantTable = admission.TenantTable
+	// TenantStats counts one tenant's admission ledger: submissions,
+	// verdicts by refusal reason, releases, and live jobs.
+	TenantStats = admission.TenantStats
+	// FairShareAQP wraps any AQP policy with DRF-style weighted fair
+	// division of threads and memory among active tenants.
+	FairShareAQP = core.FairShareAQP
+	// FairShareDLT is the DLT-side twin over GPU devices.
+	FairShareDLT = core.FairShareDLT
+)
+
+// Multi-tenant constructors and errors.
+var (
+	// ParseTenantSpec parses the -tenants flag syntax, e.g.
+	// "alpha:weight=2,rate=0.5,burst=4;default:rate=1,burst=4".
+	ParseTenantSpec = admission.ParseTenantSpec
+	// NewFairShareAQP and NewFairShareDLT wrap a policy with weighted
+	// fair-share arbitration over the given tenant weights.
+	NewFairShareAQP = core.NewFairShareAQP
+	NewFairShareDLT = core.NewFairShareDLT
+	// ErrTenantQuotaExceeded: the tenant's submit-rate token bucket is
+	// empty or its concurrent-job cap is reached.
+	ErrTenantQuotaExceeded = admission.ErrTenantQuotaExceeded
+	// ErrTenantQueueFull: the tenant's queue-depth cap is reached.
+	ErrTenantQueueFull = admission.ErrTenantQueueFull
+)
+
+// DefaultTenant is the tenant unattributed work accounts to.
+const DefaultTenant = admission.DefaultTenant
+
 // Live serving mode (cmd/rotary-serve): a long-lived arbiter over a Unix
 // socket speaking one JSON object per line, pacing the virtual clock
 // against wall-clock time, with graceful drain.
