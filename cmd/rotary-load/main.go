@@ -1,0 +1,231 @@
+// Command rotary-load is the heavy-traffic load generator for the
+// serving front end. It has two modes:
+//
+// External mode drives an already-running rotary-serve endpoint with an
+// open-loop arrival process — a simulated population of virtual clients
+// (100k+ via -clients) multiplexed over a bounded connection pool —
+// and reports p50/p99/p999 submit and status latency measured from each
+// request's scheduled arrival (coordinated-omission-aware). SLO flags
+// turn the run into a gate: a violated -slo-p99-ms or -min-throughput
+// exits non-zero after printing the latency histogram.
+//
+//	rotary-load -addr /tmp/rotary.sock -rate 2000 -secs 10 -clients 100000 -slo-p99-ms 50
+//	rotary-load -addr tcp:127.0.0.1:7070 -codec binary -ops 20000   # closed-loop saturation
+//
+// Self-bench mode (-self-bench) is the reproducible experiment behind
+// BENCH_2.json: it boots two in-process durable servers differing only
+// in IngressBatch — 1 (one fsync per submit) versus the batched driver
+// (group commit) — drives the identical closed-loop workload at both,
+// and writes the throughput ratio plus an open-loop latency soak with a
+// large simulated client population:
+//
+//	rotary-load -self-bench -out BENCH_2.json
+//	rotary-load -self-bench -bench-baseline BENCH_2.json    # CI gate vs the committed report
+//
+// The CI gate scales its thresholds by the fsync calibration embedded
+// in the committed report, so a slower CI disk does not fail the gate
+// and a faster one does not weaken it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rotary/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rotary-load: ")
+	var (
+		addr        = flag.String("addr", "", "serve endpoint: Unix socket path, or tcp:host:port / unix:/path spec")
+		codec       = flag.String("codec", "binary", "wire codec: json or binary")
+		conns       = flag.Int("conns", 64, "connection pool size")
+		clients     = flag.Int("clients", 0, "simulated client population multiplexed over the pool (0 = conns)")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in submits/sec (0 = closed-loop saturation)")
+		ops         = flag.Int("ops", 0, "total requests (0 with -rate derives from -secs)")
+		secs        = flag.Float64("secs", 10, "open-loop run duration in seconds")
+		statusEvery = flag.Int("status-every", 8, "status-probe an acked job every N requests per connection (0 disables)")
+		statement   = flag.String("statement", "", "completion-criteria statement to submit (default a 900s-deadline accuracy target)")
+		idPrefix    = flag.String("id-prefix", "", "job/req id namespace (default derived from time)")
+		sloP99      = flag.Float64("slo-p99-ms", 0, "gate: fail if submit p99 exceeds this (0 disables)")
+		minThrough  = flag.Float64("min-throughput", 0, "gate: fail if acked submits/sec falls below this (0 disables)")
+		histOut     = flag.String("hist-out", "", "write the submit-latency histogram to this file (always on gate failure)")
+
+		selfBench = flag.Bool("self-bench", false, "run the BENCH_2 experiment against in-process servers instead of an external endpoint")
+		dir       = flag.String("dir", "", "self-bench journal directory (empty = temp dir on the working disk)")
+		benchOps  = flag.Int("bench-ops", 4096, "self-bench closed-loop submits per case")
+		benchBat  = flag.Int("bench-batch", 64, "self-bench batched case's IngressBatch")
+		soakCli   = flag.Int("soak-clients", 100000, "self-bench soak's simulated client population (0 skips the soak)")
+		soakRate  = flag.Float64("soak-rate", 2500, "self-bench soak's open-loop rate")
+		soakSecs  = flag.Float64("soak-secs", 4, "self-bench soak duration in seconds")
+		out       = flag.String("out", "", "write the self-bench report JSON here")
+		baseline  = flag.String("bench-baseline", "", "gate the self-bench against this committed report (CI soak job)")
+	)
+	flag.Parse()
+
+	if *selfBench {
+		if err := runSelfBench(*dir, *benchOps, *conns, *benchBat, *soakCli, *soakRate, *soakSecs, *out, *baseline, *histOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *addr == "" {
+		log.Println("external mode requires -addr (or use -self-bench)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	prefix := *idPrefix
+	if prefix == "" {
+		prefix = fmt.Sprintf("load%d", time.Now().Unix()%100000)
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        *addr,
+		Codec:       *codec,
+		Conns:       *conns,
+		Clients:     *clients,
+		Rate:        *rate,
+		Ops:         *ops,
+		Duration:    time.Duration(*secs * float64(time.Second)),
+		StatusEvery: *statusEvery,
+		Statement:   *statement,
+		IDPrefix:    prefix,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	failed := gate(res, *sloP99, *minThrough)
+	if *histOut != "" || failed {
+		writeHistogram(*histOut, res)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printResult(res *loadgen.Result) {
+	fmt.Printf("%d submitted over %d conns (%d simulated clients) in %.2fs: %d acked (%.0f/s), %d overloaded, %d refused, %d errors\n",
+		res.Submitted, res.Conns, res.Clients, res.Secs, res.Acked, res.Throughput, res.Overloaded, res.Refused, res.Errors)
+	fmt.Printf("submit latency ms: p50 %.2f  p90 %.2f  p99 %.2f  p999 %.2f  max %.2f\n",
+		res.Submit.P50, res.Submit.P90, res.Submit.P99, res.Submit.P999, res.Submit.Max)
+	if res.StatusOps > 0 {
+		fmt.Printf("status latency ms: p50 %.2f  p90 %.2f  p99 %.2f  p999 %.2f  max %.2f  (%d probes)\n",
+			res.Status.P50, res.Status.P90, res.Status.P99, res.Status.P999, res.Status.Max, res.StatusOps)
+	}
+}
+
+// gate applies the external-mode SLO flags, reporting each violation.
+func gate(res *loadgen.Result, sloP99, minThrough float64) bool {
+	failed := false
+	if sloP99 > 0 && res.Submit.P99 > sloP99 {
+		log.Printf("SLO VIOLATED: submit p99 %.2fms > %.2fms", res.Submit.P99, sloP99)
+		failed = true
+	}
+	if minThrough > 0 && res.Throughput < minThrough {
+		log.Printf("SLO VIOLATED: throughput %.0f/s < %.0f/s", res.Throughput, minThrough)
+		failed = true
+	}
+	return failed
+}
+
+// writeHistogram emits the latency-distribution artifact (stdout when no
+// path was given).
+func writeHistogram(path string, res *loadgen.Result) {
+	h := res.Histogram()
+	if path == "" {
+		fmt.Print(h)
+		return
+	}
+	if err := os.WriteFile(path, []byte(h), 0o644); err != nil {
+		log.Printf("histogram write: %v", err)
+		return
+	}
+	fmt.Printf("histogram written to %s\n", path)
+}
+
+func runSelfBench(dir string, ops, conns, batch, soakCli int, soakRate, soakSecs float64, out, baseline, histOut string) error {
+	rep, err := loadgen.RunBench(loadgen.BenchConfig{
+		Dir:         dir,
+		Ops:         ops,
+		Conns:       conns,
+		Batch:       batch,
+		SoakClients: soakCli,
+		SoakRate:    soakRate,
+		SoakSecs:    soakSecs,
+		Progress:    func(s string) { fmt.Println(s) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group commit speedup over fsync-per-submit: %.1fx\n", rep.Speedup)
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	if baseline != "" {
+		return gateAgainst(rep, baseline, histOut)
+	}
+	return nil
+}
+
+// gateAgainst compares a fresh self-bench run to the committed report.
+// The committed numbers were taken on one specific disk; the gate scales
+// latency expectations by the fsync-calibration ratio so a slower CI
+// volume widens the allowance proportionally instead of flaking, and
+// holds the architectural claim (the speedup) to a conservative floor
+// that survives runner noise.
+func gateAgainst(rep *loadgen.BenchReport, baseline, histOut string) error {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var want loadgen.BenchReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", baseline, err)
+	}
+	scale := 1.0
+	if want.FsyncNs > 0 && rep.FsyncNs > 0 {
+		scale = float64(rep.FsyncNs) / float64(want.FsyncNs)
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	failed := false
+	// A quarter of the committed speedup, floored at 3x, still proves the
+	// group commit is doing its job; a regression to ~1x fails loudly.
+	minSpeedup := want.Speedup / 4
+	if minSpeedup < 3 {
+		minSpeedup = 3
+	}
+	if rep.Speedup < minSpeedup {
+		log.Printf("GATE VIOLATED: speedup %.1fx < %.1fx (committed %.1fx)", rep.Speedup, minSpeedup, want.Speedup)
+		failed = true
+	}
+	if want.Soak != nil && rep.Soak != nil {
+		allow := want.Soak.Submit.P99 * 8 * scale
+		if rep.Soak.Submit.P99 > allow {
+			log.Printf("GATE VIOLATED: soak submit p99 %.2fms > %.2fms (committed %.2fms, fsync scale %.1fx)",
+				rep.Soak.Submit.P99, allow, want.Soak.Submit.P99, scale)
+			failed = true
+		}
+	}
+	if failed {
+		if rep.Soak != nil {
+			writeHistogram(histOut, rep.Soak)
+		}
+		return fmt.Errorf("self-bench gate failed against %s", baseline)
+	}
+	fmt.Printf("gate passed against %s (speedup %.1fx >= %.1fx, fsync scale %.1fx)\n", baseline, rep.Speedup, minSpeedup, scale)
+	return nil
+}

@@ -10,7 +10,8 @@
 //	rotary-serve -socket /tmp/rotary.sock [-pace 60] [-queue-bound 8] [-admission reject|shed|degrade]
 //	rotary-serve -socket /tmp/rotary.sock -journal /var/lib/rotary     # durable: survives kill -9
 //	rotary-serve -socket /tmp/rotary.sock -journal /var/lib/rotary -shards 4   # sharded multi-arbiter
-//	rotary-serve -connect /tmp/rotary.sock                             # resilient client REPL
+//	rotary-serve -socket /tmp/rotary.sock -listen tcp:0.0.0.0:7070     # extra TCP listener
+//	rotary-serve -connect tcp:127.0.0.1:7070 -codec binary             # resilient client REPL
 //
 // Protocol: one JSON object per line, e.g.
 //
@@ -29,6 +30,16 @@
 // same -journal replays the journal, re-registers every non-terminal job,
 // and resumes the virtual clock. Client mode (-connect) reads one JSON
 // request per stdin line and reconnects with backoff across restarts.
+//
+// Heavy traffic: -listen adds TCP (or extra Unix) listeners alongside
+// the primary socket; each connection negotiates its wire codec — JSON
+// lines or the length-prefixed binary frame — by its first bytes.
+// -ingress-depth bounds the ring between connection handlers and the
+// driver (a full ring refuses with a typed "overloaded" reply carrying
+// retry_after_secs); -ingress-batch is how many queued requests one
+// driver wakeup drains, which is also the journal group-commit window:
+// every record the batch stages is made durable by ONE fsync before any
+// of its replies are released.
 //
 // Sharding: -shards N (with -journal) runs N independent durable arbiter
 // shards — each with its own engine, write-ahead journal under
@@ -75,9 +86,13 @@ func main() {
 	log.SetPrefix("rotary-serve: ")
 	var (
 		socket     = flag.String("socket", "/tmp/rotary.sock", "Unix socket path to listen on")
+		listen     = flag.String("listen", "", `extra listeners served alongside -socket, comma-separated "tcp:host:port" / "unix:/path" specs`)
+		ingDepth   = flag.Int("ingress-depth", 0, "bound on the request ring between connection handlers and the driver; a full ring refuses with a typed overloaded reply (0 = default 1024)")
+		ingBatch   = flag.Int("ingress-batch", 0, "requests the driver drains per wakeup — also the journal group-commit window (0 = default 64; 1 = fsync per request)")
 		journalDir = flag.String("journal", "", "durability directory: write-ahead journal + persistent checkpoints; restart with the same directory to recover (empty = process-scoped)")
 		shards     = flag.Int("shards", 1, "shard the arbiter: run this many supervised durable shard workers behind a router (requires -journal; 1 = single unsharded server)")
-		connect    = flag.String("connect", "", "client mode: connect to this socket and relay JSON requests from stdin (reconnects with backoff)")
+		connect    = flag.String("connect", "", "client mode: connect to this endpoint (socket path or tcp:host:port spec) and relay JSON requests from stdin (reconnects with backoff)")
+		codec      = flag.String("codec", "", "client mode wire codec: json or binary (empty = json)")
 		sf         = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		policy     = flag.String("policy", "rotary", "scheduling policy: rotary, relaqs, edf, laf, rr")
@@ -94,15 +109,23 @@ func main() {
 	)
 	flag.Parse()
 	if *connect != "" {
-		if err := runClient(*connect); err != nil {
+		if err := runClient(*connect, *codec); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	var listeners []string
+	for _, spec := range strings.Split(*listen, ",") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			listeners = append(listeners, spec)
+		}
 	}
 	if err := cliutil.ValidateAll(
 		cliutil.Positive("-sf", *sf),
 		cliutil.NonNegative("-pace", *pace),
 		cliutil.MinInt("-shards", *shards, 1),
+		cliutil.MinInt("-ingress-depth", *ingDepth, 0),
+		cliutil.MinInt("-ingress-batch", *ingBatch, 0),
 		cliutil.MinInt("-queue-bound", *queueBound, 0),
 		cliutil.NonNegative("-slack-factor", *slack),
 		cliutil.NonNegative("-watchdog-slack", *wdSlack),
@@ -135,6 +158,9 @@ func main() {
 		}
 		if err := runSharded(shardedOpts{
 			socket:     *socket,
+			listeners:  listeners,
+			ingDepth:   *ingDepth,
+			ingBatch:   *ingBatch,
 			journalDir: *journalDir,
 			shards:     *shards,
 			ds:         ds,
@@ -223,7 +249,14 @@ func main() {
 	}
 	exec := core.NewAQPExecutor(execCfg, sched, repo)
 
-	srv, err := serve.New(serve.Config{Socket: *socket, Pace: *pace, Journal: jl}, exec, cat)
+	srv, err := serve.New(serve.Config{
+		Socket:       *socket,
+		Listeners:    listeners,
+		IngressDepth: *ingDepth,
+		IngressBatch: *ingBatch,
+		Pace:         *pace,
+		Journal:      jl,
+	}, exec, cat)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -283,6 +316,9 @@ func buildScheduler(policy string, repo *estimate.Repository, cat *tpch.Catalog)
 // set into runSharded.
 type shardedOpts struct {
 	socket     string
+	listeners  []string
+	ingDepth   int
+	ingBatch   int
 	journalDir string
 	shards     int
 	ds         *tpch.Dataset
@@ -334,11 +370,14 @@ func runSharded(o shardedOpts) error {
 		return exec, cat, reg, nil
 	}
 	router, err := serve.NewRouter(serve.RouterConfig{
-		Socket: o.socket,
-		Shards: o.shards,
-		Dir:    o.journalDir,
-		Build:  build,
-		Pace:   o.pace,
+		Socket:       o.socket,
+		Listeners:    o.listeners,
+		IngressDepth: o.ingDepth,
+		IngressBatch: o.ingBatch,
+		Shards:       o.shards,
+		Dir:          o.journalDir,
+		Build:        build,
+		Pace:         o.pace,
 	})
 	if err != nil {
 		return err
@@ -378,8 +417,8 @@ func runSharded(o shardedOpts) error {
 // stays clean. Submits should carry a req_id — the journal-backed dedupe
 // is what makes a retried submit idempotent when the daemon was killed
 // between applying it and replying.
-func runClient(socket string) error {
-	cl, err := serve.NewClient(serve.ClientConfig{Socket: socket, RetryHinted: true})
+func runClient(socket, codec string) error {
+	cl, err := serve.NewClient(serve.ClientConfig{Socket: socket, Codec: codec, RetryHinted: true})
 	if err != nil {
 		return err
 	}

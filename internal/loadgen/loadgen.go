@@ -1,0 +1,331 @@
+// Package loadgen is the heavy-traffic load generator behind
+// cmd/rotary-load: an open-loop driver that simulates large client
+// populations (hundreds of thousands of virtual clients multiplexed
+// over a bounded connection pool) against a serve-protocol endpoint and
+// reports submit/status latency quantiles against SLOs.
+//
+// Open loop is the load-testing discipline that keeps the generator
+// honest under coordinated omission: arrival times are fixed by the
+// configured rate BEFORE the server's behavior is observed, and every
+// request's latency is measured from its SCHEDULED arrival, not from
+// the moment the generator got around to sending it. A server that
+// stalls therefore charges the stall to every request scheduled behind
+// the stall — exactly what a real client population would experience —
+// instead of the generator quietly slowing its offered load to match.
+// Rate 0 selects closed-loop saturation instead: every connection keeps
+// exactly one request in flight, which measures peak sustainable
+// throughput rather than latency under a fixed offered load.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rotary/internal/serve"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the serve endpoint: a Unix socket path, or a
+	// "tcp:host:port" / "unix:/path" spec.
+	Addr string
+	// Codec selects the wire format per connection (serve.CodecJSON or
+	// serve.CodecBinary; empty = JSON).
+	Codec string
+	// Conns is the connection pool size: the real sockets the virtual
+	// clients multiplex over. Defaults to 32.
+	Conns int
+	// Clients is the simulated client population. Each request is issued
+	// on behalf of virtual client (arrival index mod Clients), whose id
+	// appears in the submit req_id — so dedupe, journals, and metrics see
+	// the cardinality of a large fleet, not of the connection pool.
+	// Defaults to Conns.
+	Clients int
+	// Rate is the open-loop arrival rate in submits/sec. 0 switches to
+	// closed-loop saturation (each connection back-to-back).
+	Rate float64
+	// Ops bounds the total requests issued. 0 with Rate > 0 derives the
+	// bound from Rate × Duration; 0 with Rate == 0 is invalid.
+	Ops int
+	// Duration bounds the run in wall time (open loop only; closed loop
+	// runs until Ops). Defaults to 10s when Rate > 0 and Ops == 0.
+	Duration time.Duration
+	// StatusEvery issues a status probe for an already-acked job every
+	// N-th request per connection, measuring read-path latency under the
+	// same load. 0 disables.
+	StatusEvery int
+	// Statement is the submitted completion-criteria statement.
+	Statement string
+	// IDPrefix namespaces job ids and req_ids so repeated runs against a
+	// durable server do not collide.
+	IDPrefix string
+	// Timeout bounds each round trip. Defaults to 30s.
+	Timeout time.Duration
+}
+
+// Summary is one latency population's quantile report, in milliseconds.
+type Summary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	P999  float64 `json:"p999_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	Conns      int     `json:"conns"`
+	Clients    int     `json:"clients"`
+	Rate       float64 `json:"rate,omitempty"`
+	Secs       float64 `json:"secs"`
+	Submitted  int64   `json:"submitted"`
+	Acked      int64   `json:"acked"`
+	Refused    int64   `json:"refused"`
+	Overloaded int64   `json:"overloaded"`
+	Errors     int64   `json:"errors"`
+	StatusOps  int64   `json:"status_ops"`
+	// FirstError samples the first connection-level failure, so an
+	// errored run reports what went wrong, not just how often.
+	FirstError string `json:"first_error,omitempty"`
+	// Throughput is acked submits per wall second.
+	Throughput float64 `json:"throughput_per_sec"`
+	Submit     Summary `json:"submit"`
+	Status     Summary `json:"status"`
+
+	submitLat []float64 // ms, retained for Histogram
+}
+
+// Run drives one load run against the endpoint.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: endpoint address required")
+	}
+	if cfg.Statement == "" {
+		cfg.Statement = "q1 ACC MIN 60% WITHIN 900 SECONDS"
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 32
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = cfg.Conns
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Rate > 0 && cfg.Ops == 0 {
+		if cfg.Duration <= 0 {
+			cfg.Duration = 10 * time.Second
+		}
+		cfg.Ops = int(cfg.Rate * cfg.Duration.Seconds())
+	}
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("loadgen: closed loop (rate 0) requires -ops > 0")
+	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "load"
+	}
+
+	var (
+		next       atomic.Int64 // arrival index dispenser
+		submitted  atomic.Int64
+		acked      atomic.Int64
+		refused    atomic.Int64
+		overloaded atomic.Int64
+		errs       atomic.Int64
+		statusOps  atomic.Int64
+		firstErr   atomic.Value // string
+	)
+	fail := func(err error) {
+		errs.Add(1)
+		firstErr.CompareAndSwap(nil, err.Error())
+	}
+	submitLats := make([][]float64, cfg.Conns)
+	statusLats := make([][]float64, cfg.Conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := serve.NewClient(serve.ClientConfig{
+				Socket:         cfg.Addr,
+				Codec:          cfg.Codec,
+				Attempts:       1,
+				RequestTimeout: cfg.Timeout,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer cl.Close()
+			lastAcked := ""
+			sinceProbe := 0
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Ops) {
+					return
+				}
+				// The scheduled arrival is fixed by the rate alone; latency is
+				// measured from it, so generator or server backlog is charged
+				// to the requests queued behind it (no coordinated omission).
+				sched := start
+				if cfg.Rate > 0 {
+					sched = start.Add(time.Duration(float64(i) / cfg.Rate * float64(time.Second)))
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+					if cfg.Duration > 0 && time.Since(start) > cfg.Duration+cfg.Timeout {
+						return // the run overran its window beyond any useful measurement
+					}
+				} else {
+					sched = time.Now()
+				}
+				if cfg.StatusEvery > 0 && lastAcked != "" {
+					if sinceProbe++; sinceProbe >= cfg.StatusEvery {
+						sinceProbe = 0
+						ps := time.Now()
+						if resp, err := cl.Do(serve.Message{Op: "status", ID: lastAcked}); err == nil && resp.OK {
+							statusOps.Add(1)
+							statusLats[w] = append(statusLats[w], float64(time.Since(ps))/1e6)
+						}
+					}
+				}
+				client := i % int64(cfg.Clients)
+				m := serve.Message{
+					Op:        "submit",
+					ID:        fmt.Sprintf("%s-%07d", cfg.IDPrefix, i),
+					ReqID:     fmt.Sprintf("%s-c%06d-%07d", cfg.IDPrefix, client, i),
+					Statement: cfg.Statement,
+				}
+				submitted.Add(1)
+				resp, err := cl.Do(m)
+				switch {
+				case err != nil:
+					fail(err)
+					return // connection-level failure: this worker is done
+				case resp.OK:
+					acked.Add(1)
+					lastAcked = resp.ID
+					submitLats[w] = append(submitLats[w], float64(time.Since(sched))/1e6)
+				case resp.Code == serve.CodeOverloaded:
+					// Open-loop discipline: an overload refusal is counted and
+					// dropped, never retried — retrying would convert the
+					// backpressure signal back into the unbounded queue it
+					// exists to prevent.
+					overloaded.Add(1)
+				default:
+					refused.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := &Result{
+		Conns:      cfg.Conns,
+		Clients:    cfg.Clients,
+		Rate:       cfg.Rate,
+		Secs:       elapsed,
+		Submitted:  submitted.Load(),
+		Acked:      acked.Load(),
+		Refused:    refused.Load(),
+		Overloaded: overloaded.Load(),
+		Errors:     errs.Load(),
+		StatusOps:  statusOps.Load(),
+	}
+	if s, ok := firstErr.Load().(string); ok {
+		res.FirstError = s
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Acked) / elapsed
+	}
+	res.submitLat = merge(submitLats)
+	res.Submit = summarize(res.submitLat)
+	res.Status = summarize(merge(statusLats))
+	return res, nil
+}
+
+func merge(parts [][]float64) []float64 {
+	var all []float64
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// summarize computes quantiles over a sorted latency population.
+func summarize(sorted []float64) Summary {
+	s := Summary{Count: int64(len(sorted))}
+	if len(sorted) == 0 {
+		return s
+	}
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	s.P50, s.P90, s.P99, s.P999 = q(0.50), q(0.90), q(0.99), q(0.999)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// histogramBounds are the log-spaced submit-latency buckets (ms) the
+// failure artifact renders.
+var histogramBounds = []float64{0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Histogram renders the submit-latency distribution as a log-bucketed
+// text table — the artifact CI uploads when the SLO gate fails, so a
+// red run carries the full shape of the regression, not two quantiles.
+func (r *Result) Histogram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "submit latency histogram (%d samples, ms)\n", len(r.submitLat))
+	counts := make([]int, len(histogramBounds)+1)
+	for _, v := range r.submitLat {
+		i := sort.SearchFloat64s(histogramBounds, v)
+		counts[i]++
+	}
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		label := fmt.Sprintf("<=%g", histogramBounds[len(histogramBounds)-1])
+		if i < len(histogramBounds) {
+			label = fmt.Sprintf("<=%g", histogramBounds[i])
+		} else {
+			label = fmt.Sprintf(">%g", histogramBounds[len(histogramBounds)-1])
+		}
+		bar := strings.Repeat("#", scaleBar(c, len(r.submitLat)))
+		fmt.Fprintf(&b, "%8s %8d %6.2f%% %s\n", label, c, 100*float64(cum)/float64(max(1, len(r.submitLat))), bar)
+	}
+	return b.String()
+}
+
+func scaleBar(c, total int) int {
+	if total == 0 {
+		return 0
+	}
+	n := c * 50 / total
+	if c > 0 && n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeQuantiles(t *testing.T) {
+	// 1..1000ms: exact quantile indices are easy to check by hand.
+	sorted := make([]float64, 1000)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	s := summarize(sorted)
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50, 500}, {"p90", s.P90, 900}, {"p99", s.P99, 990},
+		{"p999", s.P999, 999}, {"max", s.Max, 1000},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := summarize(nil)
+	if s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestMergeSorts(t *testing.T) {
+	got := merge([][]float64{{3, 1}, {2}, nil, {0.5}})
+	want := []float64{0.5, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramBucketsAndCumulative(t *testing.T) {
+	r := &Result{submitLat: []float64{0.04, 0.09, 0.9, 40, 2000}}
+	h := r.Histogram()
+	if !strings.Contains(h, "5 samples") {
+		t.Fatalf("missing sample count:\n%s", h)
+	}
+	// 0.04 lands in <=0.05, 0.09 in <=0.1, 0.9 in <=1, 40 in <=50,
+	// 2000 in the overflow bucket; cumulative must end at 100%.
+	for _, want := range []string{"<=0.05", "<=0.1", "<=1", "<=50", ">1000", "100.00%"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("histogram missing %q:\n%s", want, h)
+		}
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+	// Closed loop (rate 0) without an op bound has no stopping rule.
+	if _, err := Run(Config{Addr: "x.sock"}); err == nil {
+		t.Fatal("closed loop without ops accepted")
+	}
+}
+
+// TestSelfBenchEnd2End runs a miniature version of the BENCH_2
+// experiment — both servers, real journals, real sockets — and checks
+// the invariants the committed report relies on: equal durable history
+// across cases and strictly fewer fsyncs under group commit.
+func TestSelfBenchEnd2End(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two durable servers")
+	}
+	var lines []string
+	rep, err := RunBench(BenchConfig{
+		Dir:      t.TempDir(),
+		Ops:      96,
+		Conns:    16,
+		Batch:    16,
+		Progress: func(s string) { lines = append(lines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 2 {
+		t.Fatalf("cases = %d", len(rep.Cases))
+	}
+	base, batched := rep.Cases[0], rep.Cases[1]
+	if base.Records != batched.Records {
+		t.Errorf("durable history diverged: baseline %d records, batched %d", base.Records, batched.Records)
+	}
+	if batched.Syncs >= base.Syncs {
+		t.Errorf("group commit did not amortize fsyncs: %d vs baseline %d", batched.Syncs, base.Syncs)
+	}
+	if base.Result.Acked != int64(96) || batched.Result.Acked != int64(96) {
+		t.Errorf("acks: baseline %d, batched %d, want 96", base.Result.Acked, batched.Result.Acked)
+	}
+	if rep.FsyncNs <= 0 {
+		t.Errorf("fsync calibration missing: %d", rep.FsyncNs)
+	}
+	if len(lines) < 3 {
+		t.Errorf("progress lines = %d, want >= 3", len(lines))
+	}
+}
+
+// TestOpenLoopLatencyFromSchedule verifies the coordinated-omission
+// discipline indirectly: with a rate low enough that the server is
+// never the bottleneck, measured open-loop latency must stay near the
+// round-trip time, proving the schedule subtraction is anchored at the
+// arrival, not at send.
+func TestOpenLoopSoakSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a durable server")
+	}
+	rep, err := RunBench(BenchConfig{
+		Dir:         t.TempDir(),
+		Ops:         32,
+		Conns:       8,
+		Batch:       16,
+		SoakClients: 500,
+		SoakRate:    200,
+		SoakSecs:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Soak == nil {
+		t.Fatal("soak case missing")
+	}
+	if rep.Soak.Clients != 500 {
+		t.Errorf("soak clients = %d", rep.Soak.Clients)
+	}
+	if rep.Soak.Acked == 0 || rep.Soak.Errors > 0 {
+		t.Errorf("soak acked %d errors %d", rep.Soak.Acked, rep.Soak.Errors)
+	}
+	if rep.Soak.Submit.P50 <= 0 || rep.Soak.Submit.P50 > 5*float64(time.Second/time.Millisecond) {
+		t.Errorf("soak p50 %.2fms implausible", rep.Soak.Submit.P50)
+	}
+}

@@ -9,12 +9,9 @@
 package serve
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"time"
 )
@@ -27,8 +24,15 @@ var ErrTimeout = errors.New("serve: request timed out")
 
 // ClientConfig parameterizes a resilient client.
 type ClientConfig struct {
-	// Socket is the server's Unix socket path.
+	// Socket is the server's listen address: a Unix socket path, or a
+	// "tcp:host:port" / "unix:/path" spec (the server's Listeners
+	// syntax).
 	Socket string
+	// Codec selects the wire format: CodecJSON (the default — one JSON
+	// object per line, human-readable with socat) or CodecBinary (the
+	// length-prefixed framing, negotiated by preamble). The server
+	// accepts either on every listener.
+	Codec string
 	// DialTimeout bounds each connection attempt. Defaults to 1s.
 	DialTimeout time.Duration
 	// Backoff is the initial reconnect delay, doubling per failed attempt
@@ -71,10 +75,9 @@ type ClientConfig struct {
 type Client struct {
 	cfg ClientConfig
 
-	mu   sync.Mutex
-	conn net.Conn
-	sc   *bufio.Scanner
-	enc  *json.Encoder
+	mu    sync.Mutex
+	conn  net.Conn
+	codec clientCodec
 	// serverEpoch is the daemon incarnation last observed via the resume
 	// handshake; restarts counts the epoch changes the handshakes have
 	// witnessed.
@@ -87,6 +90,14 @@ type Client struct {
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Socket == "" {
 		return nil, fmt.Errorf("serve: client socket path required")
+	}
+	if _, _, err := parseListenAddr(cfg.Socket); err != nil {
+		return nil, err
+	}
+	switch cfg.Codec {
+	case "", CodecJSON, CodecBinary:
+	default:
+		return nil, fmt.Errorf("serve: unknown codec %q (want %q or %q)", cfg.Codec, CodecJSON, CodecBinary)
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = time.Second
@@ -180,7 +191,7 @@ func (c *Client) Do(m Message) (Response, error) {
 // its server-supplied hint, and for how long to wait.
 func (c *Client) hintedRetry(resp Response) (time.Duration, bool) {
 	switch resp.Code {
-	case CodeShardUnavailable:
+	case CodeShardUnavailable, CodeOverloaded:
 		if !c.cfg.RetryHinted {
 			return 0, false
 		}
@@ -213,8 +224,7 @@ func (c *Client) closeLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
-		c.sc = nil
-		c.enc = nil
+		c.codec = nil
 	}
 }
 
@@ -224,15 +234,20 @@ func (c *Client) connectLocked() error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("unix", c.cfg.Socket, c.cfg.DialTimeout)
+	network, addr, err := parseListenAddr(c.cfg.Socket)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout(network, addr, c.cfg.DialTimeout)
 	if err != nil {
 		return wrapTimeout(err)
 	}
 	c.conn = conn
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	c.sc = sc
-	c.enc = json.NewEncoder(conn)
+	if c.cfg.Codec == CodecBinary {
+		c.codec = newBinClientCodec(conn)
+	} else {
+		c.codec = newJSONClientCodec(conn)
+	}
 	resp, err := c.roundTripLocked(Message{Op: "resume", ServerEpoch: c.serverEpoch})
 	if err != nil {
 		c.closeLocked()
@@ -247,25 +262,19 @@ func (c *Client) connectLocked() error {
 	return nil
 }
 
-// roundTripLocked writes one request line and reads one reply line, the
-// whole exchange bounded by RequestTimeout.
+// roundTripLocked writes one request and reads one reply through the
+// connection's codec, the whole exchange bounded by RequestTimeout.
 func (c *Client) roundTripLocked(m Message) (Response, error) {
 	if c.cfg.RequestTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := c.enc.Encode(m); err != nil {
+	if err := c.codec.WriteMessage(m); err != nil {
 		return Response{}, wrapTimeout(err)
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return Response{}, wrapTimeout(err)
-		}
-		return Response{}, fmt.Errorf("serve: connection closed mid-request")
-	}
-	var resp Response
-	if err := json.Unmarshal([]byte(strings.TrimSpace(c.sc.Text())), &resp); err != nil {
-		return Response{}, fmt.Errorf("serve: bad reply: %w", err)
+	resp, err := c.codec.ReadResponse()
+	if err != nil {
+		return Response{}, wrapTimeout(err)
 	}
 	return resp, nil
 }

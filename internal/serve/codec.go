@@ -1,0 +1,730 @@
+// Wire codecs for the serving protocol. Two codecs share one port:
+//
+//	JSON lines    one JSON object per \n-terminated line — the debug
+//	              codec, human-typable with printf | nc, and the default
+//	              for compatibility with every existing client.
+//	binary        length-prefixed tag-encoded frames — the heavy-traffic
+//	              codec: no reflection, no per-field string keys, one
+//	              buffered write per reply.
+//
+// Negotiation is per connection and costs zero round trips: a binary
+// client opens with a 4-byte magic whose first byte (0xB1) can never
+// begin a JSON value, so the server peeks one byte and knows. Everything
+// after the preamble is frames: a 4-byte big-endian payload length, then
+// a payload of (tag, value) pairs — one pair per non-zero field, so the
+// wire cost tracks the message's information content exactly like
+// omitempty JSON does. Unknown tags are a decode error, not a skip:
+// both ends of this protocol ship in one binary, and a frame from a
+// newer peer failing loudly beats field loss failing silently.
+//
+// Both servers (single and router) run the same connLoop over whichever
+// codec negotiation picks; the loop preserves the JSON protocol's error
+// contract — empty input skipped, malformed input answered with a typed
+// bad-request on a still-usable connection, oversized input answered
+// with too-large and a close (mid-line the stream position is
+// unrecoverable; mid-frame it is recoverable, but the symmetric close
+// keeps client logic codec-independent).
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+)
+
+// Codec names (ClientConfig.Codec and metric labels).
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+)
+
+// binCodecMagic is the preamble a binary-codec client writes immediately
+// after connect. 0xB1 cannot start a JSON line, so one peeked byte
+// decides the codec.
+var binCodecMagic = [4]byte{0xB1, 'R', 'B', '1'}
+
+// maxFrameBytes bounds one binary frame's payload, mirroring the JSON
+// codec's line limit.
+const maxFrameBytes = maxLineBytes
+
+// errTooLarge marks input past the codec's size bound: the connection is
+// answered with code "too-large" and closed.
+var errTooLarge = errors.New("serve: request exceeds size limit")
+
+// badRequestError marks recoverable malformed input: the connection is
+// answered with code "bad-request" and kept open.
+type badRequestError struct{ cause error }
+
+func (e badRequestError) Error() string { return e.cause.Error() }
+
+// serverCodec reads client Messages and writes Responses on one
+// negotiated connection.
+type serverCodec interface {
+	Name() string
+	ReadMessage() (Message, error)
+	WriteResponse(Response) error
+}
+
+// clientCodec is the client-side mirror.
+type clientCodec interface {
+	WriteMessage(Message) error
+	ReadResponse() (Response, error)
+}
+
+// negotiateServerCodec peeks the first byte of the connection and
+// returns the codec the client selected.
+func negotiateServerCodec(conn net.Conn) (serverCodec, error) {
+	br := bufio.NewReaderSize(conn, 64*1024)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] != binCodecMagic[0] {
+		return newJSONServerCodec(br, conn), nil
+	}
+	var preamble [4]byte
+	if _, err := io.ReadFull(br, preamble[:]); err != nil {
+		return nil, err
+	}
+	if preamble != binCodecMagic {
+		return nil, fmt.Errorf("serve: bad binary-codec preamble % x", preamble)
+	}
+	return &binServerCodec{r: br, w: bufio.NewWriterSize(conn, 64*1024)}, nil
+}
+
+// jsonServerCodec is the JSON-lines codec: the original protocol,
+// unchanged on the wire.
+type jsonServerCodec struct {
+	sc  *bufio.Scanner
+	enc *json.Encoder
+}
+
+func newJSONServerCodec(r io.Reader, w io.Writer) *jsonServerCodec {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &jsonServerCodec{sc: sc, enc: json.NewEncoder(w)}
+}
+
+func (c *jsonServerCodec) Name() string { return CodecJSON }
+
+func (c *jsonServerCodec) ReadMessage() (Message, error) {
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
+		if line == "" {
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			return Message{}, badRequestError{err}
+		}
+		return m, nil
+	}
+	if errors.Is(c.sc.Err(), bufio.ErrTooLong) {
+		return Message{}, errTooLarge
+	}
+	if err := c.sc.Err(); err != nil {
+		return Message{}, err
+	}
+	return Message{}, io.EOF
+}
+
+func (c *jsonServerCodec) WriteResponse(resp Response) error { return c.enc.Encode(resp) }
+
+// binServerCodec is the length-prefixed binary codec, server side.
+type binServerCodec struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (c *binServerCodec) Name() string { return CodecBinary }
+
+func (c *binServerCodec) ReadMessage() (Message, error) {
+	payload, err := readFrame(c.r)
+	if err != nil {
+		return Message{}, err
+	}
+	m, derr := decodeMessage(payload)
+	if derr != nil {
+		return Message{}, badRequestError{derr}
+	}
+	return m, nil
+}
+
+func (c *binServerCodec) WriteResponse(resp Response) error {
+	if err := writeFrame(c.w, encodeResponse(resp)); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return nil, errTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// writeFrame writes one length-prefixed payload (no flush).
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// connLoop runs one negotiated connection for either server: read a
+// request, hand it to handle, write the reply. It returns when the peer
+// closes, a read deadline fires, the transport errors, or an oversized
+// request forces the close. onCodec (nil ok) observes the negotiated
+// codec once; onOversized (nil ok) counts too-large closes.
+func connLoop(conn net.Conn, handle func(Message) Response, onCodec func(string), onOversized func()) {
+	cc, err := negotiateServerCodec(conn)
+	if err != nil {
+		return
+	}
+	if onCodec != nil {
+		onCodec(cc.Name())
+	}
+	for {
+		m, err := cc.ReadMessage()
+		switch {
+		case err == nil:
+			if werr := cc.WriteResponse(handle(m)); werr != nil {
+				return
+			}
+		case errors.Is(err, errTooLarge):
+			if onOversized != nil {
+				onOversized()
+			}
+			cc.WriteResponse(Response{
+				Error: fmt.Sprintf("serve: request line exceeds %d bytes", maxLineBytes),
+				Code:  CodeTooLarge,
+			})
+			return
+		case errors.As(err, &badRequestError{}):
+			if werr := cc.WriteResponse(Response{Error: "serve: bad request: " + err.Error(), Code: CodeBadRequest}); werr != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// binClientCodec is the client-side binary codec. The preamble is
+// written lazily with the first request so a constructed-but-unused
+// client costs nothing.
+type binClientCodec struct {
+	r         *bufio.Reader
+	w         *bufio.Writer
+	preambled bool
+}
+
+func newBinClientCodec(conn net.Conn) *binClientCodec {
+	return &binClientCodec{r: bufio.NewReaderSize(conn, 64*1024), w: bufio.NewWriterSize(conn, 64*1024)}
+}
+
+func (c *binClientCodec) WriteMessage(m Message) error {
+	if !c.preambled {
+		if _, err := c.w.Write(binCodecMagic[:]); err != nil {
+			return err
+		}
+		c.preambled = true
+	}
+	if err := writeFrame(c.w, encodeMessage(m)); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *binClientCodec) ReadResponse() (Response, error) {
+	payload, err := readFrame(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	return decodeResponse(payload)
+}
+
+// jsonClientCodec is the client-side JSON-lines codec.
+type jsonClientCodec struct {
+	sc  *bufio.Scanner
+	enc *json.Encoder
+}
+
+func newJSONClientCodec(conn net.Conn) *jsonClientCodec {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &jsonClientCodec{sc: sc, enc: json.NewEncoder(conn)}
+}
+
+func (c *jsonClientCodec) WriteMessage(m Message) error { return c.enc.Encode(m) }
+
+func (c *jsonClientCodec) ReadResponse() (Response, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, fmt.Errorf("serve: connection closed mid-request")
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(strings.TrimSpace(c.sc.Text())), &resp); err != nil {
+		return Response{}, fmt.Errorf("serve: bad reply: %w", err)
+	}
+	return resp, nil
+}
+
+// --- binary payload encoding ---------------------------------------------
+//
+// A payload is a sequence of (tag byte, value) pairs, one per non-zero
+// field. Value shapes by field type: strings are uvarint length +
+// bytes; ints are zigzag varints (negative values survive a malicious
+// or buggy peer without silent truncation); float64 is 8 big-endian
+// IEEE bytes; bool is the tag alone (presence = true); uint64 is a
+// plain uvarint. The two rare nested shapes — the migrate handoff's
+// *JobRecord and the shards report's []ShardInfo — ride as
+// length-prefixed JSON sub-payloads: they appear on slow-path admin
+// ops only, and reusing the JSON shape keeps one source of truth for
+// their fields.
+
+// Message field tags.
+const (
+	mtOp = iota + 1
+	mtID
+	mtReqID
+	mtServerEpoch
+	mtStatement
+	mtTenant
+	mtShard
+	mtJob
+	mtBatchRows
+	mtSeconds
+	mtWall
+	mtN
+)
+
+// Response field tags.
+const (
+	rtOK = iota + 1
+	rtError
+	rtCode
+	rtID
+	rtStatus
+	rtTenant
+	rtAccuracy
+	rtProgress
+	rtBestEffort
+	rtVirtualNow
+	rtJobs
+	rtTerminal
+	rtReport
+	rtDropped
+	rtServerEpoch
+	rtRecovered
+	rtRetryAfterSecs
+	rtShard
+	rtShards
+	rtJobRecord
+)
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendInt(b []byte, tag byte, v int) []byte {
+	b = append(b, tag)
+	return binary.AppendVarint(b, int64(v))
+}
+
+func appendString(b []byte, tag byte, s string) []byte {
+	b = append(b, tag)
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, tag byte, p []byte) []byte {
+	b = append(b, tag)
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendFloat(b []byte, tag byte, f float64) []byte {
+	b = append(b, tag)
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func encodeMessage(m Message) []byte {
+	b := make([]byte, 0, 64)
+	if m.Op != "" {
+		b = appendString(b, mtOp, m.Op)
+	}
+	if m.ID != "" {
+		b = appendString(b, mtID, m.ID)
+	}
+	if m.ReqID != "" {
+		b = appendString(b, mtReqID, m.ReqID)
+	}
+	if m.ServerEpoch != 0 {
+		b = appendInt(b, mtServerEpoch, m.ServerEpoch)
+	}
+	if m.Statement != "" {
+		b = appendString(b, mtStatement, m.Statement)
+	}
+	if m.Tenant != "" {
+		b = appendString(b, mtTenant, m.Tenant)
+	}
+	if m.Shard != 0 {
+		b = appendInt(b, mtShard, m.Shard)
+	}
+	if m.Job != nil {
+		p, _ := json.Marshal(m.Job)
+		b = appendBytes(b, mtJob, p)
+	}
+	if m.BatchRows != 0 {
+		b = appendInt(b, mtBatchRows, m.BatchRows)
+	}
+	if m.Seconds != 0 {
+		b = appendFloat(b, mtSeconds, m.Seconds)
+	}
+	if m.Wall {
+		b = append(b, mtWall)
+	}
+	if m.N != 0 {
+		b = appendInt(b, mtN, m.N)
+	}
+	return b
+}
+
+func encodeResponse(r Response) []byte {
+	b := make([]byte, 0, 128)
+	if r.OK {
+		b = append(b, rtOK)
+	}
+	if r.Error != "" {
+		b = appendString(b, rtError, r.Error)
+	}
+	if r.Code != "" {
+		b = appendString(b, rtCode, r.Code)
+	}
+	if r.ID != "" {
+		b = appendString(b, rtID, r.ID)
+	}
+	if r.Status != "" {
+		b = appendString(b, rtStatus, r.Status)
+	}
+	if r.Tenant != "" {
+		b = appendString(b, rtTenant, r.Tenant)
+	}
+	if r.Accuracy != 0 {
+		b = appendFloat(b, rtAccuracy, r.Accuracy)
+	}
+	if r.Progress != 0 {
+		b = appendFloat(b, rtProgress, r.Progress)
+	}
+	if r.BestEffort {
+		b = append(b, rtBestEffort)
+	}
+	if r.VirtualNow != 0 {
+		b = appendFloat(b, rtVirtualNow, r.VirtualNow)
+	}
+	if r.Jobs != 0 {
+		b = appendInt(b, rtJobs, r.Jobs)
+	}
+	if r.Terminal != 0 {
+		b = appendInt(b, rtTerminal, r.Terminal)
+	}
+	if r.Report != "" {
+		b = appendString(b, rtReport, r.Report)
+	}
+	if r.Dropped != 0 {
+		b = append(b, rtDropped)
+		b = appendUvarint(b, r.Dropped)
+	}
+	if r.ServerEpoch != 0 {
+		b = appendInt(b, rtServerEpoch, r.ServerEpoch)
+	}
+	if r.Recovered != 0 {
+		b = appendInt(b, rtRecovered, r.Recovered)
+	}
+	if r.RetryAfterSecs != 0 {
+		b = appendFloat(b, rtRetryAfterSecs, r.RetryAfterSecs)
+	}
+	if r.Shard != 0 {
+		b = appendInt(b, rtShard, r.Shard)
+	}
+	if len(r.Shards) != 0 {
+		p, _ := json.Marshal(r.Shards)
+		b = appendBytes(b, rtShards, p)
+	}
+	if r.Job != nil {
+		p, _ := json.Marshal(r.Job)
+		b = appendBytes(b, rtJobRecord, p)
+	}
+	return b
+}
+
+// payloadReader walks a tag-encoded payload with bounds checks; any
+// malformed read poisons it so decode loops can check the error once.
+type payloadReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (p *payloadReader) more() bool { return p.err == nil && p.pos < len(p.b) }
+
+func (p *payloadReader) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("serve: truncated binary payload (%s at offset %d)", what, p.pos)
+	}
+}
+
+func (p *payloadReader) tag() byte {
+	if p.err != nil || p.pos >= len(p.b) {
+		p.fail("tag")
+		return 0
+	}
+	t := p.b[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.pos:])
+	if n <= 0 {
+		p.fail("uvarint")
+		return 0
+	}
+	p.pos += n
+	return v
+}
+
+func (p *payloadReader) int() int {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.b[p.pos:])
+	if n <= 0 {
+		p.fail("varint")
+		return 0
+	}
+	p.pos += n
+	return int(v)
+}
+
+func (p *payloadReader) bytes() []byte {
+	n := p.uvarint()
+	if p.err != nil {
+		return nil
+	}
+	if n > uint64(len(p.b)-p.pos) {
+		p.fail("bytes")
+		return nil
+	}
+	out := p.b[p.pos : p.pos+int(n)]
+	p.pos += int(n)
+	return out
+}
+
+func (p *payloadReader) string() string { return string(p.bytes()) }
+
+func (p *payloadReader) float() float64 {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.b)-p.pos < 8 {
+		p.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(p.b[p.pos:]))
+	p.pos += 8
+	return v
+}
+
+func decodeMessage(b []byte) (Message, error) {
+	var m Message
+	p := &payloadReader{b: b}
+	for p.more() {
+		switch t := p.tag(); t {
+		case mtOp:
+			m.Op = p.string()
+		case mtID:
+			m.ID = p.string()
+		case mtReqID:
+			m.ReqID = p.string()
+		case mtServerEpoch:
+			m.ServerEpoch = p.int()
+		case mtStatement:
+			m.Statement = p.string()
+		case mtTenant:
+			m.Tenant = p.string()
+		case mtShard:
+			m.Shard = p.int()
+		case mtJob:
+			var jr JobRecord
+			if raw := p.bytes(); p.err == nil {
+				if err := json.Unmarshal(raw, &jr); err != nil {
+					return m, fmt.Errorf("serve: binary message job record: %w", err)
+				}
+				m.Job = &jr
+			}
+		case mtBatchRows:
+			m.BatchRows = p.int()
+		case mtSeconds:
+			m.Seconds = p.float()
+		case mtWall:
+			m.Wall = true
+		case mtN:
+			m.N = p.int()
+		default:
+			return m, fmt.Errorf("serve: unknown binary message tag %d", t)
+		}
+	}
+	return m, p.err
+}
+
+func decodeResponse(b []byte) (Response, error) {
+	var r Response
+	p := &payloadReader{b: b}
+	for p.more() {
+		switch t := p.tag(); t {
+		case rtOK:
+			r.OK = true
+		case rtError:
+			r.Error = p.string()
+		case rtCode:
+			r.Code = p.string()
+		case rtID:
+			r.ID = p.string()
+		case rtStatus:
+			r.Status = p.string()
+		case rtTenant:
+			r.Tenant = p.string()
+		case rtAccuracy:
+			r.Accuracy = p.float()
+		case rtProgress:
+			r.Progress = p.float()
+		case rtBestEffort:
+			r.BestEffort = true
+		case rtVirtualNow:
+			r.VirtualNow = p.float()
+		case rtJobs:
+			r.Jobs = p.int()
+		case rtTerminal:
+			r.Terminal = p.int()
+		case rtReport:
+			r.Report = p.string()
+		case rtDropped:
+			r.Dropped = p.uvarint()
+		case rtServerEpoch:
+			r.ServerEpoch = p.int()
+		case rtRecovered:
+			r.Recovered = p.int()
+		case rtRetryAfterSecs:
+			r.RetryAfterSecs = p.float()
+		case rtShard:
+			r.Shard = p.int()
+		case rtShards:
+			if raw := p.bytes(); p.err == nil && len(raw) > 0 {
+				if err := json.Unmarshal(raw, &r.Shards); err != nil {
+					return r, fmt.Errorf("serve: binary response shards: %w", err)
+				}
+			}
+		case rtJobRecord:
+			var jr JobRecord
+			if raw := p.bytes(); p.err == nil {
+				if err := json.Unmarshal(raw, &jr); err != nil {
+					return r, fmt.Errorf("serve: binary response job record: %w", err)
+				}
+				r.Job = &jr
+			}
+		default:
+			return r, fmt.Errorf("serve: unknown binary response tag %d", t)
+		}
+	}
+	return r, p.err
+}
+
+// --- listen address specs -------------------------------------------------
+
+// parseListenAddr splits a listener spec into (network, address):
+// "tcp:host:port" listens on TCP, "unix:/path" on a Unix socket, and a
+// bare path keeps the historical Unix-socket meaning.
+func parseListenAddr(spec string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(spec, "tcp:"):
+		addr = strings.TrimPrefix(spec, "tcp:")
+		if addr == "" {
+			return "", "", fmt.Errorf("serve: empty tcp listen address in %q", spec)
+		}
+		return "tcp", addr, nil
+	case strings.HasPrefix(spec, "unix:"):
+		addr = strings.TrimPrefix(spec, "unix:")
+		if addr == "" {
+			return "", "", fmt.Errorf("serve: empty unix socket path in %q", spec)
+		}
+		return "unix", addr, nil
+	case spec == "":
+		return "", "", errors.New("serve: empty listen address")
+	default:
+		return "unix", spec, nil
+	}
+}
+
+// bindListeners binds the primary Unix socket plus every extra spec,
+// closing everything already bound on any failure.
+func bindListeners(socket string, extra []string) ([]net.Listener, error) {
+	specs := make([]string, 0, 1+len(extra))
+	if socket != "" {
+		specs = append(specs, "unix:"+socket)
+	}
+	specs = append(specs, extra...)
+	var lns []net.Listener
+	fail := func(err error) ([]net.Listener, error) {
+		for _, ln := range lns {
+			ln.Close()
+		}
+		return nil, err
+	}
+	for _, spec := range specs {
+		network, addr, err := parseListenAddr(spec)
+		if err != nil {
+			return fail(err)
+		}
+		if network == "unix" {
+			if err := removeStaleSocket(addr); err != nil {
+				return fail(err)
+			}
+		}
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return fail(err)
+		}
+		lns = append(lns, ln)
+	}
+	if len(lns) == 0 {
+		return nil, errors.New("serve: no listen addresses")
+	}
+	return lns, nil
+}

@@ -170,8 +170,20 @@ type Journal struct {
 
 	recovered   Recovered
 	appends     int64
+	syncs       int64
+	groups      int64
 	compactions int64
 	closed      bool
+
+	// degraded latches the journal after a failed write or sync. A torn
+	// frame ends the longest valid prefix forever: any record written past
+	// it would be unreadable on replay, so instead of silently losing
+	// post-tear appends the journal refuses them with ErrJournalDegraded.
+	degraded error
+
+	// Fault-injection hooks for tests; nil in production.
+	frameHook func(Record) ([]byte, error)
+	writeHook func([]byte) (int, error)
 }
 
 // OpenJournal opens (creating if absent) the write-ahead journal under
@@ -427,8 +439,35 @@ func (jl *Journal) Stats() (appends, compactions, sizeBytes int64) {
 	return jl.appends, jl.compactions, jl.size
 }
 
-// Append durably logs the records: each is folded into the live state,
-// framed, written, and the batch is fsynced once before Append returns.
+// SyncStats reports fsync amortization: how many f.Sync calls covered how
+// many records, and how many of those syncs covered a multi-record group.
+// records/syncs is the group-commit factor the ingress batching buys.
+func (jl *Journal) SyncStats() (syncs, records, groups int64) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.syncs, jl.appends, jl.groups
+}
+
+// ErrJournalDegraded marks a journal latched read-only after a failed
+// write or sync left (or may have left) a torn frame at the tail.
+var ErrJournalDegraded = fmt.Errorf("serve: journal degraded")
+
+// Degraded returns the latched write/sync failure, or nil while the
+// journal is healthy.
+func (jl *Journal) Degraded() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.degraded
+}
+
+// Append durably logs the records as one group: the whole batch is framed
+// first, written and fsynced once, and only then folded into the live
+// replay state. The ordering matters twice over: a frame error mid-batch
+// must leave memory and disk untouched (not memory ahead of disk), and a
+// failed write or sync must not fold records the file provably may lack.
+// After a write/sync failure the journal latches degraded — the tail may
+// hold a torn frame that ends the longest valid prefix, so further
+// appends would be unrecoverable on replay and are refused instead.
 // When the file outgrows the compaction threshold it is folded into a
 // snapshot published with the checkpoint store's atomic-write machinery.
 func (jl *Journal) Append(recs ...Record) error {
@@ -440,24 +479,43 @@ func (jl *Journal) Append(recs ...Record) error {
 	if jl.closed {
 		return fmt.Errorf("serve: journal closed")
 	}
+	if jl.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrJournalDegraded, jl.degraded)
+	}
+	frame := frameJournalLine
+	if jl.frameHook != nil {
+		frame = jl.frameHook
+	}
 	var buf bytes.Buffer
 	for _, rec := range recs {
-		line, err := frameJournalLine(rec)
+		line, err := frame(rec)
 		if err != nil {
 			return err
 		}
 		buf.Write(line)
-		jl.apply(rec)
 	}
-	n, err := jl.f.Write(buf.Bytes())
+	write := jl.f.Write
+	if jl.writeHook != nil {
+		write = jl.writeHook
+	}
+	n, err := write(buf.Bytes())
 	jl.size += int64(n)
 	if err != nil {
+		jl.degraded = fmt.Errorf("append: %w", err)
 		return fmt.Errorf("serve: journal append: %w", err)
 	}
 	if err := jl.f.Sync(); err != nil {
+		jl.degraded = fmt.Errorf("sync: %w", err)
 		return fmt.Errorf("serve: journal sync: %w", err)
 	}
+	for _, rec := range recs {
+		jl.apply(rec)
+	}
 	jl.appends += int64(len(recs))
+	jl.syncs++
+	if len(recs) > 1 {
+		jl.groups++
+	}
 	if jl.size > jl.compactBytes {
 		return jl.compactLocked()
 	}

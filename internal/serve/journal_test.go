@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -210,6 +211,122 @@ func TestJournalCorruptBadCRC(t *testing.T) {
 	}
 	if rec.Jobs[0].Status != "pending" {
 		t.Fatalf("keep recovered as %q, want pending", rec.Jobs[0].Status)
+	}
+}
+
+// TestJournalFrameErrorMidBatch injects a frame error on the middle
+// record of a three-record group: Append must leave both the in-memory
+// mirror and the file exactly as they were — the historical bug folded
+// each record into memory before framing it, so a mid-batch frame error
+// left memory ahead of disk and compaction could snapshot state the file
+// never held.
+func TestJournalFrameErrorMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir)
+	if err := jl.Append(
+		Record{Kind: recSubmit, ID: "keep", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 1},
+		Record{Kind: recVerdict, ID: "keep", Status: "admitted", At: 1},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	appendsBefore, _, sizeBefore := jl.Stats()
+
+	jl.frameHook = func(rec Record) ([]byte, error) {
+		if rec.ID == "boom" {
+			return nil, fmt.Errorf("injected frame error")
+		}
+		return frameJournalLine(rec)
+	}
+	err := jl.Append(
+		Record{Kind: recSubmit, ID: "ghost", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2},
+		Record{Kind: recSubmit, ID: "boom", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2},
+		Record{Kind: recSubmit, ID: "late", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2},
+	)
+	if err == nil {
+		t.Fatal("Append with injected frame error succeeded")
+	}
+	jl.frameHook = nil
+
+	// Nothing from the failed group may be visible in memory — not even
+	// the records framed before the error.
+	for _, id := range []string{"ghost", "boom", "late"} {
+		if _, ok := jl.Job(id); ok {
+			t.Fatalf("record %q from failed group folded into memory", id)
+		}
+	}
+	if appends, _, size := jl.Stats(); appends != appendsBefore || size != sizeBefore {
+		t.Fatalf("failed group moved stats: appends %d→%d size %d→%d",
+			appendsBefore, appends, sizeBefore, size)
+	}
+	// A frame error is not a torn write: the journal stays healthy.
+	if err := jl.Append(Record{Kind: recClock, At: 3}); err != nil {
+		t.Fatalf("append after frame error: %v", err)
+	}
+	jl.Close()
+
+	// Disk agreement: a fresh replay sees exactly what memory saw.
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.DroppedBytes != 0 {
+		t.Fatalf("frame-error group left %d corrupt bytes on disk", rec.DroppedBytes)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "keep" {
+		t.Fatalf("replay after frame error recovered %+v, want only keep", rec.Jobs)
+	}
+	if rec.VirtualNow != 3 {
+		t.Fatalf("replay clock %v, want 3", rec.VirtualNow)
+	}
+}
+
+// TestJournalDegradedLatchAfterTornWrite injects a write error that tears
+// a frame mid-record: the journal must latch degraded and refuse further
+// appends — the historical bug kept writing past the tear, and
+// longest-valid-prefix recovery silently dropped every post-tear record.
+func TestJournalDegradedLatchAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	jl := openTestJournal(t, dir)
+	if err := jl.Append(
+		Record{Kind: recSubmit, ID: "keep", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 1},
+		Record{Kind: recVerdict, ID: "keep", Status: "admitted", At: 1},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// Write half the group's bytes for real, then fail: a torn frame now
+	// ends the file.
+	jl.writeHook = func(b []byte) (int, error) {
+		n, _ := jl.f.Write(b[:len(b)/2])
+		return n, fmt.Errorf("injected write error")
+	}
+	err := jl.Append(Record{Kind: recSubmit, ID: "torn", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 2})
+	if err == nil {
+		t.Fatal("Append with injected write error succeeded")
+	}
+	jl.writeHook = nil
+
+	if jl.Degraded() == nil {
+		t.Fatal("journal not latched degraded after torn write")
+	}
+	if _, ok := jl.Job("torn"); ok {
+		t.Fatal("torn record folded into memory")
+	}
+	// Post-tear appends must be refused, not written past the tear where
+	// replay could never read them.
+	err = jl.Append(Record{Kind: recSubmit, ID: "lost", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 3})
+	if err == nil || !errors.Is(err, ErrJournalDegraded) {
+		t.Fatalf("post-tear append error = %v, want ErrJournalDegraded", err)
+	}
+	jl.Close()
+
+	// Recovery degrades to the pre-tear prefix; nothing after the tear was
+	// accepted, so nothing after the tear is lost.
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.DroppedBytes == 0 {
+		t.Fatalf("torn frame not detected on replay: %+v", rec)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "keep" || rec.Jobs[0].Status != "pending" {
+		t.Fatalf("post-tear replay recovered %+v, want only keep (pending)", rec.Jobs)
 	}
 }
 

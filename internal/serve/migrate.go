@@ -44,13 +44,7 @@ func (s *Server) migrateOut(m Message) Response {
 	if s.jl == nil {
 		return Response{Error: "serve: migration requires a journaled (durable) shard", Code: CodeBadRequest}
 	}
-	var j *core.AQPJob
-	for _, cand := range s.exec.Jobs() {
-		if cand.ID() == m.ID {
-			j = cand
-			break
-		}
-	}
+	j := s.jobIndex[m.ID]
 	eng := s.exec.Engine()
 	if j == nil {
 		// Not registered: either unknown, or terminal before a restart (the
@@ -73,12 +67,16 @@ func (s *Server) migrateOut(m Message) Response {
 	// the next engine event, completing the in-flight epoch or limbo wait.
 	for {
 		if st := j.Status(); st.Terminal() {
-			s.syncJournal()
+			s.syncState()
 			return Response{OK: true, ID: m.ID, Status: st.String(), Code: CodeMigrateNoop,
 				VirtualNow: eng.Now().Seconds()}
 		}
 		err := s.exec.Detach(m.ID)
 		if err == nil {
+			// The executor no longer owns the job; drop it from the serve
+			// index too, or the freed "srv-*" slot would still read as taken
+			// and the status op would shadow the journal's record.
+			s.unregisterJob(m.ID)
 			break
 		}
 		if !errors.Is(err, core.ErrNotDetachable) {
@@ -105,7 +103,7 @@ func (s *Server) migrateOut(m Message) Response {
 		mark.epochs = e
 	}
 	mark.running = false
-	s.syncJournal() // other jobs may have progressed during the drain
+	s.syncState() // other jobs may have progressed during the drain
 	jr.Status = "pending"
 	jr.BestEffort = j.BestEffort()
 	if e := j.Epochs(); e > jr.Epochs {
@@ -136,15 +134,19 @@ func (s *Server) migrateIn(m Message) Response {
 		return Response{Error: "serve: migrate-in requires a job record", Code: CodeBadRequest}
 	}
 	jr := *m.Job
-	for _, j := range s.exec.Jobs() {
-		if j.ID() == jr.ID {
-			return Response{Error: fmt.Sprintf("serve: duplicate job id %q", jr.ID), Code: CodeDuplicateRequest}
-		}
+	if _, ok := s.jobIndex[jr.ID]; ok {
+		return Response{Error: fmt.Sprintf("serve: duplicate job id %q", jr.ID), Code: CodeDuplicateRequest}
 	}
 	if s.jl != nil {
 		if prev, ok := s.jl.Job(jr.ID); ok && terminalStatus(prev.Status) {
 			return Response{Error: fmt.Sprintf("serve: job %q already terminal here (%s)", jr.ID, prev.Status),
 				Code: CodeDuplicateRequest}
+		}
+		if derr := s.jl.Degraded(); derr != nil {
+			// Same write-ahead refusal as submit: a handoff this shard cannot
+			// make durable must not be accepted — the router keeps the job on
+			// its (still-durable) source shard instead.
+			return Response{Error: "serve: journal degraded: " + derr.Error(), Code: CodeJournalDegraded}
 		}
 	}
 	j, err := s.rebuildJob(jr)
@@ -171,10 +173,11 @@ func (s *Server) migrateIn(m Message) Response {
 		s.reqIndex[jr.ReqID] = jr.ID
 	}
 	s.exec.Recover(j, eng.Now(), jr.BestEffort)
+	s.registerJob(j)
 	// Fire the re-registration and its same-instant arbitration so the
 	// reply reports the job's live status on its new shard.
 	eng.RunUntil(eng.Now())
-	s.syncJournal()
+	s.syncState()
 	return Response{
 		OK:         true,
 		ID:         jr.ID,

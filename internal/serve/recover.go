@@ -81,8 +81,15 @@ func (s *Server) recoverFromJournal() error {
 		}
 		if terminalStatus(jr.Status) {
 			// Terminal in the journal: nothing to re-register, and the diff
-			// mark stops syncJournal from ever logging it again.
+			// mark stops syncState from ever logging it again.
 			s.lastJourn[jr.ID] = &jobMark{terminal: true, epochs: jr.Epochs}
+		}
+		// Recover the auto-id counter past every journaled "srv-<n>" id —
+		// terminal ones included — so a restart never re-mints an id the
+		// journal still remembers.
+		var n int
+		if _, err := fmt.Sscanf(jr.ID, "srv-%d", &n); err == nil && n >= s.nextAutoID {
+			s.nextAutoID = n + 1
 		}
 	}
 	live := rec.NonTerminal()
@@ -95,13 +102,14 @@ func (s *Server) recoverFromJournal() error {
 		// is not re-journaled; only epochs beyond it append records.
 		s.lastJourn[jr.ID] = &jobMark{epochs: jr.Epochs}
 		s.exec.Recover(j, eng.Now(), jr.BestEffort)
+		s.registerJob(j)
 	}
 	// Fire the re-registrations and their same-instant arbitration so the
 	// recovered queue is granted before the first client request.
 	eng.RunUntil(eng.Now())
 	s.recovered = len(live)
 	s.met.recoveredJobs.Add(int64(len(live)))
-	s.syncJournal()
+	s.syncState()
 	return nil
 }
 
@@ -144,24 +152,42 @@ func (s *Server) rebuildJob(jr JobRecord) (*core.AQPJob, error) {
 	})
 }
 
-// journal appends records immediately, fsynced before return — the
-// WAL-ordering primitive submit uses to log before applying. Append
-// failures degrade durability, not availability: the error is surfaced on
-// the health op and counted, and the server keeps serving.
+// journal logs records with write-ahead ordering. Outside a batch the
+// records are appended (and fsynced) immediately. Inside a batch —
+// handleBatch sets s.staging around each request — they are staged and
+// group-committed by flushStaged under ONE fsync for the whole batch;
+// the write-ahead contract still holds per client because handleBatch
+// releases no reply before that flush returns.
 func (s *Server) journal(recs ...Record) {
 	if s.jl == nil || len(recs) == 0 {
 		return
 	}
-	if err := s.jl.Append(recs...); err != nil {
+	if s.staging {
+		s.staged = append(s.staged, recs...)
+		return
+	}
+	s.appendNow(recs)
+}
+
+// appendNow appends records to the journal immediately and folds the
+// outcome into the serve-level durability telemetry. Append failures
+// outside the write-ahead paths degrade durability, not availability:
+// the error is surfaced on the health op and counted. (Write-ahead
+// paths — submit, migrate-in, and batched replies — additionally refuse
+// once the journal latches degraded.)
+func (s *Server) appendNow(recs []Record) error {
+	err := s.jl.Append(recs...)
+	if err != nil {
 		s.jlErr = err
 		s.met.journalErrors.Inc()
-		return
+		return err
 	}
 	s.met.journalRecords.Add(int64(len(recs)))
 	_, compactions, _ := s.jl.Stats()
 	if d := compactions - s.met.journalCompact.Value(); d > 0 {
 		s.met.journalCompact.Add(d)
 	}
+	return nil
 }
 
 // journalClock persists the current clock position unconditionally (the
@@ -175,49 +201,61 @@ func (s *Server) journalClock() {
 	s.lastClockAt = now
 }
 
-// syncJournal diffs the executor's live job state against the last
-// journaled position of each job and appends the missing transitions —
-// grants, completed epochs, terminal statuses — in one fsynced batch.
-// Called from the driver goroutine after every block of virtual-time
-// progress (submit, advance, tick, drain), it guarantees the journal
-// never lags the state a client could observe, without instrumenting the
-// executor's event handlers. A periodic clock record bounds how far an
-// idle paced server's restart may rewind time.
-func (s *Server) syncJournal() {
-	if s.jl == nil {
-		return
-	}
+// syncState diffs the live job set against the last journaled position
+// of each job and appends the missing transitions — grants, completed
+// epochs, terminal statuses — in one batch. Called from the driver
+// goroutine after every block of virtual-time progress (submit, advance,
+// tick, drain), it guarantees the journal never lags the state a client
+// could observe, without instrumenting the executor's event handlers.
+//
+// It walks s.liveList (registration order, so record order is
+// deterministic) rather than the executor's full registry: cost per
+// sweep is proportional to in-flight jobs, not lifetime submits. Jobs
+// that reach a terminal status are pruned from the live set here, which
+// is also where the terminal counter advances. The walk runs even
+// without a journal — the live set and counters back resume/stats — and
+// s.journal drops the records when jl is nil. A periodic clock record
+// bounds how far an idle paced server's restart may rewind time.
+func (s *Server) syncState() {
 	now := s.exec.Engine().Now().Seconds()
 	var recs []Record
-	for _, j := range s.exec.Jobs() {
-		id := j.ID()
-		mark := s.lastJourn[id]
-		if mark == nil {
-			mark = &jobMark{}
-			s.lastJourn[id] = mark
+	keep := s.liveList[:0]
+	for _, e := range s.liveList {
+		if e.gone {
+			continue // detached by migrate-out; a re-registered id got a fresh entry
 		}
+		j, mark := e.j, e.mark
 		if mark.terminal {
+			// Journal already holds its terminal record (e.g. a committed
+			// migration); just retire it from the live set.
+			delete(s.liveJobs, j.ID())
+			s.terminal++
 			continue
 		}
-		if e := j.Epochs(); e > mark.epochs {
-			recs = append(recs, Record{Kind: recEpoch, ID: id, Epochs: e, At: now})
-			mark.epochs = e
+		if ep := j.Epochs(); ep > mark.epochs {
+			recs = append(recs, Record{Kind: recEpoch, ID: j.ID(), Epochs: ep, At: now})
+			mark.epochs = ep
 			mark.running = false
 		}
 		st := j.Status()
 		if st.Terminal() {
-			recs = append(recs, Record{Kind: recTerminal, ID: id, Status: st.String(), Epochs: j.Epochs(), At: now})
+			recs = append(recs, Record{Kind: recTerminal, ID: j.ID(), Status: st.String(), Epochs: j.Epochs(), At: now})
 			mark.terminal = true
+			delete(s.liveJobs, j.ID())
+			s.terminal++
 			continue
 		}
 		if running := st == core.StatusRunning; running != mark.running {
 			if running {
-				recs = append(recs, Record{Kind: recGrant, ID: id, At: now})
+				recs = append(recs, Record{Kind: recGrant, ID: j.ID(), At: now})
 			}
 			mark.running = running
 		}
+		keep = append(keep, e)
 	}
-	if now-s.lastClockAt >= s.cfg.ClockJournalSecs {
+	s.liveList = keep
+	s.liveSize.Store(int64(len(s.liveJobs)))
+	if s.jl != nil && now-s.lastClockAt >= s.cfg.ClockJournalSecs {
 		recs = append(recs, Record{Kind: recClock, At: now})
 		s.lastClockAt = now
 	}

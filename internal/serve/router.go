@@ -20,7 +20,6 @@
 package serve
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +41,10 @@ type RouterConfig struct {
 	// Socket is the router's public Unix socket. Shard i listens on
 	// Socket + ".shard<i>" unless SocketFor overrides it.
 	Socket string
+	// Listeners are extra public listen specs ("tcp:host:port" or
+	// "unix:/path") served alongside Socket, each speaking both codecs.
+	// Shard sockets stay private Unix sockets regardless.
+	Listeners []string
 	// SocketFor overrides the per-shard socket path.
 	SocketFor func(index int) string
 	// Shards is the shard count (>= 1).
@@ -57,6 +60,10 @@ type RouterConfig struct {
 	Pace      float64
 	Tick      time.Duration
 	BatchRows int
+	// IngressDepth and IngressBatch apply to every shard's driver loop
+	// (see Config): the bounded request ring and the group-commit window.
+	IngressDepth int
+	IngressBatch int
 	// Obs is the router's own registry (request counters, shard gauges,
 	// migration counts). Nil uses obs.Default().
 	Obs *obs.Registry
@@ -92,7 +99,7 @@ type Router struct {
 	migMu sync.Mutex
 
 	mu    sync.Mutex
-	ln    net.Listener
+	lns   []net.Listener
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
 	final Response
@@ -215,29 +222,34 @@ func (r *Router) Serve() error {
 			r.markDown(h, err)
 		}
 	}
-	if err := removeStaleSocket(r.cfg.Socket); err != nil {
-		return err
-	}
-	ln, err := net.Listen("unix", r.cfg.Socket)
+	lns, err := bindListeners(r.cfg.Socket, r.cfg.Listeners)
 	if err != nil {
 		return err
 	}
 	r.mu.Lock()
-	r.ln = ln
+	r.lns = lns
 	r.mu.Unlock()
 	go r.supervise()
 	close(r.ready)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed by drain/close
-		}
-		r.mu.Lock()
-		r.conns[conn] = struct{}{}
-		r.mu.Unlock()
-		r.wg.Add(1)
-		go r.serveConn(conn)
+	var accept sync.WaitGroup
+	for _, ln := range lns {
+		accept.Add(1)
+		go func(ln net.Listener) {
+			defer accept.Done()
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed by drain/close
+				}
+				r.mu.Lock()
+				r.conns[conn] = struct{}{}
+				r.mu.Unlock()
+				r.wg.Add(1)
+				go r.serveConn(conn)
+			}
+		}(ln)
 	}
+	accept.Wait()
 	r.mu.Lock()
 	for c := range r.conns {
 		c.SetReadDeadline(time.Now())
@@ -245,6 +257,19 @@ func (r *Router) Serve() error {
 	r.mu.Unlock()
 	r.wg.Wait()
 	return nil
+}
+
+// ListenAddrs reports the bound listener addresses, in bind order (the
+// Unix socket first). Useful with "tcp:127.0.0.1:0" specs, where the
+// kernel picks the port.
+func (r *Router) ListenAddrs() []net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addrs := make([]net.Addr, 0, len(r.lns))
+	for _, ln := range r.lns {
+		addrs = append(addrs, ln.Addr())
+	}
+	return addrs
 }
 
 // Ready is closed once every shard has been started (or marked down) and
@@ -342,15 +367,16 @@ func (r *Router) stopSupervisor() {
 func (r *Router) shutdown() {
 	r.closeOnce.Do(func() {
 		r.mu.Lock()
-		if r.ln != nil {
-			r.ln.Close()
+		for _, ln := range r.lns {
+			ln.Close()
 		}
 		r.mu.Unlock()
 	})
 }
 
-// serveConn mirrors the single server's connection loop: JSON lines in,
-// replies out, typed errors for malformed or oversized input.
+// serveConn mirrors the single server's connection loop: the codec is
+// negotiated per connection (JSON lines or the binary framing), replies
+// are typed errors for malformed or oversized input.
 func (r *Router) serveConn(conn net.Conn) {
 	defer r.wg.Done()
 	defer func() {
@@ -359,24 +385,7 @@ func (r *Router) serveConn(conn net.Conn) {
 		delete(r.conns, conn)
 		r.mu.Unlock()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if err := enc.Encode(r.handleLine([]byte(line))); err != nil {
-			return
-		}
-	}
-	if errors.Is(sc.Err(), bufio.ErrTooLong) {
-		enc.Encode(Response{
-			Error: fmt.Sprintf("serve: request line exceeds %d bytes", maxLineBytes),
-			Code:  CodeTooLarge,
-		})
-	}
+	connLoop(conn, r.handleMessage, nil, nil)
 }
 
 // handleLine parses and executes one request line. It is the fuzzing

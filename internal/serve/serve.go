@@ -20,14 +20,13 @@
 package serve
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -45,6 +44,26 @@ import (
 type Config struct {
 	// Socket is the Unix socket path to listen on.
 	Socket string
+	// Listeners are extra listen specs served alongside Socket:
+	// "tcp:host:port" or "unix:/path". Every listener speaks both codecs
+	// (negotiated per connection), so one daemon can serve local debug
+	// clients on the socket and fleet traffic over TCP.
+	Listeners []string
+	// IngressDepth bounds the ingress ring between connection handlers
+	// and the driver. A full ring refuses new requests with code
+	// "overloaded" and a retry hint instead of buffering without bound.
+	// Defaults to 1024.
+	IngressDepth int
+	// IngressBatch is how many queued requests the driver drains per
+	// wakeup. The batch shares one channel-hop wakeup and — on a
+	// journaled server — one group-commit fsync covering every record the
+	// batch staged. 1 restores the request-at-a-time, fsync-per-submit
+	// behaviour (the load generator's baseline mode). Defaults to 64.
+	IngressBatch int
+	// OverloadRetrySecs is the base retry hint on "overloaded" refusals;
+	// the hint scales with how saturated the admission queue is relative
+	// to its configured bound. Defaults to 0.25.
+	OverloadRetrySecs float64
 	// Pace is how many virtual seconds elapse per wall-clock second.
 	// Zero freezes the clock between requests — virtual time then only
 	// advances on submit, advance, and drain (the deterministic-test
@@ -171,6 +190,17 @@ const (
 	// reply carries retry_after_secs when the refusal is time-based; the
 	// tenant should back off instead of hammering the shared queue.
 	CodeTenantQuota = "tenant-quota"
+	// CodeOverloaded: the ingress ring is full — the serving front end is
+	// saturated and refused the request instead of buffering it without
+	// bound. The request was not processed; the reply carries
+	// retry_after_secs scaled by how far the admission queue is over its
+	// configured bound.
+	CodeOverloaded = "overloaded"
+	// CodeJournalDegraded: the write-ahead journal latched degraded (a
+	// torn write ended its valid prefix), so the server can no longer
+	// honor the write-ahead contract for state-changing ops and refuses
+	// them. Read ops keep working; the health op reports the cause.
+	CodeJournalDegraded = "journal-degraded"
 )
 
 // Response is one server reply line.
@@ -247,6 +277,9 @@ type Server struct {
 	reg  *obs.Registry
 	met  *serveMetrics
 
+	// reqCh is the bounded ingress ring: connection handlers enqueue
+	// without blocking (a full ring is an overload refusal) and the
+	// driver drains up to IngressBatch requests per wakeup.
 	reqCh   chan request
 	drainCh chan chan Response
 	doneCh  chan struct{}
@@ -262,8 +295,35 @@ type Server struct {
 	lastClockAt float64
 	jlErr       error
 
+	// Job bookkeeping (driver goroutine only). jobIndex holds every job
+	// registered with the executor this incarnation — the O(1) lookup
+	// behind status and duplicate checks that used to scan exec.Jobs().
+	// liveJobs is the subset not yet journal-terminal: the only jobs
+	// syncState must walk, so a long-lived daemon's per-batch sync cost
+	// tracks its in-flight load, not its lifetime submit count.
+	jobIndex map[string]*core.AQPJob
+	liveJobs map[string]*liveEntry
+	// liveList is the live entries in registration order — syncState
+	// iterates it so journal record order stays deterministic (map
+	// iteration is not), compacting out detached and terminal entries as
+	// it goes. Each entry carries its job's journal mark so the sweep —
+	// the per-batch hot path — touches no maps at all.
+	liveList   []*liveEntry
+	terminal   int
+	nextAutoID int
+
+	// liveSize mirrors len(liveJobs) for connection handlers computing
+	// overload retry hints without touching driver state.
+	liveSize atomic.Int64
+
+	// Group-commit staging (driver goroutine only): while a batch is
+	// being handled, journal() stages records here instead of appending;
+	// the batch ends with one Append — one fsync for the whole group.
+	staging bool
+	staged  []Record
+
 	mu       sync.Mutex
-	ln       net.Listener
+	lns      []net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	final    Response
@@ -271,11 +331,20 @@ type Server struct {
 }
 
 // jobMark is the last journaled position of one job: the diff target
-// syncJournal compares the executor's live state against.
+// syncState compares the executor's live state against.
 type jobMark struct {
 	running  bool
 	epochs   int
 	terminal bool
+}
+
+// liveEntry is one live job's row in the sweep list: the job, its
+// journal mark, and a tombstone set on detach (migrate-out) so the
+// sweep skips stale entries without consulting the live map.
+type liveEntry struct {
+	j    *core.AQPJob
+	mark *jobMark
+	gone bool
 }
 
 // New builds a server over an executor and the catalog its jobs bind to.
@@ -303,13 +372,22 @@ func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error)
 	if cfg.ClockJournalSecs <= 0 {
 		cfg.ClockJournalSecs = 60
 	}
+	if cfg.IngressDepth <= 0 {
+		cfg.IngressDepth = 1024
+	}
+	if cfg.IngressBatch <= 0 {
+		cfg.IngressBatch = 64
+	}
+	if cfg.OverloadRetrySecs <= 0 {
+		cfg.OverloadRetrySecs = 0.25
+	}
 	s := &Server{
 		cfg:         cfg,
 		exec:        exec,
 		cat:         cat,
 		reg:         reg,
 		met:         newServeMetrics(reg),
-		reqCh:       make(chan request),
+		reqCh:       make(chan request, cfg.IngressDepth),
 		drainCh:     make(chan chan Response),
 		doneCh:      make(chan struct{}),
 		killCh:      make(chan struct{}),
@@ -317,6 +395,8 @@ func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error)
 		serverEpoch: 1,
 		lastJourn:   make(map[string]*jobMark),
 		reqIndex:    make(map[string]string),
+		jobIndex:    make(map[string]*core.AQPJob),
+		liveJobs:    make(map[string]*liveEntry),
 	}
 	s.conns = make(map[net.Conn]struct{})
 	if s.jl != nil {
@@ -349,6 +429,18 @@ type serveMetrics struct {
 	journalErrors  *obs.Counter
 	oversized      *obs.Counter
 	dedupedSubmits *obs.Counter
+	// Heavy-traffic front-end handles. Batch counters are deterministic
+	// for a sequential client (every request is its own batch); the batch
+	// size distribution and ring depth depend on wall-clock arrival
+	// interleaving, so they are wall-class and excluded from
+	// deterministic renders.
+	batches      *obs.Counter
+	batchedReqs  *obs.Counter
+	groupCommits *obs.Counter
+	overloaded   *obs.Counter
+	batchSize    *obs.Histogram
+	ingressDepth *obs.Gauge
+	conns        map[string]*obs.Counter
 }
 
 // serveOps are the protocol operations with pre-registered counters;
@@ -371,6 +463,17 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m.journalErrors = reg.Counter("rotary_serve_journal_errors_total", "journal append failures (durability degraded)")
 	m.oversized = reg.Counter("rotary_serve_oversized_requests_total", "request lines dropped for exceeding the line limit")
 	m.dedupedSubmits = reg.Counter("rotary_serve_deduped_submits_total", "submits answered from the req_id dedupe index")
+	m.batches = reg.Counter("rotary_serve_ingress_batches_total", "driver wakeups (one per drained request batch)")
+	m.batchedReqs = reg.Counter("rotary_serve_ingress_requests_total", "requests drained from the ingress ring")
+	m.groupCommits = reg.Counter("rotary_serve_group_commits_total", "journal flushes that coalesced a multi-record group under one fsync")
+	m.overloaded = reg.Counter("rotary_serve_overloaded_total", "requests refused because the ingress ring was full")
+	m.batchSize = reg.WallHistogram("rotary_serve_ingress_batch_size", "requests per driver batch",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
+	m.ingressDepth = reg.WallGauge("rotary_serve_ingress_depth", "requests queued in the ingress ring at the last driver wakeup")
+	m.conns = map[string]*obs.Counter{
+		CodecJSON:   reg.Counter(`rotary_serve_conns_total{codec="json"}`, "accepted connections by negotiated codec"),
+		CodecBinary: reg.Counter(`rotary_serve_conns_total{codec="binary"}`, "accepted connections by negotiated codec"),
+	}
 	return m
 }
 
@@ -382,32 +485,27 @@ func (m *serveMetrics) count(op string) {
 	m.other.Inc()
 }
 
-// Serve listens on the configured socket and blocks until a drain
-// completes (a client "drain" op or a Drain call, typically from the
-// SIGTERM handler).
+// Serve binds the configured socket plus every extra listener and
+// blocks until a drain completes (a client "drain" op or a Drain call,
+// typically from the SIGTERM handler).
 func (s *Server) Serve() error {
-	if err := removeStaleSocket(s.cfg.Socket); err != nil {
-		return err
-	}
-	ln, err := net.Listen("unix", s.cfg.Socket)
+	lns, err := bindListeners(s.cfg.Socket, s.cfg.Listeners)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = lns
 	s.mu.Unlock()
 	go s.drive()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed by drain
-		}
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
+	var accept sync.WaitGroup
+	for _, ln := range lns {
+		accept.Add(1)
+		go func(ln net.Listener) {
+			defer accept.Done()
+			s.acceptLoop(ln)
+		}(ln)
 	}
+	accept.Wait()
 	<-s.doneCh
 	// Unblock idle readers without cutting off in-flight replies: a
 	// handler mid-write finishes, then its next read fails and it closes
@@ -419,6 +517,40 @@ func (s *Server) Serve() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by drain
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAddrs reports the bound listener addresses (useful when a
+// "tcp:127.0.0.1:0" spec asked the kernel to pick the port).
+func (s *Server) ListenAddrs() []net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs := make([]net.Addr, 0, len(s.lns))
+	for _, ln := range s.lns {
+		addrs = append(addrs, ln.Addr())
+	}
+	return addrs
+}
+
+func (s *Server) closeListeners() {
+	s.mu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
 }
 
 // removeStaleSocket clears a dead Unix socket left by an unclean exit
@@ -449,11 +581,7 @@ func removeStaleSocket(path string) error {
 // leave. The executor's in-memory state is simply abandoned.
 func (s *Server) Kill() {
 	s.killOnce.Do(func() { close(s.killCh) })
-	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	s.mu.Unlock()
+	s.closeListeners()
 	<-s.doneCh
 	if s.jl != nil {
 		s.jl.Close()
@@ -510,12 +638,9 @@ func (s *Server) drive() {
 	for {
 		select {
 		case r := <-s.reqCh:
-			if r.msg.Op == "drain" {
-				s.met.count("drain")
-				r.reply <- s.drainNow()
+			if s.handleBatch(r) {
 				return
 			}
-			r.reply <- s.handle(r.msg)
 			if eng.Now() > target() {
 				anchor = time.Now()
 				base = eng.Now()
@@ -532,28 +657,131 @@ func (s *Server) drive() {
 				eng.RunUntil(t)
 			}
 			s.met.virtualNow.Set(eng.Now().Seconds())
-			s.syncJournal()
+			s.syncState()
 		}
 	}
 }
 
-// drainNow stops the listener and fast-forwards virtual time until every
-// submitted job is terminal. Every admitted job carries a deadline
+// pendingReply is one batched request's computed reply, held until the
+// group's journal records are durable.
+type pendingReply struct {
+	reply chan Response
+	resp  Response
+	// journaled marks a reply whose request staged journal records: its
+	// release is conditional on the group commit succeeding.
+	journaled bool
+}
+
+// handleBatch drains up to IngressBatch-1 more requests from the ring
+// and handles them as one group: every request's journal records are
+// staged, the whole group is appended under ONE fsync, and only then are
+// the replies released — the write-ahead contract each submit used to
+// buy with a private fsync now holds per group, at 1/len(batch) the
+// cost. Returns true when a drain op ended the server.
+func (s *Server) handleBatch(first request) bool {
+	batch := make([]request, 1, s.cfg.IngressBatch)
+	batch[0] = first
+fill:
+	for len(batch) < s.cfg.IngressBatch {
+		select {
+		case r := <-s.reqCh:
+			batch = append(batch, r)
+		default:
+			break fill
+		}
+	}
+	s.met.batches.Inc()
+	s.met.batchedReqs.Add(int64(len(batch)))
+	s.met.batchSize.Observe(float64(len(batch)))
+	s.met.ingressDepth.Set(float64(len(s.reqCh)))
+	pending := make([]pendingReply, 0, len(batch))
+	flushRelease := func() {
+		err := s.flushStaged()
+		for _, p := range pending {
+			if err != nil && p.journaled {
+				// The group commit failed: these records are NOT durable, so
+				// the computed (often OK) replies must not be released — the
+				// client would hold a reply the write-ahead contract cannot
+				// back. The in-memory job still runs; a req_id retry dedupes.
+				p.reply <- Response{
+					Error: "serve: journal degraded: " + err.Error(),
+					Code:  CodeJournalDegraded,
+				}
+				continue
+			}
+			p.reply <- p.resp
+		}
+		pending = pending[:0]
+	}
+	for i, r := range batch {
+		if r.msg.Op == "drain" {
+			// Release everything handled so far (their records must sync
+			// before their replies), then drain; later requests in the batch
+			// see the draining refusal dispatch would have given them.
+			flushRelease()
+			s.met.count("drain")
+			r.reply <- s.drainNow()
+			for _, rest := range batch[i+1:] {
+				rest.reply <- Response{Error: "serve: server draining", Code: CodeDraining}
+			}
+			return true
+		}
+		stagedBefore := len(s.staged)
+		s.staging = true
+		resp := s.handle(r.msg)
+		s.staging = false
+		pending = append(pending, pendingReply{
+			reply:     r.reply,
+			resp:      resp,
+			journaled: len(s.staged) > stagedBefore,
+		})
+	}
+	flushRelease()
+	return false
+}
+
+// flushStaged group-commits the records the current batch staged: one
+// Append, one fsync, covering every request in the group. Returns the
+// append error so handleBatch can withhold write-ahead-dependent
+// replies.
+func (s *Server) flushStaged() error {
+	if len(s.staged) == 0 {
+		return nil
+	}
+	recs := s.staged
+	s.staged = s.staged[:0]
+	if len(recs) > 1 {
+		s.met.groupCommits.Inc()
+	}
+	return s.appendNow(recs)
+}
+
+// drainNow stops the listeners and fast-forwards virtual time until
+// every submitted job is terminal. Every admitted job carries a deadline
 // watchdog event, so the event queue cannot run dry before the jobs do —
 // but if it somehow does, the failure is reported, not hidden.
 func (s *Server) drainNow() Response {
-	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	s.mu.Unlock()
+	s.closeListeners()
 	eng := s.exec.Engine()
-	for s.terminalCount() < len(s.exec.Jobs()) && eng.Step() {
+	for len(s.liveJobs) > 0 {
+		progressed := false
+		// Step a block of events between live-set syncs so the drain cost
+		// is events + periodic O(live) sweeps, not O(live) per event.
+		for i := 0; i < 256; i++ {
+			if !eng.Step() {
+				break
+			}
+			progressed = true
+		}
+		s.syncState()
+		if !progressed {
+			break
+		}
 	}
-	s.syncJournal()
+	s.syncState()
 	resp := s.statsResponse()
 	resp.Status = "drained"
-	if left := len(s.exec.Jobs()) - s.terminalCount(); left > 0 {
+	if left := len(s.liveJobs); left > 0 {
 		resp.OK = false
 		resp.Error = fmt.Sprintf("serve: drain left %d jobs unterminated", left)
 	}
@@ -563,14 +791,54 @@ func (s *Server) drainNow() Response {
 	return resp
 }
 
-func (s *Server) terminalCount() int {
-	n := 0
-	for _, j := range s.exec.Jobs() {
-		if j.Status().Terminal() {
-			n++
+// terminalCount reports how many registered jobs have reached a terminal
+// status (maintained incrementally by syncState — no executor scan).
+func (s *Server) terminalCount() int { return s.terminal }
+
+// knownJobID reports whether a job id is taken: registered this
+// incarnation, or remembered by the journal (including jobs terminal
+// before a restart, which are never re-registered).
+func (s *Server) knownJobID(id string) bool {
+	if _, ok := s.jobIndex[id]; ok {
+		return true
+	}
+	if s.jl != nil {
+		if _, ok := s.jl.Job(id); ok {
+			return true
 		}
 	}
-	return n
+	return false
+}
+
+// registerJob indexes a job the executor just accepted (submit, journal
+// recovery, migrate-in), binding it to its journal mark (the recovery
+// and migrate paths pre-seed s.lastJourn; a fresh submit starts from a
+// zero mark).
+func (s *Server) registerJob(j *core.AQPJob) {
+	id := j.ID()
+	s.jobIndex[id] = j
+	mark := s.lastJourn[id]
+	if mark == nil {
+		mark = &jobMark{}
+		s.lastJourn[id] = mark
+	}
+	e := &liveEntry{j: j, mark: mark}
+	s.liveJobs[id] = e
+	s.liveList = append(s.liveList, e)
+	s.liveSize.Store(int64(len(s.liveJobs)))
+}
+
+// unregisterJob drops a detached job (migrate-out): it is no longer the
+// executor's — status answers from the journal until migrate-commit.
+// The sweep-list entry is tombstoned, not searched out; syncState
+// compacts it away on its next pass.
+func (s *Server) unregisterJob(id string) {
+	delete(s.jobIndex, id)
+	if e := s.liveJobs[id]; e != nil {
+		e.gone = true
+		delete(s.liveJobs, id)
+	}
+	s.liveSize.Store(int64(len(s.liveJobs)))
 }
 
 // handle executes one request against the executor (driver goroutine
@@ -595,7 +863,7 @@ func (s *Server) handle(m Message) Response {
 		// must resume at the advanced position, not rewind to the last job
 		// transition.
 		s.journalClock()
-		s.syncJournal()
+		s.syncState()
 		return Response{OK: true, VirtualNow: eng.Now().Seconds()}
 	case "resume":
 		// The restart handshake: the client reports the server epoch it
@@ -606,7 +874,7 @@ func (s *Server) handle(m Message) Response {
 			OK:          true,
 			ServerEpoch: s.serverEpoch,
 			Recovered:   s.recovered,
-			Jobs:        len(s.exec.Jobs()),
+			Jobs:        len(s.jobIndex),
 			Terminal:    s.terminalCount(),
 			VirtualNow:  s.exec.Engine().Now().Seconds(),
 		}
@@ -647,7 +915,7 @@ func (s *Server) handle(m Message) Response {
 		resp := Response{
 			OK:          true,
 			Status:      "healthy",
-			Jobs:        len(s.exec.Jobs()),
+			Jobs:        len(s.jobIndex),
 			Terminal:    s.terminalCount(),
 			VirtualNow:  s.exec.Engine().Now().Seconds(),
 			ServerEpoch: s.serverEpoch,
@@ -689,6 +957,15 @@ func (s *Server) submit(m Message) Response {
 	if err := ValidateTenant(m.Tenant); err != nil {
 		return Response{Error: err.Error(), Code: CodeBadRequest}
 	}
+	// A degraded journal cannot back the write-ahead contract an OK
+	// submit reply promises: refuse state changes (reads keep working,
+	// health reports the cause) instead of silently serving undurable
+	// admissions.
+	if s.jl != nil {
+		if derr := s.jl.Degraded(); derr != nil {
+			return Response{Error: "serve: journal degraded: " + derr.Error(), Code: CodeJournalDegraded}
+		}
+	}
 	cmd, crit, err := criteria.Parse(m.Statement)
 	if err != nil {
 		return Response{Error: err.Error(), Code: CodeBadRequest}
@@ -707,12 +984,20 @@ func (s *Server) submit(m Message) Response {
 	}
 	id := m.ID
 	if id == "" {
-		id = fmt.Sprintf("srv-%03d", len(s.exec.Jobs()))
-	}
-	for _, j := range s.exec.Jobs() {
-		if j.ID() == id {
-			return Response{Error: fmt.Sprintf("serve: duplicate job id %q", id), Code: CodeDuplicateRequest}
+		// Monotonic counter, never reused within an incarnation and
+		// recovered from the journal across restarts. The historical
+		// len(s.exec.Jobs()) scheme collided after migrate-out/detach
+		// shrank the job set — the next auto id re-minted one already
+		// taken, bouncing an innocent client with "duplicate job id".
+		for {
+			id = fmt.Sprintf("srv-%03d", s.nextAutoID)
+			s.nextAutoID++
+			if !s.knownJobID(id) {
+				break
+			}
 		}
+	} else if s.knownJobID(id) {
+		return Response{Error: fmt.Sprintf("serve: duplicate job id %q", id), Code: CodeDuplicateRequest}
 	}
 	batch := m.BatchRows
 	if batch <= 0 {
@@ -734,6 +1019,7 @@ func (s *Server) submit(m Message) Response {
 	s.journal(Record{Kind: recSubmit, ID: id, ReqID: m.ReqID, Statement: m.Statement,
 		Tenant: m.Tenant, BatchRows: batch, At: eng.Now().Seconds()})
 	s.exec.Submit(j, eng.Now())
+	s.registerJob(j)
 	// Fire the arrival and its same-instant arbitration so the reply
 	// reports the admission verdict.
 	eng.RunUntil(eng.Now())
@@ -746,7 +1032,7 @@ func (s *Server) submit(m Message) Response {
 		verdict = "degraded"
 	}
 	s.journal(Record{Kind: recVerdict, ID: id, Status: verdict, At: eng.Now().Seconds()})
-	s.syncJournal()
+	s.syncState()
 	if m.ReqID != "" {
 		s.reqIndex[m.ReqID] = id
 	}
@@ -799,10 +1085,7 @@ func ValidateTenant(t string) error {
 }
 
 func (s *Server) status(m Message) Response {
-	for _, j := range s.exec.Jobs() {
-		if j.ID() != m.ID {
-			continue
-		}
+	if j, ok := s.jobIndex[m.ID]; ok {
 		return Response{
 			OK:         true,
 			ID:         j.ID(),
@@ -839,16 +1122,16 @@ func (s *Server) statsResponse() Response {
 	}
 	return Response{
 		OK:         true,
-		Jobs:       len(s.exec.Jobs()),
+		Jobs:       len(s.jobIndex),
 		Terminal:   s.terminalCount(),
 		VirtualNow: s.exec.Engine().Now().Seconds(),
 		Report:     metrics.RenderOverload("serve", as, s.exec.Overload()),
 	}
 }
 
-// serveConn reads JSON lines, forwards each to the driver, and writes the
-// reply. Oversized or malformed lines get an error response instead of
-// killing the connection.
+// serveConn negotiates the connection's codec and runs the shared
+// connection loop: requests in, replies out, typed errors for malformed
+// or oversized input.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -857,48 +1140,35 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var m Message
-		var resp Response
-		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			resp = Response{Error: "serve: bad request: " + err.Error(), Code: CodeBadRequest}
-		} else {
-			resp = s.dispatch(m)
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-	// A request line beyond the scanner's limit surfaces as ErrTooLong:
-	// reply with a typed error before closing, instead of silently
-	// dropping the connection, so the client can tell oversized from a
-	// server crash. The stream position is unrecoverable mid-line, so the
-	// connection still closes after the reply.
-	if errors.Is(sc.Err(), bufio.ErrTooLong) {
-		s.met.oversized.Inc()
-		enc.Encode(Response{
-			Error: fmt.Sprintf("serve: request line exceeds %d bytes", maxLineBytes),
-			Code:  CodeTooLarge,
-		})
-	}
+	connLoop(conn, s.dispatch,
+		func(codec string) { s.met.conns[codec].Inc() },
+		func() { s.met.oversized.Inc() })
 }
 
 // dispatch forwards one message to the driver goroutine, handling the
-// races around drain: the driver may exit between the send and the
-// reply.
+// races around drain (the driver may exit between the send and the
+// reply) and applying ingress backpressure: a full ring answers a typed
+// "overloaded" refusal with a retry hint instead of blocking the
+// connection handler — unbounded buffering just moves the queue
+// somewhere invisible.
 func (s *Server) dispatch(m Message) Response {
 	r := request{msg: m, reply: make(chan Response, 1)}
 	select {
 	case s.reqCh <- r:
 	case <-s.doneCh:
 		return Response{Error: "serve: server draining", Code: CodeDraining}
+	default:
+		select {
+		case <-s.doneCh:
+			return Response{Error: "serve: server draining", Code: CodeDraining}
+		default:
+		}
+		s.met.overloaded.Inc()
+		return Response{
+			Error:          fmt.Sprintf("serve: overloaded: ingress ring full (%d queued)", cap(s.reqCh)),
+			Code:           CodeOverloaded,
+			RetryAfterSecs: s.overloadRetryHint(),
+		}
 	}
 	select {
 	case resp := <-r.reply:
@@ -912,4 +1182,26 @@ func (s *Server) dispatch(m Message) Response {
 			return Response{Error: "serve: server draining", Code: CodeDraining}
 		}
 	}
+}
+
+// overloadRetryHint sizes the "overloaded" reply's retry hint from the
+// admission controller's view of the backlog: the base hint, scaled up
+// by how far the live job set is over the controller's configured queue
+// bound. A server whose arbitration queue is many multiples over bound
+// needs more than one ring-drain of breathing room before a retry can
+// possibly be admitted.
+func (s *Server) overloadRetryHint() float64 {
+	hint := s.cfg.OverloadRetrySecs
+	if ctrl := s.exec.Admission(); ctrl != nil {
+		if bound := ctrl.Config().MaxQueueDepth; bound > 0 {
+			if live := s.liveSize.Load(); live > int64(bound) {
+				over := float64(live) / float64(bound)
+				if over > 8 {
+					over = 8
+				}
+				hint *= over
+			}
+		}
+	}
+	return hint
 }

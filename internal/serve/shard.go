@@ -131,12 +131,14 @@ func (r *Router) startShard(h *shardHandle) error {
 		return fmt.Errorf("shard %d: build: %w", h.index, err)
 	}
 	srv, err := New(Config{
-		Socket:    h.socket,
-		Pace:      r.cfg.Pace,
-		Tick:      r.cfg.Tick,
-		BatchRows: r.cfg.BatchRows,
-		Obs:       reg,
-		Journal:   jl,
+		Socket:       h.socket,
+		Pace:         r.cfg.Pace,
+		Tick:         r.cfg.Tick,
+		BatchRows:    r.cfg.BatchRows,
+		IngressDepth: r.cfg.IngressDepth,
+		IngressBatch: r.cfg.IngressBatch,
+		Obs:          reg,
+		Journal:      jl,
 	}, exec, cat)
 	if err != nil {
 		jl.Close()

@@ -603,6 +603,21 @@ var (
 	NewCheckpointStoreRetaining = core.NewCheckpointStoreRetaining
 )
 
+// Heavy-traffic front end (PR 10): multi-listener serving (TCP
+// alongside the Unix socket), per-connection codec negotiation, the
+// bounded ingress ring feeding the batched driver, and journal group
+// commit — one fsync covers every record an ingress batch staged,
+// with no reply released before the group is durable.
+const (
+	// ServeCodecJSON is the line-oriented JSON wire format (default).
+	ServeCodecJSON = serve.CodecJSON
+	// ServeCodecBinary is the length-prefixed binary frame format.
+	ServeCodecBinary = serve.CodecBinary
+	// ServeCodeOverloaded is the typed refusal a full ingress ring
+	// returns; the reply carries a retry_after_secs backoff hint.
+	ServeCodeOverloaded = serve.CodeOverloaded
+)
+
 // Observability: the always-on metrics registry and streaming trace
 // sinks behind every executor, plus the debug HTTP listener.
 type (
