@@ -1,0 +1,135 @@
+// Command rotary-chaos runs the composed-fault torture harness: a
+// durable arbiter is booted over a fault-injectable disk layer, driven
+// with open-loop loadgen traffic, and tortured with a seeded schedule
+// composing disk-fault windows (ENOSPC / EIO bursts the journal must
+// heal in place), process kills (journal replay must resurrect every
+// acked job), and rogue connections (mid-frame drops, stalls, hostile
+// bytes). Afterwards the journal chain is audited read-only against the
+// durability invariants: no acked record lost, no duplicate job ids,
+// monotonic server epochs, and agreement between the resume handshake,
+// the obs counters, and an independent journal replay.
+//
+// Usage:
+//
+//	rotary-chaos -seeds 1,7,42                 # the CI matrix
+//	rotary-chaos -seed 7 -rounds 6 -ops 500    # one long seed
+//	rotary-chaos -seeds 1,7,42 -artifacts /tmp/chaos -out report.json
+//
+// Exit status is non-zero when any seed violates an invariant; the
+// per-seed invariant report plus the raw journal segments land under
+// -artifacts for offline debugging.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rotary/internal/torture"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rotary-chaos: ")
+	var (
+		seed      = flag.Uint64("seed", 0, "single seed to run (ignored when -seeds is set)")
+		seeds     = flag.String("seeds", "", `comma-separated seed matrix, e.g. "1,7,42"`)
+		dir       = flag.String("dir", "", "state directory root (default: a fresh temp dir per seed, removed on success)")
+		rounds    = flag.Int("rounds", 4, "fault rounds composed per seed (>= 3 covers every fault family)")
+		ops       = flag.Int("ops", 120, "open-loop submits per round")
+		rate      = flag.Float64("rate", 300, "open-loop arrival rate (submits/sec)")
+		conns     = flag.Int("conns", 4, "loadgen connection pool")
+		sf        = flag.Float64("sf", 0.005, "TPC-H scale factor for the tortured server")
+		artifacts = flag.String("artifacts", "", "directory receiving invariant reports + journal segments on failure")
+		out       = flag.String("out", "", "write the full per-seed report matrix as JSON to this file")
+		quiet     = flag.Bool("q", false, "suppress per-round progress lines")
+	)
+	flag.Parse()
+
+	var matrix []uint64
+	if *seeds != "" {
+		for _, part := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				log.Fatalf("bad -seeds entry %q: %v", part, err)
+			}
+			matrix = append(matrix, v)
+		}
+	} else {
+		matrix = []uint64{*seed}
+	}
+
+	reports := make([]*torture.Report, 0, len(matrix))
+	failed := 0
+	for _, s := range matrix {
+		base := *dir
+		if base == "" {
+			tmp, err := os.MkdirTemp("", fmt.Sprintf("rotary-chaos-%d-*", s))
+			if err != nil {
+				log.Fatal(err)
+			}
+			base = tmp
+		} else {
+			base = filepath.Join(base, fmt.Sprintf("seed-%d", s))
+			if err := os.MkdirAll(base, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		logf := func(format string, args ...any) {
+			fmt.Printf("seed %d: %s\n", s, fmt.Sprintf(format, args...))
+		}
+		if *quiet {
+			logf = nil
+		}
+		fmt.Printf("=== seed %d: %d rounds × %d ops at %g/s ===\n", s, *rounds, *ops, *rate)
+		rep, err := torture.Run(torture.Config{
+			Seed:        s,
+			Dir:         filepath.Join(base, "state"),
+			Socket:      filepath.Join(base, "rotary.sock"),
+			Rounds:      *rounds,
+			Ops:         *ops,
+			Rate:        *rate,
+			Conns:       *conns,
+			SF:          *sf,
+			ArtifactDir: *artifacts,
+			Logf:        logf,
+		})
+		if err != nil {
+			log.Fatalf("seed %d: %v", s, err)
+		}
+		reports = append(reports, rep)
+		if rep.OK {
+			fmt.Printf("seed %d OK: %d acked, %d heals, %d kills, %d conn faults, epochs %v\n",
+				s, rep.Acked, rep.Heals, rep.Kills, rep.ConnFaults, rep.Epochs)
+			if *dir == "" {
+				os.RemoveAll(base)
+			}
+		} else {
+			failed++
+			fmt.Printf("seed %d FAILED (%d invariant violations):\n", s, len(rep.Failures))
+			for _, f := range rep.Failures {
+				fmt.Printf("  - %s\n", f)
+			}
+			fmt.Printf("  state retained under %s\n", base)
+		}
+	}
+
+	if *out != "" {
+		b, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d/%d seeds violated durability invariants", failed, len(matrix))
+	}
+	fmt.Printf("all %d seeds passed\n", len(matrix))
+}

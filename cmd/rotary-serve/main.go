@@ -74,6 +74,7 @@ import (
 	"rotary/internal/admission"
 	"rotary/internal/cliutil"
 	"rotary/internal/core"
+	"rotary/internal/diskio"
 	"rotary/internal/estimate"
 	"rotary/internal/obs"
 	"rotary/internal/serve"
@@ -106,6 +107,9 @@ func main() {
 		httpAddr   = flag.String("http", "", "debug HTTP listener address serving /metrics and pprof (e.g. 127.0.0.1:6060; empty disables)")
 		traceRing  = flag.Int("trace-ring", 4096, "bound on in-memory trace events; older events are overwritten (0 = unbounded)")
 		traceOut   = flag.String("trace-out", "", "stream every trace event as JSON lines to this file")
+		healProbe  = flag.Float64("heal-probe", 0, "wall seconds between heal attempts against a degraded journal; degraded refusals carry it as retry_after_secs (0 = default 0.5)")
+		healBudget = flag.Int("heal-budget", 0, "consecutive failed heal attempts before the health op reports journal-failed — the supervised-restart signal (0 = default 8)")
+		faultRate  = flag.Float64("fault-rate", 0, "TESTING: inject seeded disk faults (ENOSPC short writes, EIO fsyncs, 4-op bursts) under the journal at this per-op probability — a live demo of degraded-mode healing (0 disables)")
 	)
 	flag.Parse()
 	if *connect != "" {
@@ -131,6 +135,9 @@ func main() {
 		cliutil.NonNegative("-watchdog-slack", *wdSlack),
 		cliutil.MinInt("-aging", *aging, 0),
 		cliutil.MinInt("-trace-ring", *traceRing, 0),
+		cliutil.NonNegative("-heal-probe", *healProbe),
+		cliutil.MinInt("-heal-budget", *healBudget, 0),
+		cliutil.NonNegative("-fault-rate", *faultRate),
 	); err != nil {
 		log.Println(err)
 		flag.Usage()
@@ -175,6 +182,9 @@ func main() {
 			pace:       *pace,
 			httpAddr:   *httpAddr,
 			tenants:    tenantTable,
+			healProbe:  *healProbe,
+			healBudget: *healBudget,
+			faultRate:  *faultRate,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -219,7 +229,7 @@ func main() {
 		// Durable mode: journal plus a persistent checkpoint store whose
 		// sweep retains journal-referenced checkpoints, so recovered jobs
 		// reattach across restarts instead of restarting from scratch.
-		j, store, err := serve.OpenDurable(*journalDir)
+		j, store, err := serve.OpenDurableIO(*journalDir, faultIO(*faultRate, *seed, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -250,12 +260,14 @@ func main() {
 	exec := core.NewAQPExecutor(execCfg, sched, repo)
 
 	srv, err := serve.New(serve.Config{
-		Socket:       *socket,
-		Listeners:    listeners,
-		IngressDepth: *ingDepth,
-		IngressBatch: *ingBatch,
-		Pace:         *pace,
-		Journal:      jl,
+		Socket:          *socket,
+		Listeners:       listeners,
+		IngressDepth:    *ingDepth,
+		IngressBatch:    *ingBatch,
+		Pace:            *pace,
+		Journal:         jl,
+		HealProbeSecs:   *healProbe,
+		MaxHealFailures: *healBudget,
 	}, exec, cat)
 	if err != nil {
 		log.Fatal(err)
@@ -333,6 +345,26 @@ type shardedOpts struct {
 	pace       float64
 	httpAddr   string
 	tenants    admission.TenantTable
+	healProbe  float64
+	healBudget int
+	faultRate  float64
+}
+
+// faultIO builds the disk layer for one durable state directory: the
+// real filesystem normally, a seeded fault injector when -fault-rate is
+// set (write failures land ENOSPC short writes, fsync failures deal
+// EIO, and each drawn fault extends over a 4-op burst — long enough to
+// latch the journal degraded so the heal path is observable live).
+func faultIO(rate float64, seed uint64, index int) diskio.IO {
+	if rate <= 0 {
+		return nil // nil selects the passthrough OS layer
+	}
+	return diskio.NewFaulty(nil, diskio.FaultConfig{
+		Seed:          seed + uint64(index),
+		WriteFailRate: rate,
+		SyncFailRate:  rate,
+		BurstOps:      4,
+	})
 }
 
 // runSharded runs the router-fronted multi-arbiter daemon: one shared
@@ -370,14 +402,17 @@ func runSharded(o shardedOpts) error {
 		return exec, cat, reg, nil
 	}
 	router, err := serve.NewRouter(serve.RouterConfig{
-		Socket:       o.socket,
-		Listeners:    o.listeners,
-		IngressDepth: o.ingDepth,
-		IngressBatch: o.ingBatch,
-		Shards:       o.shards,
-		Dir:          o.journalDir,
-		Build:        build,
-		Pace:         o.pace,
+		Socket:          o.socket,
+		Listeners:       o.listeners,
+		IngressDepth:    o.ingDepth,
+		IngressBatch:    o.ingBatch,
+		Shards:          o.shards,
+		Dir:             o.journalDir,
+		Build:           build,
+		Pace:            o.pace,
+		HealProbeSecs:   o.healProbe,
+		MaxHealFailures: o.healBudget,
+		DiskIO:          func(index int) diskio.IO { return faultIO(o.faultRate, o.seed, index) },
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"rotary/internal/diskio"
 	"rotary/internal/faults"
 	"rotary/internal/obs"
 )
@@ -94,33 +95,38 @@ func decodeCheckpointFrame(frame []byte) ([]byte, error) {
 // — never a torn mix. The checkpoint store and the serve journal's
 // compaction both publish through it.
 func AtomicWriteFile(path string, data []byte) error {
+	return AtomicWriteFileIO(diskio.OS{}, path, data)
+}
+
+// AtomicWriteFileIO is AtomicWriteFile over a pluggable disk layer, so
+// chaos runs can fail any step of the protocol: a failed rename or a
+// failed cleanup remove leaves the temp file orphaned on the real
+// disk, which is exactly what the open-time sweeps exist to reclaim.
+func AtomicWriteFileIO(dio diskio.IO, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := dio.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		_ = dio.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		_ = dio.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = dio.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := dio.Rename(tmp, path); err != nil {
+		_ = dio.Remove(tmp)
 		return err
 	}
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = dio.SyncDir(filepath.Dir(path))
 	return nil
 }
 
@@ -161,6 +167,7 @@ type StoreHealth struct {
 type CheckpointStore struct {
 	mu  sync.Mutex
 	dir string
+	dio diskio.IO
 
 	// retain, when set, exempts checkpoint ids from the startup sweep (and
 	// from Close's cleanup): a durable arbiter's journal references
@@ -205,7 +212,20 @@ func NewCheckpointStore(dir string, memorySlots int) (*CheckpointStore, error) {
 // scratch. A nil predicate retains nothing (the one-run scratch semantics
 // of NewCheckpointStore).
 func NewCheckpointStoreRetaining(dir string, memorySlots int, retain func(id string) bool) (*CheckpointStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewCheckpointStoreIO(dir, memorySlots, retain, nil)
+}
+
+// NewCheckpointStoreIO is NewCheckpointStoreRetaining over a pluggable
+// disk layer (nil means the real disk): every write, rename, remove,
+// and directory sync the store issues goes through dio, so a seeded
+// fault injector sees each one. The startup sweep also runs through
+// dio — a faulty disk may refuse to release an orphan, in which case
+// the next open tries again.
+func NewCheckpointStoreIO(dir string, memorySlots int, retain func(id string) bool, dio diskio.IO) (*CheckpointStore, error) {
+	if dio == nil {
+		dio = diskio.OS{}
+	}
+	if err := dio.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
 	}
 	if memorySlots < 0 {
@@ -213,6 +233,7 @@ func NewCheckpointStoreRetaining(dir string, memorySlots int, retain func(id str
 	}
 	s := &CheckpointStore{
 		dir:              dir,
+		dio:              dio,
 		retain:           retain,
 		memorySlots:      memorySlots,
 		memory:           make(map[string][]byte),
@@ -246,7 +267,7 @@ func (s *CheckpointStore) SetObs(reg *obs.Registry) {
 // atomic-write protocol means a .ckpt.tmp never holds the only copy of a
 // valid checkpoint.
 func (s *CheckpointStore) sweep() int {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.dio.ReadDir(s.dir)
 	if err != nil {
 		return 0
 	}
@@ -261,7 +282,7 @@ func (s *CheckpointStore) sweep() int {
 		} else if !ok && !strings.HasSuffix(name, ".ckpt.tmp") {
 			continue
 		}
-		if os.Remove(filepath.Join(s.dir, name)) == nil {
+		if s.dio.Remove(filepath.Join(s.dir, name)) == nil {
 			n++
 		}
 	}
@@ -359,9 +380,27 @@ func (s *CheckpointStore) writeFile(id string, data []byte) error {
 		break
 	}
 
+	// Real (or disk-layer-injected) I/O failures get the same bounded
+	// retries as injected transients, then surface as ErrTransient —
+	// the typed error the executor answers with a scratch restart. An
+	// ENOSPC blip therefore costs the affected job a replay, not the
+	// whole run: the atomic-write protocol guarantees the previous
+	// checkpoint (if any) is still intact under the final path.
 	ioStart := time.Now()
-	if err := AtomicWriteFile(s.path(id), frame); err != nil {
-		return fmt.Errorf("core: write checkpoint %s: %w", id, err)
+	for attempt := 0; ; attempt++ {
+		err := AtomicWriteFileIO(s.dio, s.path(id), frame)
+		if err == nil {
+			break
+		}
+		if attempt < s.maxRetries {
+			s.health.Retries++
+			s.met.retries.Inc()
+			s.penaltySecs += s.retryBackoffSecs * float64(int(1)<<attempt)
+			continue
+		}
+		s.health.TransientFailures++
+		s.met.transient.Inc()
+		return fmt.Errorf("core: write checkpoint %s: %w (%v)", id, ErrTransient, err)
 	}
 	s.diskBytes += int64(len(frame))
 	s.met.frameBytes.Observe(float64(len(frame)))
@@ -405,7 +444,7 @@ func (s *CheckpointStore) Load(id string) (data []byte, fromMemory bool, err err
 		break
 	}
 	ioStart := time.Now()
-	frame, err := os.ReadFile(s.path(id))
+	frame, err := s.dio.ReadFile(s.path(id))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, false, fmt.Errorf("core: load checkpoint %s: %w", id, ErrNotFound)
@@ -440,7 +479,7 @@ func (s *CheckpointStore) Export(id string) ([]byte, error) {
 	if d, ok := s.memory[id]; ok {
 		return encodeCheckpointFrame(d), nil
 	}
-	frame, err := os.ReadFile(s.path(id))
+	frame, err := s.dio.ReadFile(s.path(id))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("core: export checkpoint %s: %w", id, ErrNotFound)
@@ -469,7 +508,7 @@ func (s *CheckpointStore) Import(id string, frame []byte) error {
 	if _, err := decodeCheckpointFrame(frame); err != nil {
 		return fmt.Errorf("core: import checkpoint %s: %w", id, err)
 	}
-	if err := AtomicWriteFile(s.path(id), frame); err != nil {
+	if err := AtomicWriteFileIO(s.dio, s.path(id), frame); err != nil {
 		return fmt.Errorf("core: import checkpoint %s: %w", id, err)
 	}
 	s.diskBytes += int64(len(frame))
@@ -501,7 +540,7 @@ func (s *CheckpointStore) deleteLocked(id string) error {
 		delete(s.lruIdx, id)
 		delete(s.memory, id)
 	}
-	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := s.dio.Remove(s.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("core: delete checkpoint %s: %w", id, err)
 	}
 	return nil
@@ -535,7 +574,7 @@ func (s *CheckpointStore) Close() error {
 	}
 	s.lru.Init()
 	s.lruIdx = make(map[string]*list.Element)
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.dio.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("core: close checkpoint store: %w", err)
 	}
@@ -549,7 +588,7 @@ func (s *CheckpointStore) Close() error {
 		} else if !ok && !strings.HasSuffix(name, ".ckpt.tmp") {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && firstErr == nil {
+		if err := s.dio.Remove(filepath.Join(s.dir, name)); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: close checkpoint store: %w", err)
 		}
 	}

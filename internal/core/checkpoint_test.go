@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"rotary/internal/core"
+	"rotary/internal/diskio"
 	"rotary/internal/tpch"
 )
 
@@ -323,6 +324,61 @@ func TestCheckpointStoreSweepsStaleFiles(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "keep.txt")); err != nil {
 		t.Errorf("sweep removed a non-checkpoint file: %v", err)
+	}
+}
+
+// A rename that fails mid-write (ENOSPC on the directory) orphans the
+// temp file: the atomic-write protocol never moves a partial file into
+// place, and with Remove also failing the cleanup path can't reclaim
+// it either. The next store opened over the directory must sweep the
+// orphan so torn writes never accumulate across restarts.
+func TestCheckpointSweepReclaimsOrphanedTemp(t *testing.T) {
+	dir := t.TempDir()
+	faulty := diskio.NewFaulty(nil, diskio.FaultConfig{
+		Seed:           5,
+		RenameFailRate: 1, // atomic-write publish step always fails...
+		RemoveFailRate: 1, // ...and so does the tmp-file cleanup
+	})
+	store, err := core.NewCheckpointStoreIO(dir, 0, nil, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("torn", []byte("half-written")); !errors.Is(err, core.ErrTransient) {
+		t.Fatalf("save with failing rename: got %v, want ErrTransient", err)
+	}
+	store.Close()
+
+	orphans := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Fatalf("failed rename left no orphaned .tmp file; entries: %v", entries)
+	}
+
+	// A fresh store over the same directory (clean I/O) sweeps the orphan.
+	clean, err := core.NewCheckpointStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	if h := clean.Health(); h.Swept < 1 {
+		t.Fatalf("sweep reclaimed %d files, want >= %d orphaned temps", h.Swept, orphans)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("orphaned temp %s survived the sweep", e.Name())
+		}
 	}
 }
 

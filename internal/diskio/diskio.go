@@ -1,0 +1,90 @@
+// Package diskio is the pluggable disk-I/O layer under Rotary's
+// durability machinery: the serve journal's segment files and the
+// checkpoint store's atomic writes go through an IO implementation
+// instead of calling the os package directly. Production uses OS, a
+// zero-cost passthrough. Chaos runs use Faulty, a seeded
+// fault-injecting wrapper that deals ENOSPC, EIO, short writes, and
+// slow fsyncs from a single seed — the disk-level counterpart of
+// internal/faults' checkpoint-level injector, following the same
+// conventions: one seed drives every draw, all methods are safe on a
+// nil receiver, and Stats reports what was dealt.
+package diskio
+
+import (
+	"os"
+)
+
+// File is the writable-file surface the durability layer needs: append
+// writes, fsync, close. It is deliberately narrower than *os.File so a
+// fault injector can interpose on exactly the operations that matter
+// for crash-safety arguments.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// IO is the filesystem surface under the journal and checkpoint
+// writers. Every operation that participates in a durability protocol
+// — opening segments, renaming temp files into place, fsyncing
+// directories — goes through it, so a fault injector sees every
+// opportunity a real failing disk would have.
+type IO interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creates inside it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production IO: direct passthrough to the os package.
+type OS struct{}
+
+// OpenFile implements IO.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements IO.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements IO.
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// Rename implements IO.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements IO.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements IO.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements IO.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements IO.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

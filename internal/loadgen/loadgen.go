@@ -66,6 +66,26 @@ type Config struct {
 	IDPrefix string
 	// Timeout bounds each round trip. Defaults to 30s.
 	Timeout time.Duration
+	// Attempts is the per-request retry budget passed through to the
+	// client (dial and transport retries with backoff). Defaults to 1 —
+	// the honest open-loop setting; the torture harness raises it so
+	// virtual clients outlive server restarts mid-run.
+	Attempts int
+	// RetryHinted opts the client into sleeping on typed transient
+	// refusals (shard-unavailable, overloaded, journal-degraded) per the
+	// server's retry_after_secs hint, within the Attempts budget.
+	RetryHinted bool
+	// TrackAcked retains the identity of every acked submit in
+	// Result.AckedJobs — the ground truth the torture harness checks
+	// against the journal ("an ack is a durability promise").
+	TrackAcked bool
+}
+
+// AckedJob is one acked submit's identity: the proof obligation the
+// invariant checker carries to the journal.
+type AckedJob struct {
+	ID    string `json:"id"`
+	ReqID string `json:"req_id"`
 }
 
 // Summary is one latency population's quantile report, in milliseconds.
@@ -88,8 +108,11 @@ type Result struct {
 	Acked      int64   `json:"acked"`
 	Refused    int64   `json:"refused"`
 	Overloaded int64   `json:"overloaded"`
+	Degraded   int64   `json:"degraded,omitempty"`
 	Errors     int64   `json:"errors"`
 	StatusOps  int64   `json:"status_ops"`
+	// AckedJobs lists every acked submit's identity (TrackAcked only).
+	AckedJobs []AckedJob `json:"-"`
 	// FirstError samples the first connection-level failure, so an
 	// errored run reports what went wrong, not just how often.
 	FirstError string `json:"first_error,omitempty"`
@@ -137,6 +160,7 @@ func Run(cfg Config) (*Result, error) {
 		acked      atomic.Int64
 		refused    atomic.Int64
 		overloaded atomic.Int64
+		degraded   atomic.Int64
 		errs       atomic.Int64
 		statusOps  atomic.Int64
 		firstErr   atomic.Value // string
@@ -147,16 +171,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	submitLats := make([][]float64, cfg.Conns)
 	statusLats := make([][]float64, cfg.Conns)
+	ackedJobs := make([][]AckedJob, cfg.Conns)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			attempts := cfg.Attempts
+			if attempts <= 0 {
+				attempts = 1
+			}
 			cl, err := serve.NewClient(serve.ClientConfig{
 				Socket:         cfg.Addr,
 				Codec:          cfg.Codec,
-				Attempts:       1,
+				Attempts:       attempts,
+				RetryHinted:    cfg.RetryHinted,
 				RequestTimeout: cfg.Timeout,
 			})
 			if err != nil {
@@ -213,6 +243,15 @@ func Run(cfg Config) (*Result, error) {
 					acked.Add(1)
 					lastAcked = resp.ID
 					submitLats[w] = append(submitLats[w], float64(time.Since(sched))/1e6)
+					if cfg.TrackAcked {
+						ackedJobs[w] = append(ackedJobs[w], AckedJob{ID: m.ID, ReqID: m.ReqID})
+					}
+				case resp.Code == serve.CodeJournalDegraded:
+					// Durability refusal: the server is answering but will not
+					// promise persistence. Counted apart from generic refusals —
+					// the torture harness asserts these NEVER appear in the
+					// acked set.
+					degraded.Add(1)
 				case resp.Code == serve.CodeOverloaded:
 					// Open-loop discipline: an overload refusal is counted and
 					// dropped, never retried — retrying would convert the
@@ -237,8 +276,14 @@ func Run(cfg Config) (*Result, error) {
 		Acked:      acked.Load(),
 		Refused:    refused.Load(),
 		Overloaded: overloaded.Load(),
+		Degraded:   degraded.Load(),
 		Errors:     errs.Load(),
 		StatusOps:  statusOps.Load(),
+	}
+	if cfg.TrackAcked {
+		for _, part := range ackedJobs {
+			res.AckedJobs = append(res.AckedJobs, part...)
+		}
 	}
 	if s, ok := firstErr.Load().(string); ok {
 		res.FirstError = s

@@ -52,13 +52,16 @@ type ClientConfig struct {
 	// defaults to 30s — a deliberately generous "never forever" bound;
 	// negative disables the deadline entirely.
 	RequestTimeout time.Duration
-	// RetryHinted makes Do treat a shard-unavailable reply as retryable:
-	// instead of surfacing the typed refusal immediately, it sleeps for
-	// the server's retry_after_secs hint (the supervisor's actual restart
-	// horizon, not a blind exponential guess) and re-sends, up to
-	// Attempts. The reply's own hint replaces the reconnect backoff for
-	// that retry; if every attempt stays refused the last typed reply is
-	// returned with a nil error so callers can still branch on Code.
+	// RetryHinted makes Do treat hint-carrying transient refusals —
+	// shard-unavailable, overloaded, and journal-degraded — as
+	// retryable: instead of surfacing the typed refusal immediately, it
+	// sleeps for the server's retry_after_secs hint (the supervisor's
+	// restart horizon, the overload drain estimate, or the journal
+	// heal-probe cadence — not a blind exponential guess) and re-sends,
+	// up to Attempts. The reply's own hint replaces the reconnect
+	// backoff for that retry; if every attempt stays refused the last
+	// typed reply is returned with a nil error so callers can still
+	// branch on Code.
 	RetryHinted bool
 	// RetryOverQuota extends RetryHinted to tenant-quota refusals: an
 	// over-quota submit sleeps for the admission controller's deficit
@@ -191,7 +194,10 @@ func (c *Client) Do(m Message) (Response, error) {
 // its server-supplied hint, and for how long to wait.
 func (c *Client) hintedRetry(resp Response) (time.Duration, bool) {
 	switch resp.Code {
-	case CodeShardUnavailable, CodeOverloaded:
+	case CodeShardUnavailable, CodeOverloaded, CodeJournalDegraded:
+		// journal-degraded is transient by design: the server's heal
+		// prober rolls the journal to a fresh segment on the cadence the
+		// hint carries, so a patient client outlives the fault window.
 		if !c.cfg.RetryHinted {
 			return 0, false
 		}

@@ -36,6 +36,7 @@ import (
 	"math"
 	"net"
 	"strings"
+	"time"
 )
 
 // Codec names (ClientConfig.Codec and metric labels).
@@ -56,6 +57,15 @@ const maxFrameBytes = maxLineBytes
 // errTooLarge marks input past the codec's size bound: the connection is
 // answered with code "too-large" and closed.
 var errTooLarge = errors.New("serve: request exceeds size limit")
+
+// midFrameStall bounds how long the server-side binary codec waits for
+// the rest of a frame once its length header has arrived. An idle
+// connection can wait for a new frame forever — that is the normal
+// persistent-connection state — but a peer that sent a header and then
+// died (or stalled) mid-frame would otherwise pin a server goroutine
+// indefinitely. The deadline applies to the payload bytes only and is
+// cleared once the frame completes.
+const midFrameStall = 5 * time.Second
 
 // badRequestError marks recoverable malformed input: the connection is
 // answered with code "bad-request" and kept open.
@@ -95,7 +105,7 @@ func negotiateServerCodec(conn net.Conn) (serverCodec, error) {
 	if preamble != binCodecMagic {
 		return nil, fmt.Errorf("serve: bad binary-codec preamble % x", preamble)
 	}
-	return &binServerCodec{r: br, w: bufio.NewWriterSize(conn, 64*1024)}, nil
+	return &binServerCodec{r: br, w: bufio.NewWriterSize(conn, 64*1024), conn: conn, stall: midFrameStall}, nil
 }
 
 // jsonServerCodec is the JSON-lines codec: the original protocol,
@@ -138,14 +148,16 @@ func (c *jsonServerCodec) WriteResponse(resp Response) error { return c.enc.Enco
 
 // binServerCodec is the length-prefixed binary codec, server side.
 type binServerCodec struct {
-	r *bufio.Reader
-	w *bufio.Writer
+	r     *bufio.Reader
+	w     *bufio.Writer
+	conn  net.Conn      // deadline control for the mid-frame stall bound
+	stall time.Duration // payload-completion deadline; 0 disables
 }
 
 func (c *binServerCodec) Name() string { return CodecBinary }
 
 func (c *binServerCodec) ReadMessage() (Message, error) {
-	payload, err := readFrame(c.r)
+	payload, err := readFrameDeadline(c.r, c.conn, c.stall)
 	if err != nil {
 		return Message{}, err
 	}
@@ -165,6 +177,15 @@ func (c *binServerCodec) WriteResponse(resp Response) error {
 
 // readFrame reads one length-prefixed payload.
 func readFrame(r *bufio.Reader) ([]byte, error) {
+	return readFrameDeadline(r, nil, 0)
+}
+
+// readFrameDeadline is readFrame with a payload-completion bound: once
+// the header has committed the peer to a frame, the remaining bytes
+// must arrive within stall or the read fails with a deadline error and
+// the connection loop closes cleanly. The wait for the header itself is
+// unbounded — an idle persistent connection is not a fault.
+func readFrameDeadline(r *bufio.Reader, conn net.Conn, stall time.Duration) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -172,6 +193,10 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrameBytes {
 		return nil, errTooLarge
+	}
+	if conn != nil && stall > 0 && n > 0 {
+		conn.SetReadDeadline(time.Now().Add(stall))
+		defer conn.SetReadDeadline(time.Time{})
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

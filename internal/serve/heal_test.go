@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rotary/internal/baselines"
+	"rotary/internal/core"
+	"rotary/internal/diskio"
+	"rotary/internal/obs"
+	"rotary/internal/tpch"
+	"rotary/internal/workload"
+)
+
+// TestJournalHealRollsToFreshSegment is the journal-level heal
+// lifecycle: a forced disk fault latches the journal degraded, Heal
+// fails while the fault persists, and once the fault clears Heal rolls
+// to a verified fresh segment, lifts the latch, and the full chain
+// replays every record — pre-fault, and post-heal — after a reopen.
+func TestJournalHealRollsToFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	faulty := diskio.NewFaulty(nil, diskio.FaultConfig{Seed: 1})
+	jl, err := OpenJournalIO(dir, faulty)
+	if err != nil {
+		t.Fatalf("OpenJournalIO: %v", err)
+	}
+	defer jl.Close()
+	if err := jl.Append(
+		Record{Kind: recSubmit, ID: "pre", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 1},
+		Record{Kind: recVerdict, ID: "pre", Status: "admitted", At: 1},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	faulty.ForceFail(nil) // ENOSPC until cleared
+	if err := jl.Append(Record{Kind: recClock, At: 2}); err == nil {
+		t.Fatal("append succeeded inside the fault window")
+	}
+	if jl.Degraded() == nil {
+		t.Fatal("journal not degraded after failed append")
+	}
+	// Healing against a disk that is still failing must fail and leave
+	// the latch in place.
+	if err := jl.Heal(); err == nil {
+		t.Fatal("Heal succeeded while the disk still faults")
+	}
+	if jl.Degraded() == nil {
+		t.Fatal("failed heal lifted the latch")
+	}
+	if _, failures := jl.HealStats(); failures == 0 {
+		t.Fatal("failed heal not counted")
+	}
+
+	faulty.Clear()
+	if err := jl.Heal(); err != nil {
+		t.Fatalf("Heal after fault cleared: %v", err)
+	}
+	if jl.Degraded() != nil {
+		t.Fatalf("journal still degraded after heal: %v", jl.Degraded())
+	}
+	if jl.Segment() == 0 {
+		t.Fatal("heal did not roll to a new segment")
+	}
+	if heals, _ := jl.HealStats(); heals != 1 {
+		t.Fatalf("heals = %d, want 1", heals)
+	}
+	// Durable appends resume on the fresh segment.
+	if err := jl.Append(
+		Record{Kind: recSubmit, ID: "post", Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS", At: 3},
+		Record{Kind: recVerdict, ID: "post", Status: "admitted", At: 3},
+	); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	jl.Close()
+
+	// The chain replays both sides of the heal, and the recovery barrier
+	// survives as the cumulative heal count.
+	re := openTestJournal(t, dir)
+	rec := re.Recovered()
+	if rec.Heals != 1 {
+		t.Fatalf("replayed heal count %d, want 1", rec.Heals)
+	}
+	byID := map[string]JobRecord{}
+	for _, j := range rec.Jobs {
+		byID[j.ID] = j
+	}
+	for _, id := range []string{"pre", "post"} {
+		if j, ok := byID[id]; !ok || j.Status != "pending" {
+			t.Fatalf("job %s after heal+reopen: %+v (jobs %+v)", id, j, rec.Jobs)
+		}
+	}
+}
+
+// TestJournalHealIdempotentWhenHealthy: Heal on a healthy journal is a
+// no-op — no segment roll, no counted heal.
+func TestJournalHealIdempotentWhenHealthy(t *testing.T) {
+	jl := openTestJournal(t, t.TempDir())
+	if err := jl.Heal(); err != nil {
+		t.Fatalf("Heal on healthy journal: %v", err)
+	}
+	if jl.Segment() != 0 {
+		t.Fatal("no-op heal rolled the segment")
+	}
+	if heals, failures := jl.HealStats(); heals != 0 || failures != 0 {
+		t.Fatalf("no-op heal moved stats: %d/%d", heals, failures)
+	}
+}
+
+// healHarness is the durable harness with a fault-injecting disk under
+// the whole durability stack.
+type healHarness struct {
+	dir    string
+	socket string
+	faulty *diskio.Faulty
+
+	jl   *Journal
+	srv  *Server
+	exec *core.AQPExecutor
+	wg   *sync.WaitGroup
+}
+
+func newHealHarness(t *testing.T) *healHarness {
+	t.Helper()
+	base := t.TempDir()
+	return &healHarness{
+		dir:    filepath.Join(base, "state"),
+		socket: filepath.Join(base, "rotary.sock"),
+		faulty: diskio.NewFaulty(nil, diskio.FaultConfig{Seed: 7}),
+	}
+}
+
+func (h *healHarness) start(t *testing.T, cfg Config) {
+	t.Helper()
+	jl, store, err := OpenDurableIO(h.dir, h.faulty)
+	if err != nil {
+		t.Fatalf("OpenDurableIO: %v", err)
+	}
+	h.jl = jl
+	reg := obs.NewRegistry()
+	ds := tpch.Generate(0.005, 1)
+	cat := tpch.NewCatalog(ds, 1)
+	ecfg := core.DefaultAQPExecConfig(workload.DefaultAQPMemoryMB(cat))
+	ecfg.Obs = reg
+	ecfg.Store = store
+	h.exec = core.NewAQPExecutor(ecfg, baselines.RoundRobinAQP{}, nil)
+	cfg.Socket = h.socket
+	cfg.Obs = reg
+	cfg.Journal = jl
+	h.srv, err = New(cfg, h.exec, cat)
+	if err != nil {
+		jl.Close()
+		t.Fatalf("New (faulty durable): %v", err)
+	}
+	h.wg = serveAsync(t, h.srv)
+}
+
+// TestServerHealsDegradedJournalWithoutRestart is the tentpole
+// acceptance property: a server whose journal faults clear must lift
+// the degraded latch and resume durable acks WITHOUT a restart — same
+// incarnation, same server epoch, journal rolled to a fresh segment —
+// and the jobs from the failed fault-window group commit must be
+// durable after the heal, not ghosts only the executor remembers.
+func TestServerHealsDegradedJournalWithoutRestart(t *testing.T) {
+	h := newHealHarness(t)
+	h.start(t, Config{Pace: 0, HealProbeSecs: 0.01})
+	c := dial(t, h.socket)
+
+	if r := c.call(t, Message{Op: "submit", ID: "pre", ReqID: "req-pre",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); !r.OK {
+		t.Fatalf("submit pre: %+v", r)
+	}
+	epoch0 := c.call(t, Message{Op: "resume"}).ServerEpoch
+
+	// Open the fault window: the next group commit fails, so the reply is
+	// withheld and replaced with the typed degraded refusal.
+	h.faulty.ForceFail(nil)
+	r := c.call(t, Message{Op: "submit", ID: "window", ReqID: "req-window",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if r.Code != CodeJournalDegraded {
+		t.Fatalf("submit during fault window: %+v, want journal-degraded", r)
+	}
+	if r.RetryAfterSecs <= 0 {
+		t.Fatalf("degraded refusal carried no retry hint: %+v", r)
+	}
+	// While degraded, state-changing ops are refused upfront.
+	if r := c.call(t, Message{Op: "submit", ID: "refused",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); r.Code != CodeJournalDegraded {
+		t.Fatalf("submit while degraded: %+v, want upfront refusal", r)
+	}
+	if hr := c.call(t, Message{Op: "health"}); hr.Status != "journal-degraded" {
+		t.Fatalf("health while degraded: %+v", hr)
+	}
+
+	// The disk recovers. The next probed request heals the journal and
+	// durable acks resume — no restart.
+	h.faulty.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(20 * time.Millisecond)
+		r = c.call(t, Message{Op: "submit", ID: "post", ReqID: "req-post",
+			Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+		if r.OK {
+			break
+		}
+		if r.Code != CodeJournalDegraded && r.Code != CodeDuplicateRequest {
+			t.Fatalf("submit after fault cleared: %+v", r)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never healed; last reply %+v", r)
+		}
+	}
+	if hr := c.call(t, Message{Op: "health"}); hr.Status != "healthy" {
+		t.Fatalf("health after heal: %+v", hr)
+	}
+	if got := c.call(t, Message{Op: "resume"}).ServerEpoch; got != epoch0 {
+		t.Fatalf("server epoch moved %d -> %d: heal must not restart", epoch0, got)
+	}
+	if h.jl.Segment() == 0 {
+		t.Fatal("journal did not roll to a fresh segment")
+	}
+	if heals, _ := h.jl.HealStats(); heals == 0 {
+		t.Fatal("no heal recorded")
+	}
+
+	// The fault-window job's records were shelved and replayed onto the
+	// fresh segment: a restart must recover it alongside the others.
+	h.srv.Kill()
+	h.wg.Wait()
+	h.start(t, Config{Pace: 0, HealProbeSecs: 0.01})
+	c2 := dial(t, h.socket)
+	for _, id := range []string{"pre", "window", "post"} {
+		if r := c2.call(t, Message{Op: "status", ID: id}); !r.OK {
+			t.Fatalf("status %s after heal+restart: %+v", id, r)
+		}
+	}
+	h.srv.Kill()
+	h.wg.Wait()
+}
+
+// TestServerJournalFailedAfterHealBudget: when the fault never clears,
+// consecutive heal failures exhaust MaxHealFailures and health
+// escalates from "journal-degraded" to "journal-failed" — the typed
+// signal the shard supervisor keys restarts on. Probing stops: the
+// failure count is capped, not unbounded.
+func TestServerJournalFailedAfterHealBudget(t *testing.T) {
+	h := newHealHarness(t)
+	h.start(t, Config{Pace: 0, HealProbeSecs: 0.001, MaxHealFailures: 2})
+	c := dial(t, h.socket)
+
+	h.faulty.ForceFail(nil)
+	if r := c.call(t, Message{Op: "submit", ID: "w",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); r.Code != CodeJournalDegraded {
+		t.Fatalf("submit during fault window: %+v", r)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(5 * time.Millisecond)
+		hr := c.call(t, Message{Op: "health"})
+		if hr.Status == "journal-failed" {
+			break
+		}
+		if hr.Status != "journal-degraded" {
+			t.Fatalf("health = %+v, want degraded or failed", hr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never escalated to journal-failed: %+v", hr)
+		}
+	}
+	if _, failures := h.jl.HealStats(); failures != 2 {
+		t.Fatalf("heal failures = %d, want exactly MaxHealFailures=2 (probing must stop)", failures)
+	}
+	h.faulty.Clear()
+	h.srv.Kill()
+	h.wg.Wait()
+}
+
+// TestShardJournalFailureEscalatesToRestart is the supervised-restart
+// companion proof: a shard whose journal faults persist past the heal
+// budget reports "journal-failed", the supervisor kills and restarts
+// it, and once the disk recovers the restart succeeds — the shard
+// rejoins with a bumped server epoch and serves durable submits again.
+func TestShardJournalFailureEscalatesToRestart(t *testing.T) {
+	base := t.TempDir()
+	faulty := diskio.NewFaulty(nil, diskio.FaultConfig{Seed: 42})
+	r := startTestRouter(t, RouterConfig{
+		Socket:          filepath.Join(base, "r.sock"),
+		Shards:          1,
+		Dir:             filepath.Join(base, "state"),
+		Pace:            0,
+		ProbeInterval:   20 * time.Millisecond,
+		RestartBackoff:  10 * time.Millisecond,
+		HealProbeSecs:   0.001,
+		MaxHealFailures: 2,
+		DiskIO:          func(int) diskio.IO { return faulty },
+	})
+	c := dial(t, r.cfg.Socket)
+
+	if resp := c.call(t, Message{Op: "submit", ID: "pre",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); !resp.OK {
+		t.Fatalf("submit pre: %+v", resp)
+	}
+
+	// Permanent fault: degrade the shard's journal and let its heal
+	// budget burn out. The supervisor's probe must then take it down.
+	faulty.ForceFail(nil)
+	if resp := c.call(t, Message{Op: "submit", ID: "w",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"}); resp.Code != CodeJournalDegraded {
+		t.Fatalf("submit during fault: %+v", resp)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := r.ShardState(0)
+		if err != nil {
+			t.Fatalf("ShardState: %v", err)
+		}
+		if st == ShardDown || st == ShardRestarting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never took the journal-failed shard down (state %v)", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Restart attempts fail while the disk still faults (the reopen needs
+	// writes); once it recovers, the supervised restart goes through.
+	faulty.Clear()
+	waitShardState(t, r, 0, ShardRunning, 10*time.Second)
+
+	// Post-restart: a new incarnation (epoch bumped past the journaled
+	// history) serving durable submits, with the pre-fault job intact.
+	resp := c.call(t, Message{Op: "submit", ID: "post",
+		Statement: "q1 ACC MIN 60% WITHIN 900 SECONDS"})
+	if !resp.OK {
+		t.Fatalf("submit after supervised restart: %+v", resp)
+	}
+	if st := c.call(t, Message{Op: "status", ID: "pre"}); !st.OK {
+		t.Fatalf("pre-fault job lost across supervised restart: %+v", st)
+	}
+	shards := c.call(t, Message{Op: "shards"})
+	if !shards.OK || len(shards.Shards) != 1 || shards.Shards[0].Restarts == 0 {
+		t.Fatalf("shards report shows no supervised restart: %+v", shards)
+	}
+}

@@ -16,6 +16,20 @@
 // degrades to its longest valid prefix — the damaged suffix is truncated
 // away and recovery proceeds from what was provably durable, instead of
 // refusing to start.
+//
+// Disk-fault tolerance: a failed write or fsync marks the journal
+// degraded — the active segment may end in a torn frame, so appending
+// past it would be unrecoverable on replay and is refused with
+// ErrJournalDegraded. Degradation is recoverable: Heal rolls the log to
+// a fresh segment headed by a snapshot of the durable state plus a
+// recovery-barrier record, fsyncs it, verifies the segment round-trips
+// byte-for-byte off the disk, and only then swaps the write handle and
+// lifts the latch. Recovery replays the segment chain in order with the
+// same longest-valid-prefix rule per segment; each snapshot-headed
+// segment subsumes everything before it, including any torn tail the
+// degraded segment was abandoned with. All file operations go through a
+// pluggable diskio.IO so chaos runs can deal ENOSPC, EIO, short writes,
+// and slow fsyncs from a seed.
 package serve
 
 import (
@@ -27,10 +41,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"rotary/internal/core"
+	"rotary/internal/diskio"
 )
 
 // Journal record kinds, one per arbiter state transition.
@@ -59,6 +76,11 @@ const (
 	// recSnapshot is the compaction record: the full replayed state,
 	// folded into one line at the head of a fresh journal file.
 	recSnapshot = "snapshot"
+	// recBarrier is the recovery barrier written (after a snapshot) at
+	// the head of the fresh segment a Heal rolls to: proof on disk that
+	// a degraded journal was verified healthy again, carrying the
+	// cumulative heal count.
+	recBarrier = "recovery-barrier"
 )
 
 // Record is one journal entry. At is the virtual time of the transition;
@@ -75,7 +97,8 @@ type Record struct {
 	Epochs      int         `json:"epochs,omitempty"`
 	At          float64     `json:"at"`
 	ServerEpoch int         `json:"server_epoch,omitempty"`
-	Jobs        []JobRecord `json:"jobs,omitempty"` // snapshot only
+	Heals       int         `json:"heals,omitempty"` // recovery-barrier only
+	Jobs        []JobRecord `json:"jobs,omitempty"`  // snapshot only
 }
 
 // JobRecord is one job's journaled lifecycle state: everything recovery
@@ -119,6 +142,9 @@ type Recovered struct {
 	// DroppedBytes counts corrupt or truncated tail bytes discarded at
 	// open (0 for a clean journal).
 	DroppedBytes int64
+	// Heals is the cumulative recovery-barrier count replayed from the
+	// chain: how many times past incarnations healed a degraded journal.
+	Heals int64
 }
 
 // NonTerminal returns the journaled jobs recovery must re-register, in
@@ -143,12 +169,42 @@ func (r Recovered) NonTerminal() []JobRecord {
 // the journal's valid prefix.
 const journalMagic = "RJNL1"
 
-// journalFile is the journal's file name inside its directory.
+// journalFile is the base segment's file name inside the journal
+// directory. Segments rolled by Heal append a numeric suffix
+// (serve.journal.000001, …); replay walks them in sequence order.
 const journalFile = "serve.journal"
 
 // DefaultCompactBytes is the journal size that triggers compaction to a
 // snapshot record.
 const DefaultCompactBytes = 1 << 20
+
+// segmentName renders one segment's file name: the bare journal file
+// for sequence 0, a zero-padded numeric suffix afterwards (padding
+// keeps lexical directory listings in sequence order for humans; the
+// code sorts numerically).
+func segmentName(seq int) string {
+	if seq == 0 {
+		return journalFile
+	}
+	return fmt.Sprintf("%s.%06d", journalFile, seq)
+}
+
+// parseSegmentName reports the sequence number of a journal segment
+// file name, or ok=false for anything else (temp files, checkpoints).
+func parseSegmentName(name string) (seq int, ok bool) {
+	if name == journalFile {
+		return 0, true
+	}
+	suffix, found := strings.CutPrefix(name, journalFile+".")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(suffix)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 // Journal is the arbiter's write-ahead log. Append is safe for
 // concurrent use, though the serving mode only writes from its single
@@ -156,8 +212,10 @@ const DefaultCompactBytes = 1 << 20
 type Journal struct {
 	mu           sync.Mutex
 	dir          string
-	path         string
-	f            *os.File
+	dio          diskio.IO
+	seq          int    // active segment sequence number
+	path         string // active segment path
+	f            diskio.File
 	size         int64
 	compactBytes int64
 
@@ -168,17 +226,20 @@ type Journal struct {
 	serverEpoch int
 	virtualNow  float64
 
-	recovered   Recovered
-	appends     int64
-	syncs       int64
-	groups      int64
-	compactions int64
-	closed      bool
+	recovered    Recovered
+	appends      int64
+	syncs        int64
+	groups       int64
+	compactions  int64
+	heals        int64
+	healFailures int64
+	closed       bool
 
 	// degraded latches the journal after a failed write or sync. A torn
-	// frame ends the longest valid prefix forever: any record written past
-	// it would be unreadable on replay, so instead of silently losing
-	// post-tear appends the journal refuses them with ErrJournalDegraded.
+	// frame ends the active segment's longest valid prefix: any record
+	// written past it would be unreadable on replay, so instead of
+	// silently losing post-tear appends the journal refuses them with
+	// ErrJournalDegraded until Heal rolls to a verified fresh segment.
 	degraded error
 
 	// Fault-injection hooks for tests; nil in production.
@@ -190,33 +251,50 @@ type Journal struct {
 // dir, replays its valid prefix, truncates any corrupt tail, and stamps
 // the new daemon incarnation with an incremented server-epoch record.
 func OpenJournal(dir string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenJournalIO(dir, nil)
+}
+
+// OpenJournalIO is OpenJournal over a pluggable disk layer (nil means
+// the real disk). Orphaned atomic-write temp files from a crashed or
+// fault-interrupted compaction are swept before replay.
+func OpenJournalIO(dir string, dio diskio.IO) (*Journal, error) {
+	if dio == nil {
+		dio = diskio.OS{}
+	}
+	if err := dio.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: journal dir: %w", err)
 	}
 	jl := &Journal{
 		dir:          dir,
-		path:         filepath.Join(dir, journalFile),
+		dio:          dio,
 		compactBytes: DefaultCompactBytes,
 		jobs:         make(map[string]*JobRecord),
 	}
-	dropped, err := jl.replayFile()
+	sweepJournalTemps(dio, dir)
+	segs, err := listSegments(dio, dir)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	dropped, err := jl.replayChain(segs, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		jl.seq = segs[len(segs)-1]
+	}
+	jl.path = filepath.Join(dir, segmentName(jl.seq))
+	f, err := dio.OpenFile(jl.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open journal: %w", err)
 	}
 	jl.f = f
-	if st, err := f.Stat(); err == nil {
-		jl.size = st.Size()
-	}
 	jl.serverEpoch++
 	jl.recovered = Recovered{
 		ServerEpoch:  jl.serverEpoch,
 		VirtualNow:   jl.virtualNow,
 		Jobs:         jl.snapshotJobs(),
 		DroppedBytes: dropped,
+		Heals:        jl.heals,
 	}
 	if err := jl.Append(Record{Kind: recServerEpoch, ServerEpoch: jl.serverEpoch, At: jl.virtualNow}); err != nil {
 		f.Close()
@@ -225,11 +303,104 @@ func OpenJournal(dir string) (*Journal, error) {
 	return jl, nil
 }
 
-// replayFile reads the journal, applies every valid record, and truncates
-// the file to the longest valid prefix, reporting how many tail bytes
-// were dropped. A missing file is an empty journal.
-func (jl *Journal) replayFile() (dropped int64, err error) {
-	data, err := os.ReadFile(jl.path)
+// ReplayJournal replays the journal chain under dir read-only: no
+// truncation, no epoch increment, no appended boot record. It is the
+// offline inspection primitive the torture harness's invariant checker
+// uses to compare what the disk provably holds against what clients
+// were acked.
+func ReplayJournal(dir string) (Recovered, error) {
+	return ReplayJournalIO(dir, nil)
+}
+
+// ReplayJournalIO is ReplayJournal over a pluggable disk layer.
+func ReplayJournalIO(dir string, dio diskio.IO) (Recovered, error) {
+	if dio == nil {
+		dio = diskio.OS{}
+	}
+	jl := &Journal{dir: dir, dio: dio, jobs: make(map[string]*JobRecord)}
+	segs, err := listSegments(dio, dir)
+	if err != nil {
+		return Recovered{}, err
+	}
+	dropped, err := jl.replayChain(segs, false)
+	if err != nil {
+		return Recovered{}, err
+	}
+	return Recovered{
+		ServerEpoch:  jl.serverEpoch,
+		VirtualNow:   jl.virtualNow,
+		Jobs:         jl.snapshotJobs(),
+		DroppedBytes: dropped,
+		Heals:        jl.heals,
+	}, nil
+}
+
+// sweepJournalTemps removes orphaned atomic-write temp files
+// (serve.journal*.tmp) left behind when a crash or an injected fault
+// interrupted a compaction between temp-fsync and rename. The rename
+// never happened, so a temp never holds the only copy of durable state
+// — sweeping is always safe, and leaving them would leak disk forever.
+func sweepJournalTemps(dio diskio.IO, dir string) {
+	entries, err := dio.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, journalFile) || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		_ = dio.Remove(filepath.Join(dir, name))
+	}
+}
+
+// listSegments returns the journal segment sequence numbers present
+// under dir, sorted ascending. A missing directory or no segments is an
+// empty journal.
+func listSegments(dio diskio.IO, dir string) ([]int, error) {
+	entries, err := dio.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: list journal segments: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// replayChain replays every segment in sequence order, applying each
+// segment's longest valid prefix. When truncate is set, each segment's
+// invalid tail is cut off on disk (open-for-write semantics); read-only
+// callers leave the files untouched. A torn tail in a non-final segment
+// is safe to drop either way: segments after it were created by Heal or
+// compaction, whose head snapshot subsumes everything the tail could
+// have held.
+func (jl *Journal) replayChain(segs []int, truncate bool) (dropped int64, err error) {
+	for _, seq := range segs {
+		d, err := jl.replaySegment(filepath.Join(jl.dir, segmentName(seq)), truncate)
+		if err != nil {
+			return dropped, err
+		}
+		dropped += d
+	}
+	return dropped, nil
+}
+
+// replaySegment reads one segment, applies every valid record, and (if
+// truncate is set) cuts the file to the longest valid prefix, reporting
+// how many tail bytes were dropped. A missing file is an empty segment.
+func (jl *Journal) replaySegment(path string, truncate bool) (dropped int64, err error) {
+	data, err := jl.dio.ReadFile(path)
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -255,11 +426,12 @@ func (jl *Journal) replayFile() (dropped int64, err error) {
 		valid += int64(len(line))
 	}
 	dropped = int64(len(data)) - valid
-	if dropped > 0 {
-		if terr := os.Truncate(jl.path, valid); terr != nil {
+	if dropped > 0 && truncate {
+		if terr := jl.dio.Truncate(path, valid); terr != nil {
 			return dropped, fmt.Errorf("serve: truncate corrupt journal tail: %w", terr)
 		}
 	}
+	jl.size = valid
 	return dropped, nil
 }
 
@@ -328,6 +500,13 @@ func (jl *Journal) apply(rec Record) {
 			j := rec.Jobs[i]
 			jl.jobs[j.ID] = &j
 			jl.order = append(jl.order, j.ID)
+		}
+		if rec.ServerEpoch > jl.serverEpoch {
+			jl.serverEpoch = rec.ServerEpoch
+		}
+	case recBarrier:
+		if int64(rec.Heals) > jl.heals {
+			jl.heals = int64(rec.Heals)
 		}
 		if rec.ServerEpoch > jl.serverEpoch {
 			jl.serverEpoch = rec.ServerEpoch
@@ -448,8 +627,27 @@ func (jl *Journal) SyncStats() (syncs, records, groups int64) {
 	return jl.syncs, jl.appends, jl.groups
 }
 
-// ErrJournalDegraded marks a journal latched read-only after a failed
-// write or sync left (or may have left) a torn frame at the tail.
+// HealStats reports degraded-mode recovery activity: successful heals
+// (cumulative across incarnations, replayed from recovery barriers) and
+// failed heal attempts by this incarnation.
+func (jl *Journal) HealStats() (heals, failures int64) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.heals, jl.healFailures
+}
+
+// Segment returns the active segment's sequence number — observable
+// proof for tests that a heal rolled the log (and a restart did not).
+func (jl *Journal) Segment() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.seq
+}
+
+// ErrJournalDegraded marks a journal refusing appends after a failed
+// write or sync left (or may have left) a torn frame at the active
+// segment's tail. The state is recoverable: Heal rolls to a verified
+// fresh segment and lifts it.
 var ErrJournalDegraded = fmt.Errorf("serve: journal degraded")
 
 // Degraded returns the latched write/sync failure, or nil while the
@@ -460,6 +658,107 @@ func (jl *Journal) Degraded() error {
 	return jl.degraded
 }
 
+// Heal attempts to lift a degraded journal by rolling to a fresh
+// segment: the next sequence number is created, seeded with a snapshot
+// of the in-memory mirror (which holds exactly the durably-applied
+// state — records are folded only after their fsync succeeded) plus a
+// recovery-barrier record, fsynced along with its directory entry, and
+// read back to verify the bytes round-trip. Only after the verification
+// passes does the journal swap its write handle, lift the latch, and
+// best-effort remove the superseded segments (the snapshot subsumes
+// them; leftovers replay harmlessly and are reclaimed by the next
+// compaction or heal). Any failure leaves the journal degraded with the
+// original latch cause intact and counts a heal failure. Healing a
+// healthy journal is a no-op.
+func (jl *Journal) Heal() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	if jl.degraded == nil {
+		return nil
+	}
+	if err := jl.healLocked(); err != nil {
+		jl.healFailures++
+		return fmt.Errorf("serve: journal heal: %w", err)
+	}
+	return nil
+}
+
+func (jl *Journal) healLocked() error {
+	seq := jl.seq + 1
+	path := filepath.Join(jl.dir, segmentName(seq))
+	snapLine, err := frameJournalLine(Record{
+		Kind:        recSnapshot,
+		ServerEpoch: jl.serverEpoch,
+		At:          jl.virtualNow,
+		Jobs:        jl.snapshotJobs(),
+	})
+	if err != nil {
+		return err
+	}
+	barLine, err := frameJournalLine(Record{
+		Kind:        recBarrier,
+		ServerEpoch: jl.serverEpoch,
+		At:          jl.virtualNow,
+		Heals:       int(jl.heals) + 1,
+	})
+	if err != nil {
+		return err
+	}
+	want := append(append(make([]byte, 0, len(snapLine)+len(barLine)), snapLine...), barLine...)
+	f, err := jl.dio.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("open segment %d: %w", seq, err)
+	}
+	if _, err := f.Write(want); err != nil {
+		f.Close()
+		_ = jl.dio.Remove(path)
+		return fmt.Errorf("write segment %d: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = jl.dio.Remove(path)
+		return fmt.Errorf("sync segment %d: %w", seq, err)
+	}
+	// The directory entry must be durable too: a crash that forgets the
+	// new segment's name while acked records sit in it would lose them.
+	if err := jl.dio.SyncDir(jl.dir); err != nil {
+		f.Close()
+		_ = jl.dio.Remove(path)
+		return fmt.Errorf("sync journal dir: %w", err)
+	}
+	// Round-trip verification: the bytes must come back off the disk
+	// exactly as framed, and both frames must re-parse. Reads bypass
+	// fault injection, so this observes the disk's real content.
+	got, err := jl.dio.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("verify segment %d: %w", seq, err)
+	}
+	if !bytes.Equal(got, want) {
+		f.Close()
+		_ = jl.dio.Remove(path)
+		return fmt.Errorf("verify segment %d: read back %d bytes, wrote %d", seq, len(got), len(want))
+	}
+	// Commit: swap the write handle, lift the latch, reclaim the chain.
+	if jl.f != nil {
+		_ = jl.f.Close()
+	}
+	oldSeq := jl.seq
+	jl.f = f
+	jl.seq = seq
+	jl.path = path
+	jl.size = int64(len(want))
+	jl.degraded = nil
+	jl.heals++
+	for s := oldSeq; s >= 0; s-- {
+		_ = jl.dio.Remove(filepath.Join(jl.dir, segmentName(s)))
+	}
+	return nil
+}
+
 // Append durably logs the records as one group: the whole batch is framed
 // first, written and fsynced once, and only then folded into the live
 // replay state. The ordering matters twice over: a frame error mid-batch
@@ -467,9 +766,10 @@ func (jl *Journal) Degraded() error {
 // failed write or sync must not fold records the file provably may lack.
 // After a write/sync failure the journal latches degraded — the tail may
 // hold a torn frame that ends the longest valid prefix, so further
-// appends would be unrecoverable on replay and are refused instead.
-// When the file outgrows the compaction threshold it is folded into a
-// snapshot published with the checkpoint store's atomic-write machinery.
+// appends would be unrecoverable on replay and are refused — until Heal
+// rolls to a verified fresh segment. When the file outgrows the
+// compaction threshold it is folded into a snapshot published with the
+// checkpoint store's atomic-write machinery.
 func (jl *Journal) Append(recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -533,10 +833,13 @@ func (jl *Journal) SetCompactBytes(n int64) {
 	jl.compactBytes = n
 }
 
-// compactLocked folds the journal into one snapshot record and
-// atomically replaces the file with it. A crash during compaction leaves
-// either the old journal or the new snapshot — both replay to the same
-// state.
+// compactLocked folds the journal into one snapshot record, atomically
+// replaces the active segment with it, and best-effort removes older
+// segments (the snapshot subsumes them). A crash during compaction
+// leaves either the old chain or the new snapshot — both replay to the
+// same state. A compaction failure latches the journal degraded: the
+// appended records are durable, but the write handle may be in an
+// unknown state, and Heal's segment roll is the recovery path.
 func (jl *Journal) compactLocked() error {
 	snap := Record{
 		Kind:        recSnapshot,
@@ -548,19 +851,25 @@ func (jl *Journal) compactLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := core.AtomicWriteFile(jl.path, line); err != nil {
+	if err := core.AtomicWriteFileIO(jl.dio, jl.path, line); err != nil {
+		jl.degraded = fmt.Errorf("compaction: %w", err)
 		return fmt.Errorf("serve: journal compaction: %w", err)
 	}
 	if err := jl.f.Close(); err != nil {
+		jl.degraded = fmt.Errorf("compaction close: %w", err)
 		return fmt.Errorf("serve: journal compaction: %w", err)
 	}
-	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := jl.dio.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		jl.degraded = fmt.Errorf("compaction reopen: %w", err)
 		return fmt.Errorf("serve: journal compaction reopen: %w", err)
 	}
 	jl.f = f
 	jl.size = int64(len(line))
 	jl.compactions++
+	for s := jl.seq - 1; s >= 0; s-- {
+		_ = jl.dio.Remove(filepath.Join(jl.dir, segmentName(s)))
+	}
 	return nil
 }
 

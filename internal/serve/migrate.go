@@ -146,7 +146,11 @@ func (s *Server) migrateIn(m Message) Response {
 			// Same write-ahead refusal as submit: a handoff this shard cannot
 			// make durable must not be accepted — the router keeps the job on
 			// its (still-durable) source shard instead.
-			return Response{Error: "serve: journal degraded: " + derr.Error(), Code: CodeJournalDegraded}
+			return Response{
+				Error:          "serve: journal degraded: " + derr.Error(),
+				Code:           CodeJournalDegraded,
+				RetryAfterSecs: s.cfg.HealProbeSecs,
+			}
 		}
 	}
 	j, err := s.rebuildJob(jr)

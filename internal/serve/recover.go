@@ -22,6 +22,7 @@ import (
 
 	"rotary/internal/core"
 	"rotary/internal/criteria"
+	"rotary/internal/diskio"
 	"rotary/internal/sim"
 	"rotary/internal/tpch"
 	"rotary/internal/workload"
@@ -35,13 +36,22 @@ import (
 // killed incarnation. The store is disk-only (no memory tier) so every
 // save is durable by the time the epoch that produced it is journaled.
 func OpenDurable(dir string) (*Journal, *core.CheckpointStore, error) {
-	jl, err := OpenJournal(dir)
+	return OpenDurableIO(dir, nil)
+}
+
+// OpenDurableIO is OpenDurable with the disk-I/O layer pluggable: both
+// the journal and the checkpoint store route every durable operation
+// through dio (nil means the real filesystem), so one seeded
+// diskio.Faulty can deal ENOSPC, EIO, and torn writes to the entire
+// durability stack at once — the torture harness's disk-fault hook.
+func OpenDurableIO(dir string, dio diskio.IO) (*Journal, *core.CheckpointStore, error) {
+	jl, err := OpenJournalIO(dir, dio)
 	if err != nil {
 		return nil, nil, err
 	}
 	live := jl.NonTerminalIDs()
-	store, err := core.NewCheckpointStoreRetaining(filepath.Join(dir, "ckpt"), 0,
-		func(id string) bool { return live[id] })
+	store, err := core.NewCheckpointStoreIO(filepath.Join(dir, "ckpt"), 0,
+		func(id string) bool { return live[id] }, dio)
 	if err != nil {
 		jl.Close()
 		return nil, nil, err
@@ -217,6 +227,15 @@ func (s *Server) journalClock() {
 // s.journal drops the records when jl is nil. A periodic clock record
 // bounds how far an idle paced server's restart may rewind time.
 func (s *Server) syncState() {
+	if s.jl != nil && s.jl.Degraded() != nil {
+		// Freeze the diff marks while the journal is degraded: advancing
+		// them would count transitions as journaled that the failed
+		// appends dropped. The live state keeps moving; the first sweep
+		// after a successful heal (maybeHeal calls one) re-diffs every
+		// job against its frozen mark and re-emits exactly the missed
+		// records onto the fresh segment.
+		return
+	}
 	now := s.exec.Engine().Now().Seconds()
 	var recs []Record
 	keep := s.liveList[:0]

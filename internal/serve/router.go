@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rotary/internal/core"
+	"rotary/internal/diskio"
 	"rotary/internal/obs"
 )
 
@@ -77,6 +78,16 @@ type RouterConfig struct {
 	MaxRestartBackoff time.Duration
 	// RequestTimeout bounds every router→shard round trip. Defaults to 2s.
 	RequestTimeout time.Duration
+	// DiskIO, when set, supplies the disk-I/O layer each shard's durable
+	// pair (journal + checkpoint store) routes through — the torture
+	// harness's hook for dealing per-shard disk faults. Called at boot
+	// and on every supervised restart; nil (or a nil return) means the
+	// real filesystem.
+	DiskIO func(index int) diskio.IO
+	// HealProbeSecs and MaxHealFailures apply to every shard's journal
+	// heal prober (see Config). Zero keeps the per-server defaults.
+	HealProbeSecs   float64
+	MaxHealFailures int
 }
 
 // Router is the sharded daemon's front end.

@@ -90,6 +90,16 @@ type Config struct {
 	// without a journaled position: an idle paced server persists a clock
 	// record at least this often (in virtual seconds). Defaults to 60.
 	ClockJournalSecs float64
+	// HealProbeSecs is how often (wall seconds) a degraded journal is
+	// probed for healing: the driver attempts Journal.Heal at most this
+	// often, and degraded refusals carry it as retry_after_secs so
+	// clients back off on the probe cadence. Defaults to 0.5.
+	HealProbeSecs float64
+	// MaxHealFailures caps consecutive failed heal attempts. Past the
+	// cap the server stops probing and the health op reports
+	// "journal-failed" — the supervisor's signal that self-healing lost
+	// and a restart is the remaining move. Defaults to 8.
+	MaxHealFailures int
 }
 
 // Message is one client request line.
@@ -196,10 +206,15 @@ const (
 	// retry_after_secs scaled by how far the admission queue is over its
 	// configured bound.
 	CodeOverloaded = "overloaded"
-	// CodeJournalDegraded: the write-ahead journal latched degraded (a
-	// torn write ended its valid prefix), so the server can no longer
-	// honor the write-ahead contract for state-changing ops and refuses
-	// them. Read ops keep working; the health op reports the cause.
+	// CodeJournalDegraded: the write-ahead journal is degraded (an append
+	// failed mid-record), so the server cannot honor the write-ahead
+	// contract for state-changing ops and refuses them — with a
+	// retry_after_secs hint, because degradation is recoverable: a
+	// background prober rolls the journal to a fresh segment and lifts
+	// the latch once the disk cooperates. Read ops keep working; the
+	// health op reports the cause ("journal-degraded" while healing is
+	// still being attempted, "journal-failed" once the heal budget is
+	// exhausted and a supervised restart is the remaining move).
 	CodeJournalDegraded = "journal-degraded"
 )
 
@@ -294,6 +309,12 @@ type Server struct {
 	reqIndex    map[string]string // req_id -> job id
 	lastClockAt float64
 	jlErr       error
+	// Heal probing (driver goroutine only): lastHealProbe rate-limits
+	// Journal.Heal attempts to one per HealProbeSecs; healFails counts
+	// consecutive failed attempts — at MaxHealFailures the prober stops
+	// and the health op escalates to "journal-failed".
+	lastHealProbe time.Time
+	healFails     int
 
 	// Job bookkeeping (driver goroutine only). jobIndex holds every job
 	// registered with the executor this incarnation — the O(1) lookup
@@ -321,6 +342,13 @@ type Server struct {
 	// the batch ends with one Append — one fsync for the whole group.
 	staging bool
 	staged  []Record
+	// droppedStaged shelves the records of a failed group commit. Their
+	// requests already moved server state — jobs registered, req_ids
+	// indexed, sync marks advanced — before the flush failed, so simply
+	// discarding them would leave ghost jobs the journal never heard of.
+	// A successful heal re-appends the shelf onto the fresh segment
+	// before the catch-up sweep, restoring journal/state agreement.
+	droppedStaged []Record
 
 	mu       sync.Mutex
 	lns      []net.Listener
@@ -381,6 +409,12 @@ func New(cfg Config, exec *core.AQPExecutor, cat *tpch.Catalog) (*Server, error)
 	if cfg.OverloadRetrySecs <= 0 {
 		cfg.OverloadRetrySecs = 0.25
 	}
+	if cfg.HealProbeSecs <= 0 {
+		cfg.HealProbeSecs = 0.5
+	}
+	if cfg.MaxHealFailures <= 0 {
+		cfg.MaxHealFailures = 8
+	}
 	s := &Server{
 		cfg:         cfg,
 		exec:        exec,
@@ -427,6 +461,8 @@ type serveMetrics struct {
 	journalRecords *obs.Counter
 	journalCompact *obs.Counter
 	journalErrors  *obs.Counter
+	journalHeals   *obs.Counter
+	healFailures   *obs.Counter
 	oversized      *obs.Counter
 	dedupedSubmits *obs.Counter
 	// Heavy-traffic front-end handles. Batch counters are deterministic
@@ -461,6 +497,8 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m.journalRecords = reg.Counter("rotary_serve_journal_records_total", "journal records appended by this incarnation")
 	m.journalCompact = reg.Counter("rotary_serve_journal_compactions_total", "journal compactions to a snapshot record")
 	m.journalErrors = reg.Counter("rotary_serve_journal_errors_total", "journal append failures (durability degraded)")
+	m.journalHeals = reg.Counter("rotary_serve_journal_heals_total", "degraded journals healed by rolling to a fresh segment")
+	m.healFailures = reg.Counter("rotary_serve_journal_heal_failures_total", "failed heal attempts against a degraded journal")
 	m.oversized = reg.Counter("rotary_serve_oversized_requests_total", "request lines dropped for exceeding the line limit")
 	m.dedupedSubmits = reg.Counter("rotary_serve_deduped_submits_total", "submits answered from the req_id dedupe index")
 	m.batches = reg.Counter("rotary_serve_ingress_batches_total", "driver wakeups (one per drained request batch)")
@@ -657,9 +695,57 @@ func (s *Server) drive() {
 				eng.RunUntil(t)
 			}
 			s.met.virtualNow.Set(eng.Now().Seconds())
+			s.maybeHeal(false)
 			s.syncState()
 		}
 	}
+}
+
+// maybeHeal probes a degraded journal for recovery (driver goroutine
+// only). Probes are rate-limited to one per HealProbeSecs unless
+// forced, and stop entirely once MaxHealFailures consecutive attempts
+// have lost — past that the health op reports "journal-failed" and
+// escalation belongs to the supervisor, not to a prober hammering a
+// dead disk. A successful heal rolled the journal to a fresh verified
+// segment: the latch is lifted, the clock position is re-journaled,
+// and one syncState sweep re-emits every transition the freeze
+// skipped while degraded — so the new segment's snapshot-plus-diffs
+// catches the journal up to live state before the next durable ack.
+func (s *Server) maybeHeal(force bool) {
+	if s.jl == nil || s.jl.Degraded() == nil {
+		return
+	}
+	if s.healFails >= s.cfg.MaxHealFailures {
+		return
+	}
+	if !force && time.Since(s.lastHealProbe).Seconds() < s.cfg.HealProbeSecs {
+		return
+	}
+	s.lastHealProbe = time.Now()
+	if err := s.jl.Heal(); err != nil {
+		s.healFails++
+		s.met.healFailures.Inc()
+		s.jlErr = err
+		return
+	}
+	s.healFails = 0
+	s.jlErr = nil
+	s.met.journalHeals.Inc()
+	// Replay the shelf first: the failed groups' submits must precede the
+	// catch-up sweep's grant/epoch records for the same jobs, or replay
+	// would drop them as records for an unknown id.
+	if len(s.droppedStaged) > 0 {
+		recs := s.droppedStaged
+		s.droppedStaged = nil
+		if err := s.appendNow(recs); err != nil {
+			// The disk failed again mid-recovery: the journal re-latched
+			// degraded and the shelf goes back for the next heal.
+			s.droppedStaged = recs
+			return
+		}
+	}
+	s.journalClock()
+	s.syncState()
 }
 
 // pendingReply is one batched request's computed reply, held until the
@@ -694,6 +780,9 @@ fill:
 	s.met.batchedReqs.Add(int64(len(batch)))
 	s.met.batchSize.Observe(float64(len(batch)))
 	s.met.ingressDepth.Set(float64(len(s.reqCh)))
+	// An unpaced server has no tick: request arrival is the only chance
+	// a degraded journal gets to heal before refusing the batch's writes.
+	s.maybeHeal(false)
 	pending := make([]pendingReply, 0, len(batch))
 	flushRelease := func() {
 		err := s.flushStaged()
@@ -704,8 +793,9 @@ fill:
 				// client would hold a reply the write-ahead contract cannot
 				// back. The in-memory job still runs; a req_id retry dedupes.
 				p.reply <- Response{
-					Error: "serve: journal degraded: " + err.Error(),
-					Code:  CodeJournalDegraded,
+					Error:          "serve: journal degraded: " + err.Error(),
+					Code:           CodeJournalDegraded,
+					RetryAfterSecs: s.cfg.HealProbeSecs,
 				}
 				continue
 			}
@@ -753,7 +843,13 @@ func (s *Server) flushStaged() error {
 	if len(recs) > 1 {
 		s.met.groupCommits.Inc()
 	}
-	return s.appendNow(recs)
+	err := s.appendNow(recs)
+	if err != nil {
+		// Shelve the group (copied — staged's backing array is reused) for
+		// the post-heal replay.
+		s.droppedStaged = append(s.droppedStaged, recs...)
+	}
+	return err
 }
 
 // drainNow stops the listeners and fast-forwards virtual time until
@@ -762,6 +858,10 @@ func (s *Server) flushStaged() error {
 // but if it somehow does, the failure is reported, not hidden.
 func (s *Server) drainNow() Response {
 	s.closeListeners()
+	// A drain must not leave terminal outcomes un-journaled behind a
+	// frozen syncState: give a degraded journal one forced, unthrottled
+	// heal attempt so the drain's sweeps land on a working segment.
+	s.maybeHeal(true)
 	eng := s.exec.Engine()
 	for len(s.liveJobs) > 0 {
 		progressed := false
@@ -921,7 +1021,19 @@ func (s *Server) handle(m Message) Response {
 			ServerEpoch: s.serverEpoch,
 			Recovered:   s.recovered,
 		}
-		if s.jlErr != nil {
+		// Journal health is three-state: healthy; journal-degraded (heals
+		// still being attempted — retry_after_secs carries the probe
+		// cadence); journal-failed (heal budget exhausted — the
+		// supervisor's restart-escalation trigger).
+		if s.jl != nil && s.jl.Degraded() != nil {
+			if s.healFails >= s.cfg.MaxHealFailures {
+				resp.Status = "journal-failed"
+			} else {
+				resp.Status = "journal-degraded"
+				resp.RetryAfterSecs = s.cfg.HealProbeSecs
+			}
+			resp.Error = s.jl.Degraded().Error()
+		} else if s.jlErr != nil {
 			resp.Status = "journal-degraded"
 			resp.Error = s.jlErr.Error()
 		}
@@ -960,10 +1072,16 @@ func (s *Server) submit(m Message) Response {
 	// A degraded journal cannot back the write-ahead contract an OK
 	// submit reply promises: refuse state changes (reads keep working,
 	// health reports the cause) instead of silently serving undurable
-	// admissions.
+	// admissions. The refusal hints the heal-probe cadence — the next
+	// probe may lift the latch, so the client retries instead of giving
+	// the job up.
 	if s.jl != nil {
 		if derr := s.jl.Degraded(); derr != nil {
-			return Response{Error: "serve: journal degraded: " + derr.Error(), Code: CodeJournalDegraded}
+			return Response{
+				Error:          "serve: journal degraded: " + derr.Error(),
+				Code:           CodeJournalDegraded,
+				RetryAfterSecs: s.cfg.HealProbeSecs,
+			}
 		}
 	}
 	cmd, crit, err := criteria.Parse(m.Statement)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rotary/internal/core"
+	"rotary/internal/diskio"
 	"rotary/internal/obs"
 	"rotary/internal/tpch"
 )
@@ -120,7 +121,11 @@ func (r *Router) startShard(h *shardHandle) error {
 	h.srv = nil
 	h.mu.Unlock()
 
-	jl, store, err := OpenDurable(h.dir)
+	var dio diskio.IO
+	if r.cfg.DiskIO != nil {
+		dio = r.cfg.DiskIO(h.index)
+	}
+	jl, store, err := OpenDurableIO(h.dir, dio)
 	if err != nil {
 		return fmt.Errorf("shard %d: %w", h.index, err)
 	}
@@ -131,14 +136,16 @@ func (r *Router) startShard(h *shardHandle) error {
 		return fmt.Errorf("shard %d: build: %w", h.index, err)
 	}
 	srv, err := New(Config{
-		Socket:       h.socket,
-		Pace:         r.cfg.Pace,
-		Tick:         r.cfg.Tick,
-		BatchRows:    r.cfg.BatchRows,
-		IngressDepth: r.cfg.IngressDepth,
-		IngressBatch: r.cfg.IngressBatch,
-		Obs:          reg,
-		Journal:      jl,
+		Socket:          h.socket,
+		Pace:            r.cfg.Pace,
+		Tick:            r.cfg.Tick,
+		BatchRows:       r.cfg.BatchRows,
+		IngressDepth:    r.cfg.IngressDepth,
+		IngressBatch:    r.cfg.IngressBatch,
+		Obs:             reg,
+		Journal:         jl,
+		HealProbeSecs:   r.cfg.HealProbeSecs,
+		MaxHealFailures: r.cfg.MaxHealFailures,
 	}, exec, cat)
 	if err != nil {
 		jl.Close()

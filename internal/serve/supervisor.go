@@ -69,6 +69,23 @@ func (r *Router) checkShard(h *shardHandle) {
 			r.markDown(h, err)
 			return
 		}
+		// "journal-failed" means the shard exhausted its self-heal budget
+		// against a degraded journal: in-process healing lost, so escalate
+		// to the restart path — Kill releases the wedged file handles and
+		// the reopen replays the segment chain's valid prefix. A shard
+		// still merely "journal-degraded" is left alone; its own prober is
+		// the cheaper first responder.
+		if resp.Status == "journal-failed" {
+			r.met.probeFailures[h.index].Inc()
+			h.mu.Lock()
+			srv := h.srv
+			h.mu.Unlock()
+			if srv != nil {
+				srv.Kill()
+			}
+			r.markDown(h, fmt.Errorf("journal failed beyond self-heal: %s", resp.Error))
+			return
+		}
 		h.mu.Lock()
 		h.lastEpoch = resp.ServerEpoch
 		h.mu.Unlock()

@@ -1,0 +1,80 @@
+// Rogue-peer injection: connections that violate the wire protocol in
+// the ways real networks do — dying mid-frame, stalling after
+// committing to a length, speaking garbage — aimed at a live server.
+// The injector asserts nothing itself; the harness checks the server
+// still answers afterwards, and the codec unit tests pin down the
+// exact per-fault behaviour (clean close, typed error, stall bound).
+package torture
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+
+	"rotary/internal/sim"
+)
+
+// binMagic is the binary codec's connection preamble (see
+// internal/serve/codec.go — a wire constant, stable by contract).
+var binMagic = []byte{0xB1, 'R', 'B', '1'}
+
+// injectConnFaults runs one volley of rogue connections against the
+// socket, seeded so a failing seed replays the same volley. Each rogue
+// is bounded: nothing here waits on the server.
+func injectConnFaults(socket string, rng *sim.Rand) {
+	rogues := []func(net.Conn, *sim.Rand){
+		rogueMidFrameDrop,
+		rogueMidFrameStall,
+		rogueHostileLength,
+		rogueGarbageJSON,
+		rogueInstantClose,
+	}
+	volley := 3 + rng.IntN(4)
+	for i := 0; i < volley; i++ {
+		conn, err := net.DialTimeout("unix", socket, time.Second)
+		if err != nil {
+			continue // server mid-restart: the volley just misses
+		}
+		rogues[rng.IntN(len(rogues))](conn, rng)
+		conn.Close()
+	}
+}
+
+// rogueMidFrameDrop commits to a frame with a length header, sends a
+// partial payload, and vanishes.
+func rogueMidFrameDrop(conn net.Conn, rng *sim.Rand) {
+	var hdr [4]byte
+	claim := 32 + rng.IntN(256)
+	binary.BigEndian.PutUint32(hdr[:], uint32(claim))
+	conn.Write(binMagic)
+	conn.Write(hdr[:])
+	conn.Write(make([]byte, rng.IntN(claim)))
+}
+
+// rogueMidFrameStall is the drop with a dwell: the server's mid-frame
+// deadline is what bounds the damage, but the rogue itself only dwells
+// briefly — the harness must not serialize on the server's patience.
+func rogueMidFrameStall(conn net.Conn, rng *sim.Rand) {
+	rogueMidFrameDrop(conn, rng)
+	time.Sleep(time.Duration(10+rng.IntN(40)) * time.Millisecond)
+}
+
+// rogueHostileLength claims a frame far past the size bound; the server
+// answers too-large and closes.
+func rogueHostileLength(conn net.Conn, _ *sim.Rand) {
+	conn.Write(binMagic)
+	conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+}
+
+// rogueGarbageJSON speaks the JSON codec badly: unparseable lines that
+// must each earn a typed bad-request on a still-open connection.
+func rogueGarbageJSON(conn net.Conn, rng *sim.Rand) {
+	lines := 1 + rng.IntN(3)
+	for i := 0; i < lines; i++ {
+		conn.Write([]byte("{\"op\": \x7f garbage\n"))
+	}
+}
+
+// rogueInstantClose connects and leaves — the TCP equivalent of a
+// wrong number.
+func rogueInstantClose(net.Conn, *sim.Rand) {}

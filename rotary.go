@@ -44,6 +44,7 @@ import (
 	"rotary/internal/cluster"
 	"rotary/internal/core"
 	"rotary/internal/criteria"
+	"rotary/internal/diskio"
 	"rotary/internal/dlt"
 	"rotary/internal/estimate"
 	"rotary/internal/faults"
@@ -695,4 +696,51 @@ var (
 	// MergeArbBenchMin folds two measurements of the same matrix,
 	// keeping each cell's faster run (retry-under-interference merge).
 	MergeArbBenchMin = core.MergeArbBenchMin
+)
+
+// Self-healing durability (PR 11): the pluggable disk layer under the
+// journal and checkpoint writers, the recoverable journal-degraded
+// mode (typed refusals with retry hints, heal by rolling to a fresh
+// verified segment), and the read-only journal audit behind the
+// composed-fault torture harness (`rotary-chaos`; internal/torture is
+// not re-exported — it drives loadgen, which benchmarks this package,
+// and would close an import cycle).
+type (
+	// DiskIO is the pluggable filesystem layer the journal and
+	// checkpoint store write through; DiskOS is the passthrough
+	// implementation over the real os package.
+	DiskIO = diskio.IO
+	DiskOS = diskio.OS
+	// FaultyDisk wraps a DiskIO with seeded, deterministic fault
+	// injection (ENOSPC/EIO write and sync failures, slow fsyncs),
+	// plus scripted ForceFail/Clear control for tests.
+	FaultyDisk = diskio.Faulty
+	// DiskFaultConfig parameterizes the seeded injector.
+	DiskFaultConfig = diskio.FaultConfig
+	// DiskInjectedError is the typed error injected faults unwrap to.
+	DiskInjectedError = diskio.InjectedError
+)
+
+const (
+	// ServeCodeJournalDegraded is the typed refusal a server emits for
+	// mutating ops while its journal is degraded but healable; the
+	// reply carries a retry_after_secs hint and clients retry it under
+	// RetryHinted.
+	ServeCodeJournalDegraded = serve.CodeJournalDegraded
+)
+
+var (
+	// NewFaultyDisk builds the seeded fault injector over an inner
+	// layer (nil means the real filesystem).
+	NewFaultyDisk = diskio.NewFaulty
+	// OpenDurableServeIO / OpenServeJournalIO are the durability
+	// constructors over a pluggable disk layer (nil selects DiskOS).
+	OpenDurableServeIO = serve.OpenDurableIO
+	OpenServeJournalIO = serve.OpenJournalIO
+	// ReplayServeJournal audits a journal chain read-only — no
+	// truncation, no epoch bump — for invariant checking.
+	ReplayServeJournal = serve.ReplayJournal
+	// NewCheckpointStoreIO is the checkpoint store over a pluggable
+	// disk layer.
+	NewCheckpointStoreIO = core.NewCheckpointStoreIO
 )
